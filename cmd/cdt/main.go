@@ -1,0 +1,406 @@
+// Command cdt trains Composition-based Decision Trees on CSV time-series
+// and detects anomalies with the learned rules.
+//
+// Usage:
+//
+//	cdt label    -in data.csv -delta 2
+//	cdt train    -in labeled.csv -omega 5 -delta 2 [-explain] [-save model.json]
+//	cdt detect   -train labeled.csv -in fresh.csv -omega 5 -delta 2
+//	cdt detect   -model model.json -in fresh.csv
+//	cdt optimize -in labeled.csv [-objective fh] [-iters 25]
+//	cdt audit    -train labeled.csv -eval other.csv -omega 5 -delta 2
+//	cdt plot     -in data.csv [-detect -train labeled.csv]
+//	cdt stream   -model model.json -in feed.csv -min 0 -max 100
+//
+// CSV files carry one "value[,is_anomaly]" row per point after an
+// optional header (the format written by cmd/datagen and
+// datasets.WriteCSV).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	cdt "cdt"
+	"cdt/internal/ascii"
+	"cdt/internal/datasets"
+	"cdt/internal/pattern"
+	"cdt/internal/timeseries"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cdt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: cdt <label|train|detect|optimize|audit|stream|plot> [flags]")
+	}
+	switch args[0] {
+	case "label":
+		return runLabel(args[1:])
+	case "train":
+		return runTrain(args[1:])
+	case "detect":
+		return runDetect(args[1:])
+	case "optimize":
+		return runOptimize(args[1:])
+	case "audit":
+		return runAudit(args[1:])
+	case "stream":
+		return runStream(args[1:])
+	case "plot":
+		return runPlot(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want label, train, detect, optimize, audit, stream, or plot)", args[0])
+	}
+}
+
+// loadSeries reads a CSV series from disk.
+func loadSeries(path string) (*timeseries.Series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return datasets.ReadCSV(f, path)
+}
+
+func runLabel(args []string) error {
+	fs := flag.NewFlagSet("label", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV (value[,is_anomaly] rows)")
+	delta := fs.Int("delta", 2, "magnitude granularity δ")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("label: -in is required")
+	}
+	s, err := loadSeries(*in)
+	if err != nil {
+		return err
+	}
+	if _, err := s.Normalize(); err != nil {
+		return err
+	}
+	cfg := pattern.NewConfig(*delta)
+	labels, err := cfg.LabelSeries(s.Values)
+	if err != nil {
+		return err
+	}
+	for i, l := range labels {
+		marker := ""
+		if s.Anomalies != nil && s.Anomalies[i+1] {
+			marker = "  <- anomaly"
+		}
+		fmt.Printf("%6d  %-14s%s\n", i+1, cfg.LabelName(l), marker)
+	}
+	return nil
+}
+
+func runTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	in := fs.String("in", "", "labeled training CSV")
+	omega := fs.Int("omega", 5, "window size ω")
+	delta := fs.Int("delta", 2, "magnitude granularity δ")
+	explain := fs.Bool("explain", false, "render rule sketches and readings")
+	showTree := fs.Bool("tree", false, "render the decision tree")
+	savePath := fs.String("save", "", "write the trained model as JSON to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("train: -in is required")
+	}
+	s, err := loadSeries(*in)
+	if err != nil {
+		return err
+	}
+	if !s.Labeled() {
+		return fmt.Errorf("train: %s has no is_anomaly column", *in)
+	}
+	model, err := cdt.Fit([]*cdt.Series{s}, cdt.Options{Omega: *omega, Delta: *delta})
+	if err != nil {
+		return err
+	}
+	rep, err := model.Evaluate([]*cdt.Series{s})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained CDT: omega=%d delta=%d rules=%d\n", *omega, *delta, model.NumRules())
+	fmt.Printf("training fit: F1=%.3f Q=%.3f F(h)=%.3f\n\n", rep.F1, rep.Q, rep.FH)
+	fmt.Print(model.RuleText())
+	if *explain {
+		fmt.Println()
+		fmt.Print(model.Explain())
+	}
+	if *showTree {
+		fmt.Println()
+		fmt.Print(model.TreeText())
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			return err
+		}
+		if err := model.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("model written to %s\n", *savePath)
+	}
+	return nil
+}
+
+func runDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
+	trainPath := fs.String("train", "", "labeled training CSV (alternative to -model)")
+	modelPath := fs.String("model", "", "saved model JSON (alternative to -train)")
+	in := fs.String("in", "", "series to scan")
+	omega := fs.Int("omega", 5, "window size ω (with -train)")
+	delta := fs.Int("delta", 2, "magnitude granularity δ (with -train)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*trainPath == "") == (*modelPath == "") {
+		return fmt.Errorf("detect: exactly one of -train or -model is required")
+	}
+	if *in == "" {
+		return fmt.Errorf("detect: -in is required")
+	}
+	var model *cdt.Model
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		model, err = cdt.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		train, err := loadSeries(*trainPath)
+		if err != nil {
+			return err
+		}
+		model, err = cdt.Fit([]*cdt.Series{train}, cdt.Options{Omega: *omega, Delta: *delta})
+		if err != nil {
+			return err
+		}
+	}
+	target, err := loadSeries(*in)
+	if err != nil {
+		return err
+	}
+	flags, err := model.PointFlags(target)
+	if err != nil {
+		return err
+	}
+	n := 0
+	for i, flagged := range flags {
+		if flagged {
+			fmt.Printf("anomaly at point %d (value %g)\n", i, target.Values[i])
+			n++
+		}
+	}
+	fmt.Printf("%d/%d points flagged\n", n, len(flags))
+	return nil
+}
+
+func runOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
+	in := fs.String("in", "", "labeled CSV (split 60/20/20 internally)")
+	objective := fs.String("objective", "fh", `objective: "f1" or "fh"`)
+	iters := fs.Int("iters", 25, "surrogate-guided evaluations")
+	init := fs.Int("init", 5, "random initial evaluations")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("optimize: -in is required")
+	}
+	var obj cdt.Objective
+	switch *objective {
+	case "f1":
+		obj = cdt.ObjectiveF1
+	case "fh":
+		obj = cdt.ObjectiveFH
+	default:
+		return fmt.Errorf("optimize: unknown objective %q", *objective)
+	}
+	s, err := loadSeries(*in)
+	if err != nil {
+		return err
+	}
+	if !s.Labeled() {
+		return fmt.Errorf("optimize: %s has no is_anomaly column", *in)
+	}
+	if _, err := s.Normalize(); err != nil {
+		return err
+	}
+	split, err := timeseries.ChronologicalSplit(s, 0.6, 0.2, 0.2)
+	if err != nil {
+		return err
+	}
+	res, err := cdt.Optimize([]*cdt.Series{split.Train}, []*cdt.Series{split.Validation}, obj, cdt.OptimizeOptions{
+		InitPoints: *init,
+		Iterations: *iters,
+		Seed:       *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("best: omega=%d delta=%d (validation %s=%.3f after %d evaluations)\n",
+		res.Best.Omega, res.Best.Delta, obj, res.BestScore, res.Evaluations)
+	model, err := cdt.Fit([]*cdt.Series{split.Train, split.Validation}, res.Best)
+	if err != nil {
+		return err
+	}
+	rep, err := model.Evaluate([]*cdt.Series{split.Test})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("test: F1=%.3f Q=%.3f F(h)=%.3f rules=%d\n", rep.F1, rep.Q, rep.FH, rep.NumRules)
+	fmt.Print(model.RuleText())
+	return nil
+}
+
+func runAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
+	trainPath := fs.String("train", "", "labeled training CSV")
+	evalPath := fs.String("eval", "", "labeled evaluation CSV (defaults to the training file)")
+	omega := fs.Int("omega", 5, "window size ω")
+	delta := fs.Int("delta", 2, "magnitude granularity δ")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *trainPath == "" {
+		return fmt.Errorf("audit: -train is required")
+	}
+	if *evalPath == "" {
+		*evalPath = *trainPath
+	}
+	train, err := loadSeries(*trainPath)
+	if err != nil {
+		return err
+	}
+	eval, err := loadSeries(*evalPath)
+	if err != nil {
+		return err
+	}
+	if !eval.Labeled() {
+		return fmt.Errorf("audit: %s has no is_anomaly column", *evalPath)
+	}
+	model, err := cdt.Fit([]*cdt.Series{train}, cdt.Options{Omega: *omega, Delta: *delta})
+	if err != nil {
+		return err
+	}
+	stats, err := model.Audit([]*cdt.Series{eval})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-4s %-10s %-12s %-10s %-8s rule\n", "#", "support", "false-alarms", "precision", "I(Rs)")
+	for _, st := range stats {
+		fmt.Printf("R%-3d %-10d %-12d %-10.2f %-8.2f IF %s THEN anomaly\n",
+			st.Index, st.Support, st.FalseAlarms, st.Precision(), st.Interpretability, st.Text)
+	}
+	return nil
+}
+
+func runStream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "saved model JSON")
+	in := fs.String("in", "", "CSV feed to replay point-by-point")
+	min := fs.Float64("min", 0, "expected minimum sensor value")
+	max := fs.Float64("max", 0, "expected maximum sensor value")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" || *in == "" {
+		return fmt.Errorf("stream: -model and -in are required")
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	model, err := cdt.Load(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	feed, err := loadSeries(*in)
+	if err != nil {
+		return err
+	}
+	scale := cdt.Scale{Min: *min, Max: *max}
+	if scale.Max <= scale.Min {
+		// Derive the scale from the feed itself when not provided.
+		lo, hi, err := feed.MinMax()
+		if err != nil {
+			return err
+		}
+		scale = cdt.Scale{Min: lo, Max: hi}
+	}
+	stream, err := model.NewStream(scale)
+	if err != nil {
+		return err
+	}
+	alerts := 0
+	for i, v := range feed.Values {
+		for _, d := range stream.Push(v) {
+			alerts++
+			fmt.Printf("alert after point %d: window %d..%d\n", i, d.WindowStart, d.WindowEnd)
+		}
+	}
+	fmt.Printf("%d alerts over %d points\n", alerts, feed.Len())
+	return nil
+}
+
+func runPlot(args []string) error {
+	fs := flag.NewFlagSet("plot", flag.ContinueOnError)
+	in := fs.String("in", "", "CSV series to chart")
+	trainPath := fs.String("train", "", "labeled training CSV: train a model and overlay detections")
+	omega := fs.Int("omega", 5, "window size ω (with -train)")
+	delta := fs.Int("delta", 2, "magnitude granularity δ (with -train)")
+	width := fs.Int("width", 72, "chart width in columns")
+	height := fs.Int("height", 12, "chart height in rows")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("plot: -in is required")
+	}
+	s, err := loadSeries(*in)
+	if err != nil {
+		return err
+	}
+	var flags []bool
+	switch {
+	case *trainPath != "":
+		train, err := loadSeries(*trainPath)
+		if err != nil {
+			return err
+		}
+		model, err := cdt.Fit([]*cdt.Series{train}, cdt.Options{Omega: *omega, Delta: *delta})
+		if err != nil {
+			return err
+		}
+		flags, err = model.PointFlags(s)
+		if err != nil {
+			return err
+		}
+	case s.Labeled():
+		flags = s.Anomalies
+	}
+	fmt.Print(ascii.Plot(s.Values, flags, ascii.PlotOptions{Width: *width, Height: *height}))
+	return nil
+}

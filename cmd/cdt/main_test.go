@@ -1,0 +1,158 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cdt/internal/datasets"
+	"cdt/internal/datasets/sge"
+)
+
+// writeFixture materializes one synthetic calorie series as a CSV file.
+func writeFixture(t *testing.T, dir, name string, seed int64) string {
+	t.Helper()
+	d := sge.Calorie(sge.CalorieOptions{Sensors: 1, Days: 300, Seed: seed})
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := datasets.WriteCSV(f, d.Series[0]); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRequiresSubcommand(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+}
+
+func TestLabelCommand(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFixture(t, dir, "a.csv", 1)
+	if err := run([]string{"label", "-in", in, "-delta", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"label"}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"label", "-in", filepath.Join(dir, "absent.csv")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestTrainDetectRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	trainCSV := writeFixture(t, dir, "train.csv", 2)
+	freshCSV := writeFixture(t, dir, "fresh.csv", 3)
+	modelPath := filepath.Join(dir, "model.json")
+
+	if err := run([]string{"train", "-in", trainCSV, "-omega", "5", "-delta", "2", "-save", modelPath}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Fatalf("model not written: %v", err)
+	}
+	if err := run([]string{"detect", "-model", modelPath, "-in", freshCSV}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"detect", "-train", trainCSV, "-in", freshCSV, "-omega", "5", "-delta", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFixture(t, dir, "a.csv", 4)
+	if err := run([]string{"detect", "-in", in}); err == nil {
+		t.Error("neither -train nor -model rejected... accepted")
+	}
+	if err := run([]string{"detect", "-train", in, "-model", in, "-in", in}); err == nil {
+		t.Error("both -train and -model accepted")
+	}
+	if err := run([]string{"detect", "-train", in}); err == nil {
+		t.Error("missing -in accepted")
+	}
+}
+
+func TestTrainRejectsUnlabeled(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plain.csv")
+	if err := os.WriteFile(path, []byte("value\n1\n2\n3\n4\n5\n6\n7\n8\n9\n10\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"train", "-in", path}); err == nil {
+		t.Error("unlabeled training file accepted")
+	}
+}
+
+func TestAuditCommand(t *testing.T) {
+	dir := t.TempDir()
+	trainCSV := writeFixture(t, dir, "train.csv", 5)
+	evalCSV := writeFixture(t, dir, "eval.csv", 6)
+	if err := run([]string{"audit", "-train", trainCSV, "-eval", evalCSV, "-omega", "5", "-delta", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Defaults -eval to -train.
+	if err := run([]string{"audit", "-train", trainCSV}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"audit"}); err == nil {
+		t.Error("missing -train accepted")
+	}
+}
+
+func TestStreamCommand(t *testing.T) {
+	dir := t.TempDir()
+	trainCSV := writeFixture(t, dir, "train.csv", 7)
+	feedCSV := writeFixture(t, dir, "feed.csv", 8)
+	modelPath := filepath.Join(dir, "model.json")
+	if err := run([]string{"train", "-in", trainCSV, "-omega", "5", "-delta", "2", "-save", modelPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"stream", "-model", modelPath, "-in", feedCSV}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"stream", "-model", modelPath, "-in", feedCSV, "-min", "0", "-max", "500"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"stream", "-in", feedCSV}); err == nil {
+		t.Error("missing -model accepted")
+	}
+}
+
+func TestOptimizeCommand(t *testing.T) {
+	dir := t.TempDir()
+	trainCSV := writeFixture(t, dir, "train.csv", 9)
+	if err := run([]string{"optimize", "-in", trainCSV, "-objective", "f1", "-iters", "2", "-init", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"optimize", "-in", trainCSV, "-objective", "nope"}); err == nil {
+		t.Error("bad objective accepted")
+	}
+	if err := run([]string{"optimize"}); err == nil {
+		t.Error("missing -in accepted")
+	}
+}
+
+func TestPlotCommand(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFixture(t, dir, "a.csv", 10)
+	trainCSV := writeFixture(t, dir, "b.csv", 11)
+	if err := run([]string{"plot", "-in", in}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"plot", "-in", in, "-train", trainCSV, "-omega", "5", "-delta", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"plot"}); err == nil {
+		t.Error("missing -in accepted")
+	}
+}

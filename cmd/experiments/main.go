@@ -1,0 +1,128 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§4) on the synthetic stand-in datasets and prints
+// them with the paper's reported values alongside.
+//
+// Usage:
+//
+//	experiments                       # everything, laptop scale
+//	experiments -exp table3,figure3   # a subset
+//	experiments -full                 # paper-scale datasets (slow)
+//	experiments -seed 7 -bo-iters 25  # tuning budget / reproducibility
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cdt/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "all", "comma-separated subset of: table2,table3,table4,table5,figure1,figure2,figure3,cv")
+	seed := flag.Int64("seed", 42, "seed for data generation and tuning")
+	full := flag.Bool("full", false, "paper-scale dataset sizes (slow)")
+	boInit := flag.Int("bo-init", 5, "random initial points for Bayesian optimization")
+	boIters := flag.Int("bo-iters", 12, "surrogate-guided evaluations for Bayesian optimization")
+	mdPath := flag.String("md", "", "also write a Markdown report to this path")
+	flag.Parse()
+
+	wanted := map[string]bool{}
+	if *exp == "all" {
+		for _, e := range []string{"table2", "table3", "table4", "table5", "figure1", "figure2", "figure3"} {
+			wanted[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*exp, ",") {
+			wanted[strings.TrimSpace(strings.ToLower(e))] = true
+		}
+	}
+
+	suite := experiments.NewSuite(experiments.Config{
+		Seed:    *seed,
+		Full:    *full,
+		BOInit:  *boInit,
+		BOIters: *boIters,
+	})
+	start := time.Now()
+
+	if wanted["figure1"] {
+		fmt.Println(experiments.Figure1())
+	}
+	if wanted["table2"] {
+		rows, err := suite.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable2(rows))
+	}
+	if wanted["table3"] {
+		rows, err := suite.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable3(rows))
+	}
+	if wanted["table4"] {
+		rows, err := suite.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable4(rows))
+	}
+	if wanted["figure3"] {
+		rows, err := suite.Figure3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFigure3(rows))
+	}
+	if wanted["table5"] {
+		rows, err := suite.Table5()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable5(rows))
+	}
+	if wanted["cv"] {
+		for _, name := range experiments.DatasetNames {
+			rows, err := suite.RuleLearnersCV(name, 10)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatCV(name, rows))
+		}
+	}
+	if wanted["figure2"] {
+		out, err := suite.Figure2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	if *mdPath != "" {
+		f, err := os.Create(*mdPath)
+		if err != nil {
+			return err
+		}
+		if err := suite.WriteMarkdownReport(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("markdown report written to %s\n", *mdPath)
+	}
+	fmt.Printf("done in %v\n", time.Since(start))
+	return nil
+}

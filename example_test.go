@@ -1,0 +1,90 @@
+package cdt_test
+
+import (
+	"fmt"
+	"math"
+
+	cdt "cdt"
+)
+
+// demoSeries builds a deterministic sensor-like series with two labeled
+// spikes.
+func demoSeries() *cdt.Series {
+	values := make([]float64, 200)
+	anomalies := make([]bool, 200)
+	for i := range values {
+		values[i] = 50 + 10*math.Sin(float64(i)/6)
+	}
+	values[60], anomalies[60] = 200, true
+	values[140], anomalies[140] = 200, true
+	return cdt.NewLabeledSeries("sensor", values, anomalies)
+}
+
+func ExampleFit() {
+	model, err := cdt.Fit([]*cdt.Series{demoSeries()}, cdt.Options{Omega: 5, Delta: 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Print(model.RuleText())
+	// Output:
+	// R1: IF [PP[H,H]] THEN anomaly
+}
+
+func ExampleModel_Evaluate() {
+	series := demoSeries()
+	model, err := cdt.Fit([]*cdt.Series{series}, cdt.Options{Omega: 5, Delta: 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rep, err := model.Evaluate([]*cdt.Series{series})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("F1=%.2f rules=%d\n", rep.F1, rep.NumRules)
+	// Output:
+	// F1=1.00 rules=1
+}
+
+func ExampleModel_PointFlags() {
+	series := demoSeries()
+	model, err := cdt.Fit([]*cdt.Series{series}, cdt.Options{Omega: 5, Delta: 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	flags, err := model.PointFlags(series)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(flags[60], flags[140], flags[0])
+	// Output:
+	// true true false
+}
+
+func ExampleModel_NewStream() {
+	model, err := cdt.Fit([]*cdt.Series{demoSeries()}, cdt.Options{Omega: 5, Delta: 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	stream, err := model.NewStream(cdt.Scale{Min: 40, Max: 200})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	alerts := 0
+	for i := 0; i < 100; i++ {
+		v := 50 + 10*math.Sin(float64(i)/6)
+		if i == 70 {
+			v = 200
+		}
+		alerts += len(stream.Push(v))
+	}
+	fmt.Println(alerts > 0)
+	// Output:
+	// true
+}

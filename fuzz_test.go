@@ -1,0 +1,28 @@
+package cdt
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary JSON to the model loader: it must never
+// panic, and any model it accepts must be usable for prediction.
+func FuzzLoad(f *testing.F) {
+	f.Add(`{"version": 1, "options": {"omega": 5, "delta": 2}, "tree": {"normal": 1, "anomaly": 0}}`)
+	f.Add(`{"version": 1, "options": {"omega": 3, "delta": 2},
+	       "tree": {"normal": 2, "anomaly": 2, "composition": [[0,1,1]],
+	                "true": {"normal": 0, "anomaly": 2}, "false": {"normal": 2, "anomaly": 0}}}`)
+	f.Add(`{}`)
+	f.Add(`null`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		m, err := Load(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		// Any accepted model must classify a window without panicking.
+		labels := make([]Label, m.Opts.Omega)
+		_ = m.Predict(labels)
+		_ = m.RuleText()
+	})
+}

@@ -1,0 +1,3 @@
+module cdt
+
+go 1.22

@@ -1,0 +1,120 @@
+// Package ascii renders time-series as terminal charts: a quick look at
+// the data and the detections without leaving the shell, in the spirit
+// of the paper's Figure 1 illustrations.
+package ascii
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PlotOptions sizes a chart.
+type PlotOptions struct {
+	// Width is the number of columns (default 72). Series longer than
+	// Width are bucketed; each column shows its bucket's mean, and a
+	// column is marked anomalous if any bucketed point is.
+	Width int
+	// Height is the number of value rows (default 12).
+	Height int
+}
+
+func (o PlotOptions) withDefaults() PlotOptions {
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	if o.Height <= 0 {
+		o.Height = 12
+	}
+	return o
+}
+
+// Plot renders values as an ASCII chart. flags, when non-nil, marks
+// anomalous points: their columns are drawn with 'x' instead of '·' and
+// an alarm row at the bottom carries '^' markers.
+func Plot(values []float64, flags []bool, opts PlotOptions) string {
+	opts = opts.withDefaults()
+	if len(values) == 0 {
+		return "(empty series)\n"
+	}
+	cols := opts.Width
+	if len(values) < cols {
+		cols = len(values)
+	}
+	colVal := make([]float64, cols)
+	colAnom := make([]bool, cols)
+	for c := 0; c < cols; c++ {
+		lo := c * len(values) / cols
+		hi := (c + 1) * len(values) / cols
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += values[i]
+			if flags != nil && flags[i] {
+				colAnom[c] = true
+			}
+		}
+		colVal[c] = sum / float64(hi-lo)
+	}
+
+	min, max := colVal[0], colVal[0]
+	for _, v := range colVal[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	span := max - min
+	rowOf := func(v float64) int {
+		if span == 0 {
+			return opts.Height / 2
+		}
+		r := int(math.Round((max - v) / span * float64(opts.Height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= opts.Height {
+			r = opts.Height - 1
+		}
+		return r
+	}
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for c, v := range colVal {
+		glyph := byte('.')
+		if colAnom[c] {
+			glyph = 'x'
+		}
+		grid[rowOf(v)][c] = glyph
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.4g ┤\n", max)
+	for r := range grid {
+		b.WriteString("           │")
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%10.4g ┤", min)
+	b.WriteString(strings.Repeat("─", cols))
+	b.WriteByte('\n')
+	if flags != nil {
+		b.WriteString("   alarms   ")
+		for c := 0; c < cols; c++ {
+			if colAnom[c] {
+				b.WriteByte('^')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

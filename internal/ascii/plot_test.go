@@ -1,0 +1,87 @@
+package ascii
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasicShape(t *testing.T) {
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = math.Sin(float64(i) / 5)
+	}
+	out := Plot(values, nil, PlotOptions{Width: 40, Height: 8})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// max row + 8 grid rows + min/axis row = 10.
+	if len(lines) != 10 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("no data glyphs")
+	}
+	if strings.Contains(out, "x") {
+		t.Error("anomaly glyphs without flags")
+	}
+}
+
+func TestPlotMarksAnomalies(t *testing.T) {
+	values := make([]float64, 50)
+	flags := make([]bool, 50)
+	for i := range values {
+		values[i] = 1
+	}
+	values[25] = 10
+	flags[25] = true
+	out := Plot(values, flags, PlotOptions{Width: 50, Height: 6})
+	if !strings.Contains(out, "x") {
+		t.Errorf("anomaly column not marked:\n%s", out)
+	}
+	if !strings.Contains(out, "^") {
+		t.Errorf("alarm row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "alarms") {
+		t.Error("alarm legend missing")
+	}
+}
+
+func TestPlotBucketsLongSeries(t *testing.T) {
+	values := make([]float64, 1000)
+	flags := make([]bool, 1000)
+	flags[500] = true
+	out := Plot(values, flags, PlotOptions{Width: 40, Height: 5})
+	// Bucketing must keep the anomaly visible.
+	if !strings.Contains(out, "x") {
+		t.Error("bucketed anomaly lost")
+	}
+	// Lines must not exceed the width budget plus the axis prefix.
+	for _, line := range strings.Split(out, "\n") {
+		if len([]rune(line)) > 40+13 {
+			t.Errorf("line too wide: %q", line)
+		}
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	values := []float64{5, 5, 5, 5}
+	out := Plot(values, nil, PlotOptions{Width: 10, Height: 4})
+	if !strings.Contains(out, ".") {
+		t.Error("constant series not drawn")
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	if got := Plot(nil, nil, PlotOptions{}); got != "(empty series)\n" {
+		t.Errorf("empty plot = %q", got)
+	}
+}
+
+func TestPlotShortSeriesNarrowerThanWidth(t *testing.T) {
+	out := Plot([]float64{1, 2, 3}, nil, PlotOptions{Width: 72, Height: 4})
+	if strings.Count(strings.Split(out, "\n")[1], " ")+3 < 3 {
+		t.Error("short series misrendered")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("no glyphs for short series")
+	}
+}

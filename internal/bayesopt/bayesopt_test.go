@@ -1,0 +1,381 @@
+package bayesopt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func quadratic(x []int) float64 {
+	// Maximum at (7, 13).
+	dx := float64(x[0] - 7)
+	dy := float64(x[1] - 13)
+	return 100 - dx*dx - dy*dy
+}
+
+var space2D = Space{{Name: "a", Min: 0, Max: 20}, {Name: "b", Min: 0, Max: 20}}
+
+func TestMaximizeFindsQuadraticOptimum(t *testing.T) {
+	res, err := Maximize(quadratic, space2D, Options{Seed: 1, InitPoints: 8, Iterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestValue < 99 { // within distance 1 of the optimum
+		t.Errorf("best value %v at %v, want >= 99", res.BestValue, res.Best)
+	}
+}
+
+func TestMaximizeBeatsRandomOnBudget(t *testing.T) {
+	// With the same evaluation budget, BO should find at least as good a
+	// point as random search on a smooth function (averaged over seeds).
+	var boWins, ties, total int
+	for seed := int64(0); seed < 10; seed++ {
+		bo, err := Maximize(quadratic, space2D, Options{Seed: seed, InitPoints: 5, Iterations: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := RandomSearch(quadratic, space2D, 25, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case bo.BestValue > rs.BestValue:
+			boWins++
+		case bo.BestValue == rs.BestValue:
+			ties++
+		}
+		total++
+	}
+	if boWins+ties < total/2 {
+		t.Errorf("BO won or tied only %d/%d runs against random search", boWins+ties, total)
+	}
+}
+
+func TestMaximizeDeterministic(t *testing.T) {
+	r1, err := Maximize(quadratic, space2D, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Maximize(quadratic, space2D, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.BestValue != r2.BestValue || len(r1.History) != len(r2.History) {
+		t.Error("runs with the same seed differ")
+	}
+	for i := range r1.History {
+		if r1.History[i].Y != r2.History[i].Y {
+			t.Fatal("histories differ")
+		}
+	}
+}
+
+func TestMaximizeNeverRepeatsConfigurations(t *testing.T) {
+	calls := make(map[[2]int]int)
+	f := func(x []int) float64 {
+		calls[[2]int{x[0], x[1]}]++
+		return quadratic(x)
+	}
+	if _, err := Maximize(f, space2D, Options{Seed: 3, InitPoints: 10, Iterations: 30}); err != nil {
+		t.Fatal(err)
+	}
+	for cfg, n := range calls {
+		if n > 1 {
+			t.Errorf("configuration %v evaluated %d times", cfg, n)
+		}
+	}
+}
+
+func TestMaximizeExhaustsSmallGrid(t *testing.T) {
+	small := Space{{Name: "x", Min: 0, Max: 2}}
+	res, err := Maximize(func(x []int) float64 { return float64(x[0]) }, small, Options{Seed: 1, InitPoints: 2, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations > 3 {
+		t.Errorf("evaluated %d cells of a 3-cell grid", res.Evaluations)
+	}
+	if res.Best[0] != 2 {
+		t.Errorf("best = %v, want [2]", res.Best)
+	}
+}
+
+func TestMaximizeBestMatchesHistory(t *testing.T) {
+	res, err := Maximize(quadratic, space2D, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := math.Inf(-1)
+	for _, s := range res.History {
+		if s.Y > max {
+			max = s.Y
+		}
+	}
+	if res.BestValue != max {
+		t.Errorf("BestValue %v != history max %v", res.BestValue, max)
+	}
+}
+
+func TestGridSearchExact(t *testing.T) {
+	res, err := GridSearch(quadratic, space2D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestValue != 100 || res.Best[0] != 7 || res.Best[1] != 13 {
+		t.Errorf("grid best = %v at %v", res.BestValue, res.Best)
+	}
+	if res.Evaluations != space2D.Size() {
+		t.Errorf("evaluated %d, want %d", res.Evaluations, space2D.Size())
+	}
+}
+
+func TestRandomSearchBudget(t *testing.T) {
+	res, err := RandomSearch(quadratic, space2D, 17, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 17 {
+		t.Errorf("evaluated %d, want 17", res.Evaluations)
+	}
+}
+
+func TestSpaceValidate(t *testing.T) {
+	if err := (Space{}).Validate(); err == nil {
+		t.Error("empty space accepted")
+	}
+	if err := (Space{{Name: "x", Min: 5, Max: 3}}).Validate(); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	if _, err := Maximize(quadratic, Space{}, Options{}); err == nil {
+		t.Error("Maximize accepted empty space")
+	}
+	if _, err := GridSearch(quadratic, Space{}); err == nil {
+		t.Error("GridSearch accepted empty space")
+	}
+	if _, err := RandomSearch(quadratic, Space{}, 5, 1); err == nil {
+		t.Error("RandomSearch accepted empty space")
+	}
+}
+
+func TestSpaceSizeAndEnumerate(t *testing.T) {
+	s := Space{{Name: "x", Min: 1, Max: 3}, {Name: "y", Min: 0, Max: 1}}
+	if s.Size() != 6 {
+		t.Errorf("size = %d", s.Size())
+	}
+	cells := s.enumerate()
+	if len(cells) != 6 {
+		t.Fatalf("enumerated %d cells", len(cells))
+	}
+	seen := make(map[[2]int]bool)
+	for _, c := range cells {
+		seen[[2]int{c[0], c[1]}] = true
+	}
+	if len(seen) != 6 {
+		t.Error("enumeration has duplicates")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := Space{{Name: "x", Min: 10, Max: 20}, {Name: "y", Min: 5, Max: 5}}
+	n := s.normalize([]int{15, 5})
+	if n[0] != 0.5 || n[1] != 0 {
+		t.Errorf("normalize = %v", n)
+	}
+}
+
+func TestCholeskySolveRoundTrip(t *testing.T) {
+	// A = [[4,2],[2,3]] is SPD.
+	a := []float64{4, 2, 2, 3}
+	l, err := cholesky(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solve A x = b for b = [8, 7]: x = LLᵀ \ b.
+	y := solveLower(l, 2, []float64{8, 7})
+	x := solveUpperT(l, 2, y)
+	// Check A·x == b.
+	b0 := 4*x[0] + 2*x[1]
+	b1 := 2*x[0] + 3*x[1]
+	if math.Abs(b0-8) > 1e-9 || math.Abs(b1-7) > 1e-9 {
+		t.Errorf("solve wrong: A·x = [%v %v]", b0, b1)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := []float64{1, 2, 2, 1} // eigenvalues 3, -1
+	if _, err := cholesky(a, 2); err == nil {
+		t.Error("indefinite matrix accepted")
+	}
+}
+
+func TestCholeskyPropertyReconstruction(t *testing.T) {
+	f := func(v1, v2, v3 float64) bool {
+		if math.IsNaN(v1) || math.IsNaN(v2) || math.IsNaN(v3) {
+			return true
+		}
+		// Build SPD matrix A = MᵀM + I from a random 2x2 M.
+		m := []float64{math.Mod(v1, 3), math.Mod(v2, 3), math.Mod(v3, 3), 1}
+		a := make([]float64, 4)
+		a[0] = m[0]*m[0] + m[2]*m[2] + 1
+		a[1] = m[0]*m[1] + m[2]*m[3]
+		a[2] = a[1]
+		a[3] = m[1]*m[1] + m[3]*m[3] + 1
+		l, err := cholesky(a, 2)
+		if err != nil {
+			return false
+		}
+		// L·Lᵀ must reconstruct A.
+		r00 := l[0] * l[0]
+		r01 := l[0] * l[2]
+		r11 := l[2]*l[2] + l[3]*l[3]
+		return math.Abs(r00-a[0]) < 1e-9 && math.Abs(r01-a[1]) < 1e-9 && math.Abs(r11-a[3]) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormCDFBasics(t *testing.T) {
+	if math.Abs(normCDF(0)-0.5) > 1e-12 {
+		t.Error("CDF(0) != 0.5")
+	}
+	if normCDF(10) < 0.999999 || normCDF(-10) > 1e-6 {
+		t.Error("CDF tails wrong")
+	}
+	if math.Abs(normPDF(0)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Error("PDF(0) wrong")
+	}
+}
+
+func TestGPInterpolatesTrainingPoints(t *testing.T) {
+	xs := [][]float64{{0}, {0.5}, {1}}
+	ys := []float64{1, 3, 2}
+	g := fitGP(xs, ys, 0.2, 1e-4)
+	for i, x := range xs {
+		mu, sigma := g.predict(x)
+		if math.Abs(mu-ys[i]) > 0.05 {
+			t.Errorf("GP mean at training point %d: %v, want %v", i, mu, ys[i])
+		}
+		if sigma > 0.1 {
+			t.Errorf("GP sigma at training point %d too large: %v", i, sigma)
+		}
+	}
+}
+
+func TestGPUncertaintyGrowsAwayFromData(t *testing.T) {
+	xs := [][]float64{{0}, {0.1}}
+	ys := []float64{1, 1.1}
+	g := fitGP(xs, ys, 0.1, 1e-4)
+	_, near := g.predict([]float64{0.05})
+	_, far := g.predict([]float64{0.9})
+	if far <= near {
+		t.Errorf("sigma near=%v far=%v; want far > near", near, far)
+	}
+}
+
+func TestGPConstantTargets(t *testing.T) {
+	xs := [][]float64{{0}, {1}}
+	ys := []float64{2, 2}
+	g := fitGP(xs, ys, 0.2, 1e-4)
+	mu, _ := g.predict([]float64{0.5})
+	if math.Abs(mu-2) > 0.01 {
+		t.Errorf("constant GP mean = %v, want 2", mu)
+	}
+}
+
+func TestExpectedImprovementProperties(t *testing.T) {
+	xs := [][]float64{{0}, {1}}
+	ys := []float64{0, 1}
+	g := fitGP(xs, ys, 0.3, 1e-4)
+	// EI is non-negative everywhere.
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if ei := g.expectedImprovement([]float64{x}, 1, 0.01); ei < 0 {
+			t.Errorf("EI(%v) = %v < 0", x, ei)
+		}
+	}
+	// EI at a known training point with no uncertainty is ~0.
+	if ei := g.expectedImprovement([]float64{1}, 1, 0.01); ei > 0.05 {
+		t.Errorf("EI at best training point = %v, want ~0", ei)
+	}
+}
+
+func TestResultHistoryRecordsEverything(t *testing.T) {
+	res, err := Maximize(quadratic, space2D, Options{Seed: 9, InitPoints: 4, Iterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != res.Evaluations {
+		t.Errorf("history %d != evaluations %d", len(res.History), res.Evaluations)
+	}
+	if res.Evaluations != 10 {
+		t.Errorf("evaluations = %d, want 10", res.Evaluations)
+	}
+}
+
+func TestLogMarginalLikelihoodPrefersMatchingScale(t *testing.T) {
+	// Data generated from a smooth function: a long lengthscale should
+	// fit it better than an absurdly short one.
+	xs := make([][]float64, 15)
+	ys := make([]float64, 15)
+	for i := range xs {
+		x := float64(i) / 14
+		xs[i] = []float64{x}
+		ys[i] = math.Sin(3 * x)
+	}
+	long := fitGP(xs, ys, 0.4, 1e-3)
+	short := fitGP(xs, ys, 0.01, 1e-3)
+	if long.logMarginalLikelihood(ys) <= short.logMarginalLikelihood(ys) {
+		t.Error("LML does not prefer the smoother model on smooth data")
+	}
+}
+
+func TestFitGPAutoSelectsUsableModel(t *testing.T) {
+	xs := [][]float64{{0}, {0.3}, {0.6}, {1}}
+	ys := []float64{0, 0.5, 0.8, 1}
+	g := fitGPAuto(xs, ys, 1e-3)
+	if g == nil {
+		t.Fatal("no model selected")
+	}
+	mu, _ := g.predict([]float64{0.3})
+	if math.Abs(mu-0.5) > 0.2 {
+		t.Errorf("auto GP mean at training point = %v", mu)
+	}
+}
+
+func TestMaximizeAutoLengthScale(t *testing.T) {
+	// LengthScale 0 (auto) must still find the optimum.
+	res, err := Maximize(quadratic, space2D, Options{Seed: 4, InitPoints: 8, Iterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestValue < 99 {
+		t.Errorf("auto-lengthscale best = %v at %v", res.BestValue, res.Best)
+	}
+}
+
+func TestMaximizeUCBAcquisition(t *testing.T) {
+	res, err := Maximize(quadratic, space2D, Options{Seed: 6, InitPoints: 8, Iterations: 40, Acquisition: UCB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestValue < 98 {
+		t.Errorf("UCB best = %v at %v", res.BestValue, res.Best)
+	}
+	if EI.String() != "ei" || UCB.String() != "ucb" {
+		t.Error("acquisition names wrong")
+	}
+}
+
+func TestUpperConfidenceBound(t *testing.T) {
+	xs := [][]float64{{0}, {1}}
+	ys := []float64{0, 1}
+	g := fitGP(xs, ys, 0.3, 1e-4)
+	// UCB at an uncertain point exceeds its mean.
+	mu, sigma := g.predict([]float64{0.5})
+	if sigma <= 0 {
+		t.Fatal("no uncertainty at midpoint")
+	}
+	if ucb := g.upperConfidenceBound([]float64{0.5}, 2); ucb <= mu {
+		t.Errorf("UCB %v <= mean %v", ucb, mu)
+	}
+}

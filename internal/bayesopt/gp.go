@@ -1,0 +1,163 @@
+package bayesopt
+
+import "math"
+
+// gp is a Gaussian-process regressor with a squared-exponential (RBF)
+// kernel over points normalized to the unit hypercube. It is the
+// surrogate model of the Bayesian optimizer.
+type gp struct {
+	xs     [][]float64 // training inputs, normalized
+	alpha  []float64   // (K+σ²I)⁻¹ y (centered)
+	chol   []float64   // Cholesky factor of K+σ²I
+	mean   float64     // empirical mean subtracted from targets
+	ls     float64     // kernel length scale
+	sigmaF float64     // signal standard deviation
+	noise  float64     // observation noise standard deviation
+}
+
+// kernel evaluates the RBF kernel σf²·exp(−‖a−b‖²/(2ℓ²)).
+func (g *gp) kernel(a, b []float64) float64 {
+	d2 := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return g.sigmaF * g.sigmaF * math.Exp(-d2/(2*g.ls*g.ls))
+}
+
+// fitGP fits the surrogate to normalized inputs xs and targets ys. The
+// signal variance is set from the target variance and the noise floor
+// grows with jitter retries until the kernel matrix factorizes.
+func fitGP(xs [][]float64, ys []float64, lengthScale, noise float64) *gp {
+	n := len(xs)
+	g := &gp{xs: xs, ls: lengthScale, noise: noise}
+	// Center targets and scale the kernel to their spread.
+	sum := 0.0
+	for _, y := range ys {
+		sum += y
+	}
+	g.mean = sum / float64(n)
+	variance := 0.0
+	for _, y := range ys {
+		d := y - g.mean
+		variance += d * d
+	}
+	variance /= float64(n)
+	g.sigmaF = math.Sqrt(variance)
+	if g.sigmaF < 1e-6 {
+		g.sigmaF = 1e-6
+	}
+	centered := make([]float64, n)
+	for i, y := range ys {
+		centered[i] = y - g.mean
+	}
+	for jitter := noise * noise; ; jitter *= 10 {
+		if jitter == 0 {
+			jitter = 1e-10
+		}
+		k := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				v := g.kernel(xs[i], xs[j])
+				k[i*n+j] = v
+				k[j*n+i] = v
+			}
+			k[i*n+i] += jitter
+		}
+		l, err := cholesky(k, n)
+		if err != nil {
+			if jitter > 1e3 {
+				// Pathological targets; fall back to a diagonal model.
+				g.chol = nil
+				g.alpha = centered
+				return g
+			}
+			continue
+		}
+		g.chol = l
+		g.alpha = solveUpperT(l, n, solveLower(l, n, centered))
+		return g
+	}
+}
+
+// predict returns the posterior mean and standard deviation at x
+// (normalized coordinates).
+func (g *gp) predict(x []float64) (mu, sigma float64) {
+	n := len(g.xs)
+	if g.chol == nil {
+		// Degenerate fallback: prior only.
+		return g.mean, g.sigmaF
+	}
+	kx := make([]float64, n)
+	for i := range g.xs {
+		kx[i] = g.kernel(x, g.xs[i])
+	}
+	mu = g.mean
+	for i := range kx {
+		mu += kx[i] * g.alpha[i]
+	}
+	v := solveLower(g.chol, n, kx)
+	var kxKinvKx float64
+	for _, vi := range v {
+		kxKinvKx += vi * vi
+	}
+	variance := g.kernel(x, x) - kxKinvKx
+	if variance < 0 {
+		variance = 0
+	}
+	return mu, math.Sqrt(variance)
+}
+
+// logMarginalLikelihood returns log p(y|X) of the fitted GP (up to the
+// shared constant −n/2·log 2π, which cancels when comparing length
+// scales): −½ yᵀα − Σ log L_ii.
+func (g *gp) logMarginalLikelihood(ys []float64) float64 {
+	if g.chol == nil {
+		return math.Inf(-1)
+	}
+	n := len(g.xs)
+	fit := 0.0
+	for i := 0; i < n; i++ {
+		fit += (ys[i] - g.mean) * g.alpha[i]
+	}
+	logDet := 0.0
+	for i := 0; i < n; i++ {
+		logDet += math.Log(g.chol[i*n+i])
+	}
+	return -0.5*fit - logDet
+}
+
+// fitGPAuto fits the surrogate trying several length scales and keeping
+// the one with the highest log marginal likelihood — cheap model
+// selection that adapts the kernel to however smooth the objective
+// happens to be.
+func fitGPAuto(xs [][]float64, ys []float64, noise float64) *gp {
+	candidates := []float64{0.05, 0.1, 0.2, 0.4, 0.8}
+	var best *gp
+	bestLML := math.Inf(-1)
+	for _, ls := range candidates {
+		g := fitGP(xs, ys, ls, noise)
+		if lml := g.logMarginalLikelihood(ys); lml > bestLML {
+			bestLML = lml
+			best = g
+		}
+	}
+	return best
+}
+
+// upperConfidenceBound scores a cell optimistically: μ(x) + κ·σ(x).
+func (g *gp) upperConfidenceBound(x []float64, kappa float64) float64 {
+	mu, sigma := g.predict(x)
+	return mu + kappa*sigma
+}
+
+// expectedImprovement computes EI(x) over the current best observed value
+// with exploration margin xi.
+func (g *gp) expectedImprovement(x []float64, best, xi float64) float64 {
+	mu, sigma := g.predict(x)
+	if sigma < 1e-12 {
+		return 0
+	}
+	z := (mu - best - xi) / sigma
+	return (mu-best-xi)*normCDF(z) + sigma*normPDF(z)
+}

@@ -1,0 +1,70 @@
+package bayesopt
+
+import (
+	"errors"
+	"math"
+)
+
+// errNotPD is returned when a kernel matrix is not positive definite even
+// after jitter; callers respond by increasing jitter.
+var errNotPD = errors.New("bayesopt: matrix not positive definite")
+
+// cholesky computes the lower-triangular factor L of a symmetric
+// positive-definite matrix A (row-major, n×n) so that A = L·Lᵀ. A is not
+// modified.
+func cholesky(a []float64, n int) ([]float64, error) {
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i*n+j]
+			for k := 0; k < j; k++ {
+				sum -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, errNotPD
+				}
+				l[i*n+j] = math.Sqrt(sum)
+			} else {
+				l[i*n+j] = sum / l[j*n+j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// solveLower solves L·x = b for lower-triangular L.
+func solveLower(l []float64, n int, b []float64) []float64 {
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i*n+k] * x[k]
+		}
+		x[i] = sum / l[i*n+i]
+	}
+	return x
+}
+
+// solveUpperT solves Lᵀ·x = b for lower-triangular L.
+func solveUpperT(l []float64, n int, b []float64) []float64 {
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k*n+i] * x[k]
+		}
+		x[i] = sum / l[i*n+i]
+	}
+	return x
+}
+
+// normPDF is the standard normal density.
+func normPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}
+
+// normCDF is the standard normal cumulative distribution, via erf.
+func normCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}

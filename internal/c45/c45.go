@@ -1,0 +1,434 @@
+// Package c45 implements a C4.5-style decision-tree inducer over nominal
+// attributes (Quinlan 1993): multiway splits chosen by gain ratio,
+// recursion until purity or exhaustion, and pessimistic-error subtree
+// replacement pruning. It is the substrate of the PART rule learner the
+// paper compares against in §4.3 (WEKA's PART builds its rules from
+// partial C4.5 trees).
+package c45
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+var (
+	errNoInstances   = errors.New("c45: no instances")
+	errEmptyIndexSet = errors.New("c45: empty index set")
+)
+
+// Instance is one training example: nominal attribute values (encoded as
+// small ints) plus a class index.
+type Instance struct {
+	Attrs []int
+	Class int
+}
+
+// Dataset is a nominal-attribute classification dataset.
+type Dataset struct {
+	// AttrNames names each attribute (for rule rendering).
+	AttrNames []string
+	// AttrCard is each attribute's cardinality: values are 0..card-1.
+	AttrCard []int
+	// NumClasses is the number of class labels.
+	NumClasses int
+	// Instances holds the examples.
+	Instances []Instance
+}
+
+// Validate checks structural consistency.
+func (d *Dataset) Validate() error {
+	if len(d.AttrNames) != len(d.AttrCard) {
+		return fmt.Errorf("c45: %d attribute names but %d cardinalities", len(d.AttrNames), len(d.AttrCard))
+	}
+	if d.NumClasses < 2 {
+		return fmt.Errorf("c45: %d classes, want >= 2", d.NumClasses)
+	}
+	for i, inst := range d.Instances {
+		if len(inst.Attrs) != len(d.AttrNames) {
+			return fmt.Errorf("c45: instance %d has %d attributes, want %d", i, len(inst.Attrs), len(d.AttrNames))
+		}
+		if inst.Class < 0 || inst.Class >= d.NumClasses {
+			return fmt.Errorf("c45: instance %d has class %d, want [0,%d)", i, inst.Class, d.NumClasses)
+		}
+		for a, v := range inst.Attrs {
+			if v < 0 || v >= d.AttrCard[a] {
+				return fmt.Errorf("c45: instance %d attribute %d value %d out of range [0,%d)", i, a, v, d.AttrCard[a])
+			}
+		}
+	}
+	return nil
+}
+
+// Node is a decision-tree node: either a leaf (Children nil) or a
+// multiway split on Attr with one child per attribute value.
+type Node struct {
+	// Attr is the split attribute; -1 for leaves.
+	Attr int
+	// Children has AttrCard[Attr] entries for split nodes.
+	Children []*Node
+	// ClassCounts is the class distribution reaching the node.
+	ClassCounts []int
+	// MajorityClass is the locally most frequent class (ties to the
+	// lower index).
+	MajorityClass int
+	// Unexpanded marks a placeholder leaf of a partial tree
+	// (BuildPartial): usable for prediction but not eligible for rule
+	// extraction, since its subset was never developed.
+	Unexpanded bool
+}
+
+// Leaf reports whether the node is a leaf.
+func (n *Node) Leaf() bool { return n.Attr < 0 }
+
+// Total returns the number of training instances at the node.
+func (n *Node) Total() int {
+	t := 0
+	for _, c := range n.ClassCounts {
+		t += c
+	}
+	return t
+}
+
+// Errors returns the training misclassifications at the node if it
+// predicted its majority class.
+func (n *Node) Errors() int { return n.Total() - n.ClassCounts[n.MajorityClass] }
+
+// Options configures induction.
+type Options struct {
+	// MinInstances is the minimum instances required to keep a split
+	// (default 2, WEKA's -M).
+	MinInstances int
+	// Confidence is the pessimistic-pruning confidence factor
+	// (default 0.25, WEKA's -C). Set to 1 to disable pruning.
+	Confidence float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinInstances <= 0 {
+		o.MinInstances = 2
+	}
+	if o.Confidence <= 0 {
+		o.Confidence = 0.25
+	}
+	return o
+}
+
+// Tree is a trained C4.5 tree.
+type Tree struct {
+	Root *Node
+	ds   *Dataset
+	opts Options
+}
+
+// Build induces a pruned C4.5 tree over the instances (a subset of the
+// dataset referenced by index; pass nil to use all instances).
+func Build(ds *Dataset, indices []int, opts Options) (*Tree, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ds.Instances) == 0 {
+		return nil, errNoInstances
+	}
+	opts = opts.withDefaults()
+	if indices == nil {
+		indices = make([]int, len(ds.Instances))
+		for i := range indices {
+			indices[i] = i
+		}
+	}
+	if len(indices) == 0 {
+		return nil, errEmptyIndexSet
+	}
+	t := &Tree{ds: ds, opts: opts}
+	avail := make([]bool, len(ds.AttrNames))
+	for i := range avail {
+		avail[i] = true
+	}
+	t.Root = t.grow(indices, avail)
+	if opts.Confidence < 1 {
+		t.prune(t.Root)
+	}
+	return t, nil
+}
+
+// classCounts tallies classes over an index subset.
+func (t *Tree) classCounts(indices []int) []int {
+	counts := make([]int, t.ds.NumClasses)
+	for _, i := range indices {
+		counts[t.ds.Instances[i].Class]++
+	}
+	return counts
+}
+
+func majority(counts []int) int {
+	best, bestC := 0, counts[0]
+	for c, n := range counts[1:] {
+		if n > bestC {
+			best, bestC = c+1, n
+		}
+	}
+	return best
+}
+
+// entropy of a count distribution.
+func entropy(counts []int) float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	e := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		e -= p * math.Log2(p)
+	}
+	return e
+}
+
+// grow recursively builds the unpruned tree.
+func (t *Tree) grow(indices []int, avail []bool) *Node {
+	counts := t.classCounts(indices)
+	n := &Node{Attr: -1, ClassCounts: counts, MajorityClass: majority(counts)}
+	if n.Errors() == 0 {
+		return n
+	}
+	attr, children := t.bestSplit(indices, avail)
+	if attr < 0 {
+		return n
+	}
+	n.Attr = attr
+	n.Children = make([]*Node, t.ds.AttrCard[attr])
+	childAvail := append([]bool(nil), avail...)
+	childAvail[attr] = false
+	for v, sub := range children {
+		if len(sub) == 0 {
+			// Empty branch: leaf predicting the parent majority.
+			n.Children[v] = &Node{Attr: -1, ClassCounts: make([]int, t.ds.NumClasses), MajorityClass: n.MajorityClass}
+			continue
+		}
+		n.Children[v] = t.grow(sub, childAvail)
+	}
+	return n
+}
+
+// bestSplit selects the available attribute with the best gain ratio
+// among those with above-average information gain (Quinlan's heuristic),
+// requiring at least two branches with MinInstances instances.
+func (t *Tree) bestSplit(indices []int, avail []bool) (int, [][]int) {
+	parentEntropy := entropy(t.classCounts(indices))
+	total := float64(len(indices))
+	type candidate struct {
+		attr     int
+		gain     float64
+		ratio    float64
+		children [][]int
+	}
+	var cands []candidate
+	for a := range t.ds.AttrNames {
+		if !avail[a] {
+			continue
+		}
+		children := make([][]int, t.ds.AttrCard[a])
+		for _, i := range indices {
+			v := t.ds.Instances[i].Attrs[a]
+			children[v] = append(children[v], i)
+		}
+		// Require a useful split.
+		nonEmpty, bigEnough := 0, 0
+		for _, sub := range children {
+			if len(sub) > 0 {
+				nonEmpty++
+			}
+			if len(sub) >= t.opts.MinInstances {
+				bigEnough++
+			}
+		}
+		if nonEmpty < 2 || bigEnough < 2 {
+			continue
+		}
+		gain := parentEntropy
+		splitInfo := 0.0
+		for _, sub := range children {
+			if len(sub) == 0 {
+				continue
+			}
+			w := float64(len(sub)) / total
+			gain -= w * entropy(t.classCounts(sub))
+			splitInfo -= w * math.Log2(w)
+		}
+		if gain <= 1e-12 || splitInfo <= 1e-12 {
+			continue
+		}
+		cands = append(cands, candidate{a, gain, gain / splitInfo, children})
+	}
+	if len(cands) == 0 {
+		return -1, nil
+	}
+	avgGain := 0.0
+	for _, c := range cands {
+		avgGain += c.gain
+	}
+	avgGain /= float64(len(cands))
+	best := -1
+	for i, c := range cands {
+		if c.gain+1e-12 < avgGain {
+			continue
+		}
+		if best < 0 || c.ratio > cands[best].ratio {
+			best = i
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return cands[best].attr, cands[best].children
+}
+
+// prune applies pessimistic-error subtree replacement bottom-up: a
+// subtree is replaced by a leaf when the leaf's estimated error is no
+// worse than the subtree's.
+func (t *Tree) prune(n *Node) {
+	if n.Leaf() {
+		return
+	}
+	for _, c := range n.Children {
+		t.prune(c)
+	}
+	subtreeErr := 0.0
+	for _, c := range n.Children {
+		subtreeErr += t.estimatedErrors(c)
+	}
+	leafErr := pessimisticErrors(n.Total(), n.Errors(), t.opts.Confidence)
+	if leafErr <= subtreeErr+1e-9 {
+		n.Attr = -1
+		n.Children = nil
+	}
+}
+
+// estimatedErrors sums the pessimistic error estimate over a subtree's
+// leaves.
+func (t *Tree) estimatedErrors(n *Node) float64 {
+	if n.Leaf() {
+		return pessimisticErrors(n.Total(), n.Errors(), t.opts.Confidence)
+	}
+	sum := 0.0
+	for _, c := range n.Children {
+		sum += t.estimatedErrors(c)
+	}
+	return sum
+}
+
+// pessimisticErrors is C4.5's upper confidence bound on the error count
+// of a leaf covering n instances with e misclassified, using the normal
+// approximation to the binomial at confidence cf.
+func pessimisticErrors(n, e int, cf float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	z := normQuantile(1 - cf)
+	f := float64(e) / float64(n)
+	nf := float64(n)
+	ucb := (f + z*z/(2*nf) + z*math.Sqrt(f/nf-f*f/nf+z*z/(4*nf*nf))) / (1 + z*z/nf)
+	return ucb * nf
+}
+
+// normQuantile approximates the standard normal quantile (Acklam's
+// rational approximation, ample precision for pruning).
+func normQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Coefficients for the central and tail regions.
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// Predict classifies an attribute vector.
+func (t *Tree) Predict(attrs []int) int {
+	n := t.Root
+	for !n.Leaf() {
+		v := attrs[n.Attr]
+		if v < 0 || v >= len(n.Children) {
+			return n.MajorityClass
+		}
+		n = n.Children[v]
+	}
+	return n.MajorityClass
+}
+
+// Leaves returns every leaf with its path of (attribute, value)
+// conditions from the root.
+type LeafInfo struct {
+	Node *Node
+	// Conditions is the path: pairs of attribute index and required
+	// value.
+	Conditions []Condition
+}
+
+// Condition is one attr==value test.
+type Condition struct {
+	Attr, Value int
+}
+
+// Leaves enumerates the tree's leaves left-to-right.
+func (t *Tree) Leaves() []LeafInfo {
+	var out []LeafInfo
+	var path []Condition
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Leaf() {
+			out = append(out, LeafInfo{Node: n, Conditions: append([]Condition(nil), path...)})
+			return
+		}
+		for v, c := range n.Children {
+			path = append(path, Condition{Attr: n.Attr, Value: v})
+			walk(c)
+			path = path[:len(path)-1]
+		}
+	}
+	walk(t.Root)
+	return out
+}
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int {
+	var count func(n *Node) int
+	count = func(n *Node) int {
+		if n.Leaf() {
+			return 1
+		}
+		s := 1
+		for _, c := range n.Children {
+			s += count(c)
+		}
+		return s
+	}
+	return count(t.Root)
+}

@@ -1,0 +1,358 @@
+package c45
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// xorDataset builds a dataset where class = attr0 XOR attr1 with a third
+// irrelevant attribute.
+func xorDataset(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{
+		AttrNames:  []string{"a", "b", "noise"},
+		AttrCard:   []int{2, 2, 4},
+		NumClasses: 2,
+	}
+	for i := 0; i < n; i++ {
+		a, b := rng.Intn(2), rng.Intn(2)
+		ds.Instances = append(ds.Instances, Instance{
+			Attrs: []int{a, b, rng.Intn(4)},
+			Class: a ^ b,
+		})
+	}
+	return ds
+}
+
+func TestBuildLearnsXOR(t *testing.T) {
+	ds := xorDataset(200, 1)
+	tree, err := Build(ds, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for _, inst := range ds.Instances {
+		if tree.Predict(inst.Attrs) != inst.Class {
+			errs++
+		}
+	}
+	if errs != 0 {
+		t.Errorf("%d training errors on noiseless XOR", errs)
+	}
+}
+
+func TestBuildPureDataSingleLeaf(t *testing.T) {
+	ds := &Dataset{
+		AttrNames:  []string{"a"},
+		AttrCard:   []int{2},
+		NumClasses: 2,
+	}
+	for i := 0; i < 10; i++ {
+		ds.Instances = append(ds.Instances, Instance{Attrs: []int{i % 2}, Class: 1})
+	}
+	tree, err := Build(ds, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Root.Leaf() {
+		t.Error("pure data split")
+	}
+	if tree.Predict([]int{0}) != 1 {
+		t.Error("wrong prediction")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Dataset{
+		{AttrNames: []string{"a"}, AttrCard: []int{2, 3}, NumClasses: 2},
+		{AttrNames: []string{"a"}, AttrCard: []int{2}, NumClasses: 1},
+		{AttrNames: []string{"a"}, AttrCard: []int{2}, NumClasses: 2,
+			Instances: []Instance{{Attrs: []int{0, 1}, Class: 0}}},
+		{AttrNames: []string{"a"}, AttrCard: []int{2}, NumClasses: 2,
+			Instances: []Instance{{Attrs: []int{5}, Class: 0}}},
+		{AttrNames: []string{"a"}, AttrCard: []int{2}, NumClasses: 2,
+			Instances: []Instance{{Attrs: []int{0}, Class: 7}}},
+	}
+	for i, ds := range bad {
+		if err := ds.Validate(); err == nil {
+			t.Errorf("bad dataset %d accepted", i)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	ds := &Dataset{AttrNames: []string{"a"}, AttrCard: []int{2}, NumClasses: 2}
+	if _, err := Build(ds, nil, Options{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	ds.Instances = []Instance{{Attrs: []int{0}, Class: 0}}
+	if _, err := Build(ds, []int{}, Options{}); err == nil {
+		t.Error("empty index set accepted")
+	}
+}
+
+func TestPruningShrinksNoisyTree(t *testing.T) {
+	// Random classes: an unpruned tree overfits; pruning should collapse
+	// most of it.
+	rng := rand.New(rand.NewSource(3))
+	ds := &Dataset{
+		AttrNames:  []string{"a", "b", "c", "d"},
+		AttrCard:   []int{3, 3, 3, 3},
+		NumClasses: 2,
+	}
+	for i := 0; i < 300; i++ {
+		ds.Instances = append(ds.Instances, Instance{
+			Attrs: []int{rng.Intn(3), rng.Intn(3), rng.Intn(3), rng.Intn(3)},
+			Class: rng.Intn(2),
+		})
+	}
+	unpruned, err := Build(ds, nil, Options{Confidence: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Build(ds, nil, Options{Confidence: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Size() > unpruned.Size() {
+		t.Errorf("pruned size %d > unpruned %d", pruned.Size(), unpruned.Size())
+	}
+}
+
+func TestBuildOnSubset(t *testing.T) {
+	ds := xorDataset(100, 4)
+	indices := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	tree, err := Build(ds, indices, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root.Total() != len(indices) {
+		t.Errorf("root total = %d, want %d", tree.Root.Total(), len(indices))
+	}
+}
+
+func TestLeavesPathsConsistent(t *testing.T) {
+	ds := xorDataset(150, 5)
+	tree, err := Build(ds, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tree.Leaves()
+	if len(leaves) < 2 {
+		t.Fatal("tree did not split")
+	}
+	total := 0
+	for _, l := range leaves {
+		total += l.Node.Total()
+		// Routing any instance matching the path must reach this leaf.
+		for _, inst := range ds.Instances {
+			match := true
+			for _, c := range l.Conditions {
+				if inst.Attrs[c.Attr] != c.Value {
+					match = false
+					break
+				}
+			}
+			if match && tree.Predict(inst.Attrs) != l.Node.MajorityClass {
+				// Only check when paths fully determine routing; with a
+				// deterministic tree this must hold.
+				t.Fatalf("instance matching leaf path predicted differently")
+			}
+		}
+	}
+	if total != len(ds.Instances) {
+		t.Errorf("leaf totals %d != instances %d", total, len(ds.Instances))
+	}
+}
+
+func TestEntropyHelper(t *testing.T) {
+	if got := entropy([]int{5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("entropy balanced = %v", got)
+	}
+	if got := entropy([]int{7, 0}); got != 0 {
+		t.Errorf("entropy pure = %v", got)
+	}
+	if got := entropy(nil); got != 0 {
+		t.Errorf("entropy empty = %v", got)
+	}
+}
+
+func TestPessimisticErrorsMonotonic(t *testing.T) {
+	// More observed errors → higher estimate; estimate > observed.
+	e1 := pessimisticErrors(100, 0, 0.25)
+	e2 := pessimisticErrors(100, 10, 0.25)
+	if e2 <= e1 {
+		t.Error("estimate not monotone in errors")
+	}
+	if e2 <= 10 {
+		t.Errorf("estimate %v not pessimistic", e2)
+	}
+	if pessimisticErrors(0, 0, 0.25) != 0 {
+		t.Error("zero instances should cost 0")
+	}
+}
+
+func TestNormQuantile(t *testing.T) {
+	// Φ⁻¹(0.975) ≈ 1.95996.
+	if got := normQuantile(0.975); math.Abs(got-1.95996) > 1e-3 {
+		t.Errorf("quantile(0.975) = %v", got)
+	}
+	if got := normQuantile(0.5); math.Abs(got) > 1e-9 {
+		t.Errorf("quantile(0.5) = %v", got)
+	}
+	if got := normQuantile(0.025); math.Abs(got+1.95996) > 1e-3 {
+		t.Errorf("quantile(0.025) = %v", got)
+	}
+	if !math.IsInf(normQuantile(0), -1) || !math.IsInf(normQuantile(1), 1) {
+		t.Error("edge quantiles wrong")
+	}
+}
+
+func TestPredictUnseenValueFallsBack(t *testing.T) {
+	ds := xorDataset(100, 6)
+	tree, err := Build(ds, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range attribute value routes to the node majority instead of
+	// panicking.
+	got := tree.Predict([]int{-1, -1, -1})
+	if got != 0 && got != 1 {
+		t.Errorf("fallback prediction = %d", got)
+	}
+}
+
+func TestSize(t *testing.T) {
+	ds := xorDataset(100, 7)
+	tree, err := Build(ds, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() < 3 {
+		t.Errorf("size = %d for an XOR tree", tree.Size())
+	}
+}
+
+func TestMajorityHelper(t *testing.T) {
+	if majority([]int{1, 5, 3}) != 1 {
+		t.Error("majority wrong")
+	}
+	if majority([]int{2, 2}) != 0 {
+		t.Error("tie should break low")
+	}
+}
+
+// Hand-computed gain-ratio check: a perfectly splitting binary attribute
+// must be preferred over a noisy one even when the noisy one has more
+// values (the gain-ratio correction for multiway splits).
+func TestBestSplitPrefersInformativeAttribute(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ds := &Dataset{
+		AttrNames:  []string{"clean", "manyvalues"},
+		AttrCard:   []int{2, 8},
+		NumClasses: 2,
+	}
+	for i := 0; i < 160; i++ {
+		cls := i % 2
+		ds.Instances = append(ds.Instances, Instance{
+			Attrs: []int{cls, rng.Intn(8)},
+			Class: cls,
+		})
+	}
+	tree, err := Build(ds, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root.Leaf() {
+		t.Fatal("no split at all")
+	}
+	if tree.Root.Attr != 0 {
+		t.Errorf("split on attribute %d, want the clean attribute 0", tree.Root.Attr)
+	}
+	// One split should suffice for a perfect attribute.
+	if tree.Size() != 3 {
+		t.Errorf("tree size = %d, want 3 nodes", tree.Size())
+	}
+}
+
+// Entropy arithmetic verified against a hand computation:
+// H({6,2}) = -(0.75·log2 0.75 + 0.25·log2 0.25) ≈ 0.8113.
+func TestEntropyHandComputed(t *testing.T) {
+	got := entropy([]int{6, 2})
+	want := 0.8112781244591328
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("entropy = %v, want %v", got, want)
+	}
+}
+
+func TestBuildPartialLearnsDominantBranch(t *testing.T) {
+	ds := xorDataset(200, 12)
+	tree, err := BuildPartial(ds, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The partial tree must classify at least the instances routed to its
+	// developed branch correctly; overall it cannot be worse than the
+	// majority baseline.
+	errs := 0
+	for _, inst := range ds.Instances {
+		if tree.Predict(inst.Attrs) != inst.Class {
+			errs++
+		}
+	}
+	if errs > len(ds.Instances)/2 {
+		t.Errorf("%d/%d errors — worse than majority", errs, len(ds.Instances))
+	}
+	// A partial tree is never larger than the full tree.
+	full, err := Build(ds, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() > full.Size() {
+		t.Errorf("partial tree (%d nodes) larger than full (%d)", tree.Size(), full.Size())
+	}
+}
+
+func TestBuildPartialPureData(t *testing.T) {
+	ds := &Dataset{AttrNames: []string{"a"}, AttrCard: []int{2}, NumClasses: 2}
+	for i := 0; i < 10; i++ {
+		ds.Instances = append(ds.Instances, Instance{Attrs: []int{i % 2}, Class: 0})
+	}
+	tree, err := BuildPartial(ds, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Root.Leaf() {
+		t.Error("pure data split")
+	}
+}
+
+func TestBuildPartialErrors(t *testing.T) {
+	ds := &Dataset{AttrNames: []string{"a"}, AttrCard: []int{2}, NumClasses: 2}
+	if _, err := BuildPartial(ds, nil, Options{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	ds.Instances = []Instance{{Attrs: []int{0}, Class: 0}}
+	if _, err := BuildPartial(ds, []int{}, Options{}); err == nil {
+		t.Error("empty index set accepted")
+	}
+}
+
+func TestBuildPartialLeavesCoverEverything(t *testing.T) {
+	ds := xorDataset(150, 13)
+	tree, err := BuildPartial(ds, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prediction must work for every instance (unexpanded children are
+	// usable leaves).
+	for _, inst := range ds.Instances {
+		if c := tree.Predict(inst.Attrs); c < 0 || c > 1 {
+			t.Fatalf("prediction %d out of range", c)
+		}
+	}
+	if len(tree.Leaves()) < 2 {
+		t.Error("partial tree has no structure")
+	}
+}

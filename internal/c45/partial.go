@@ -1,0 +1,99 @@
+package c45
+
+import "sort"
+
+// BuildPartial grows a *partial* C4.5 tree (Frank & Witten 1998): at each
+// split, child subsets are expanded in order of increasing entropy, and
+// expansion stops as soon as one child develops into a subtree that
+// survives pruning — the remaining children stay unexpanded leaves. PART
+// uses the partial tree purely as an efficiency device: only the branch
+// that will yield the extracted rule is developed.
+func BuildPartial(ds *Dataset, indices []int, opts Options) (*Tree, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ds.Instances) == 0 {
+		return nil, errNoInstances
+	}
+	opts = opts.withDefaults()
+	if indices == nil {
+		indices = make([]int, len(ds.Instances))
+		for i := range indices {
+			indices[i] = i
+		}
+	}
+	if len(indices) == 0 {
+		return nil, errEmptyIndexSet
+	}
+	t := &Tree{ds: ds, opts: opts}
+	avail := make([]bool, len(ds.AttrNames))
+	for i := range avail {
+		avail[i] = true
+	}
+	t.Root = t.expandPartial(indices, avail)
+	return t.Root.intoTree(t), nil
+}
+
+// intoTree is a small helper so BuildPartial returns the same Tree shape
+// as Build.
+func (n *Node) intoTree(t *Tree) *Tree {
+	t.Root = n
+	return t
+}
+
+// expandPartial develops one node of the partial tree and returns it,
+// possibly pruned back to a leaf.
+func (t *Tree) expandPartial(indices []int, avail []bool) *Node {
+	counts := t.classCounts(indices)
+	node := &Node{Attr: -1, ClassCounts: counts, MajorityClass: majority(counts)}
+	if node.Errors() == 0 {
+		return node
+	}
+	attr, children := t.bestSplit(indices, avail)
+	if attr < 0 {
+		return node
+	}
+	node.Attr = attr
+	node.Children = make([]*Node, t.ds.AttrCard[attr])
+	childAvail := append([]bool(nil), avail...)
+	childAvail[attr] = false
+
+	// Every child starts as an unexpanded leaf predicting its local (or
+	// inherited) majority.
+	type childRef struct {
+		value   int
+		entropy float64
+	}
+	var order []childRef
+	for v, sub := range children {
+		if len(sub) == 0 {
+			node.Children[v] = &Node{Attr: -1, ClassCounts: make([]int, t.ds.NumClasses), MajorityClass: node.MajorityClass, Unexpanded: true}
+			continue
+		}
+		cc := t.classCounts(sub)
+		node.Children[v] = &Node{Attr: -1, ClassCounts: cc, MajorityClass: majority(cc), Unexpanded: true}
+		order = append(order, childRef{value: v, entropy: entropy(cc)})
+	}
+	// Expand children lowest-entropy first; stop at the first expansion
+	// that survives as a subtree (is not pruned back to a leaf).
+	sort.SliceStable(order, func(i, j int) bool { return order[i].entropy < order[j].entropy })
+	for _, ref := range order {
+		expanded := t.expandPartial(children[ref.value], childAvail)
+		node.Children[ref.value] = expanded
+		if !expanded.Leaf() {
+			break
+		}
+	}
+	// Pessimistic subtree replacement, as in the full builder.
+	if t.opts.Confidence < 1 {
+		subtreeErr := 0.0
+		for _, c := range node.Children {
+			subtreeErr += t.estimatedErrors(c)
+		}
+		if pessimisticErrors(node.Total(), node.Errors(), t.opts.Confidence) <= subtreeErr+1e-9 {
+			node.Attr = -1
+			node.Children = nil
+		}
+	}
+	return node
+}

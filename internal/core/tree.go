@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"cdt/internal/pattern"
+)
+
+// Options configures CDT induction. The zero value is usable and matches
+// the paper's setup (contiguous matching, Gini, no depth or length caps).
+type Options struct {
+	// Criterion is the impurity used to score splits (default Gini).
+	Criterion SplitCriterion
+	// Match selects the ⊆o semantics (default contiguous).
+	Match MatchMode
+	// MaxCompositionLen caps candidate composition length; 0 means
+	// unlimited (up to ω). Short caps trade accuracy for speed and rule
+	// brevity (ablated in the benchmarks).
+	MaxCompositionLen int
+	// MaxDepth caps tree depth; 0 means unlimited. Algorithm 1 has no
+	// cap: it stops only on purity or zero gain.
+	MaxDepth int
+	// MinGain is the minimum information gain required to split; the
+	// paper requires strictly positive gain (maxGain ≠ 0), which the
+	// zero value reproduces.
+	MinGain float64
+	// Parallelism bounds the goroutines scoring candidate compositions;
+	// 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Node is one CDT node: the quadruplet of Algorithm 1 (observations are
+// summarized by their class counts rather than retained) plus bookkeeping
+// for rule extraction and rendering.
+type Node struct {
+	// Composition splits this node; nil for leaves.
+	Composition *Composition
+	// ChildTrue holds observations matched by Composition (c ∈o d),
+	// ChildFalse the rest. Both nil for leaves.
+	ChildTrue, ChildFalse *Node
+	// Counts is the class distribution of the node's observations.
+	Counts ClassCounts
+	// Depth is the node's distance from the root.
+	Depth int
+}
+
+// Leaf reports whether the node has no split.
+func (n *Node) Leaf() bool { return n.Composition == nil }
+
+// Class returns the node's majority class (ties break to Anomaly).
+func (n *Node) Class() Class { return n.Counts.Majority() }
+
+// Pure reports whether all of the node's observations share one class.
+func (n *Node) Pure() bool { return n.Counts.Pure() }
+
+// Tree is a trained Composition-based Decision Tree.
+type Tree struct {
+	// Root is the tree root; never nil after Build succeeds.
+	Root *Node
+	// Omega is the window size the tree was trained with.
+	Omega int
+	// Opts are the induction options used.
+	Opts Options
+}
+
+// Build induces a CDT from training observations (Algorithm 1). All
+// observations must share the same window length, which becomes the
+// tree's ω.
+func Build(obs []Observation, opts Options) (*Tree, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("core: no observations")
+	}
+	omega := len(obs[0].Labels)
+	for i := range obs {
+		if len(obs[i].Labels) != omega {
+			return nil, fmt.Errorf("core: observation %d has %d labels, want %d", i, len(obs[i].Labels), omega)
+		}
+	}
+	t := &Tree{Omega: omega, Opts: opts}
+	t.Root = &Node{Counts: Count(obs)}
+	// Algorithm 1 processes a FIFO queue of (node, observations) pairs.
+	type item struct {
+		node *Node
+		obs  []Observation
+	}
+	queue := []item{{t.Root, obs}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		node, data := it.node, it.obs
+		if node.Pure() {
+			continue
+		}
+		if opts.MaxDepth > 0 && node.Depth >= opts.MaxDepth {
+			continue
+		}
+		best, gain := bestComposition(data, opts)
+		if best == nil || gain <= opts.MinGain {
+			continue
+		}
+		var in, out []Observation
+		for i := range data {
+			if best.MatchedBy(data[i].Labels, opts.Match) {
+				in = append(in, data[i])
+			} else {
+				out = append(out, data[i])
+			}
+		}
+		node.Composition = best
+		node.ChildTrue = &Node{Counts: Count(in), Depth: node.Depth + 1}
+		node.ChildFalse = &Node{Counts: Count(out), Depth: node.Depth + 1}
+		queue = append(queue, item{node.ChildTrue, in}, item{node.ChildFalse, out})
+	}
+	return t, nil
+}
+
+// bestComposition scores every candidate composition (all distinct
+// contiguous subsequences of the anomalous observations, Algorithm 1
+// lines 6-15) and returns the one with the highest information gain.
+// Ties resolve to the earliest candidate in the deterministic enumeration
+// order (shortest first), mirroring the strict ">" of line 11.
+//
+// For the default contiguous ⊆o, candidate supports are counted in one
+// pass that enumerates each observation's distinct substrings and looks
+// them up in the candidate index — O(Σ windows · ω · maxLen) instead of
+// O(candidates · windows · ω · maxLen). Subsequence matching falls back
+// to direct per-candidate scoring.
+func bestComposition(obs []Observation, opts Options) (*Composition, float64) {
+	candidates := enumerateCompositions(obs, opts.MaxCompositionLen)
+	if len(candidates) == 0 {
+		return nil, 0
+	}
+	parent := Count(obs)
+	var counts []ClassCounts
+	if opts.Match == MatchContiguous {
+		counts = countContiguousSupports(obs, candidates, opts)
+	} else {
+		counts = countSupportsNaive(obs, candidates, opts)
+	}
+	bestIdx, bestGain := -1, 0.0
+	for i, in := range counts {
+		out := ClassCounts{Normal: parent.Normal - in.Normal, Anomaly: parent.Anomaly - in.Anomaly}
+		if g := opts.Criterion.InformationGain(parent, in, out); g > bestGain {
+			bestGain = g
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return nil, 0
+	}
+	c := candidates[bestIdx]
+	return &c, bestGain
+}
+
+// countContiguousSupports returns, per candidate, the class counts of the
+// observations containing it as a substring. Each observation enumerates
+// its substrings once; a per-candidate last-seen marker deduplicates
+// repeated occurrences inside one observation. Map lookups use the
+// zero-allocation string(buf) form.
+func countContiguousSupports(obs []Observation, candidates []Composition, opts Options) []ClassCounts {
+	index := make(map[string]int, len(candidates))
+	maxCandLen := 0
+	for i, c := range candidates {
+		index[c.Key()] = i
+		if c.Len() > maxCandLen {
+			maxCandLen = c.Len()
+		}
+	}
+	counts := make([]ClassCounts, len(candidates))
+	lastSeen := make([]int, len(candidates))
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	var buf []byte
+	for wi := range obs {
+		labels := obs[wi].Labels
+		anom := obs[wi].Class == Anomaly
+		for start := 0; start < len(labels); start++ {
+			limit := len(labels) - start
+			if maxCandLen < limit {
+				limit = maxCandLen
+			}
+			buf = buf[:0]
+			for n := 1; n <= limit; n++ {
+				l := labels[start+n-1]
+				buf = append(buf, byte(l.Var), byte(l.Alpha), byte(l.Beta))
+				idx, ok := index[string(buf)]
+				if !ok || lastSeen[idx] == wi {
+					continue
+				}
+				lastSeen[idx] = wi
+				if anom {
+					counts[idx].Anomaly++
+				} else {
+					counts[idx].Normal++
+				}
+			}
+		}
+	}
+	return counts
+}
+
+// countSupportsNaive scores candidates by direct matching, parallelized
+// across candidates (used for the gapped-subsequence ablation mode).
+func countSupportsNaive(obs []Observation, candidates []Composition, opts Options) []ClassCounts {
+	counts := make([]ClassCounts, len(candidates))
+	workers := opts.parallelism()
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(candidates) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(candidates) {
+			hi = len(candidates)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for ci := lo; ci < hi; ci++ {
+				for i := range obs {
+					if candidates[ci].MatchedBy(obs[i].Labels, opts.Match) {
+						if obs[i].Class == Anomaly {
+							counts[ci].Anomaly++
+						} else {
+							counts[ci].Normal++
+						}
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return counts
+}
+
+// Predict classifies one window of labels by routing it through the tree.
+func (t *Tree) Predict(labels []pattern.Label) Class {
+	n := t.Root
+	for !n.Leaf() {
+		if n.Composition.MatchedBy(labels, t.Opts.Match) {
+			n = n.ChildTrue
+		} else {
+			n = n.ChildFalse
+		}
+	}
+	return n.Class()
+}
+
+// PredictAll classifies a batch of observations, returning one class per
+// observation.
+func (t *Tree) PredictAll(obs []Observation) []Class {
+	out := make([]Class, len(obs))
+	for i := range obs {
+		out[i] = t.Predict(obs[i].Labels)
+	}
+	return out
+}
+
+// Stats summarizes tree shape for reporting (Figure 2 discusses splits
+// and leaves).
+type Stats struct {
+	Nodes, Leaves, Splits, MaxDepth int
+	AnomalyLeaves                   int
+	PureAnomalyLeaves               int
+}
+
+// Stats walks the tree and tallies its shape.
+func (t *Tree) Stats() Stats {
+	var st Stats
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		st.Nodes++
+		if n.Depth > st.MaxDepth {
+			st.MaxDepth = n.Depth
+		}
+		if n.Leaf() {
+			st.Leaves++
+			if n.Class() == Anomaly {
+				st.AnomalyLeaves++
+				if n.Pure() {
+					st.PureAnomalyLeaves++
+				}
+			}
+			return
+		}
+		st.Splits++
+		walk(n.ChildTrue)
+		walk(n.ChildFalse)
+	}
+	walk(t.Root)
+	return st
+}
+
+// Render draws the tree as indented text (used for the Figure 2
+// illustration), naming compositions with the configuration's interval
+// names.
+func (t *Tree) Render(cfg pattern.Config) string {
+	var b strings.Builder
+	var walk func(n *Node, prefix string, branch string)
+	walk = func(n *Node, prefix, branch string) {
+		b.WriteString(prefix)
+		b.WriteString(branch)
+		if n.Leaf() {
+			fmt.Fprintf(&b, "leaf %s (normal=%d anomaly=%d)\n", n.Class(), n.Counts.Normal, n.Counts.Anomaly)
+			return
+		}
+		fmt.Fprintf(&b, "split on %s (normal=%d anomaly=%d)\n", n.Composition.Format(cfg), n.Counts.Normal, n.Counts.Anomaly)
+		walk(n.ChildTrue, prefix+"  ", "∈o → ")
+		walk(n.ChildFalse, prefix+"  ", "∉o → ")
+	}
+	walk(t.Root, "", "")
+	return b.String()
+}
+
+// DOT renders the tree as Graphviz source (an alternative to Render for
+// publication-quality Figure 2 diagrams). Split nodes show their
+// composition, leaves their class and counts; true branches are labeled
+// "∈o", false branches "∉o".
+func (t *Tree) DOT(cfg pattern.Config) string {
+	var b strings.Builder
+	b.WriteString("digraph cdt {\n  node [fontname=\"Helvetica\"];\n")
+	id := 0
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		me := id
+		id++
+		if n.Leaf() {
+			shape := "ellipse"
+			fill := "white"
+			if n.Class() == Anomaly {
+				fill = "lightcoral"
+			} else {
+				fill = "lightgreen"
+			}
+			fmt.Fprintf(&b, "  n%d [shape=%s, style=filled, fillcolor=%s, label=\"%s\\nnormal=%d anomaly=%d\"];\n",
+				me, shape, fill, n.Class(), n.Counts.Normal, n.Counts.Anomaly)
+			return me
+		}
+		fmt.Fprintf(&b, "  n%d [shape=box, label=%q];\n", me, n.Composition.Format(cfg))
+		tc := walk(n.ChildTrue)
+		fc := walk(n.ChildFalse)
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"∈o\"];\n", me, tc)
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"∉o\"];\n", me, fc)
+		return me
+	}
+	walk(t.Root)
+	b.WriteString("}\n")
+	return b.String()
+}

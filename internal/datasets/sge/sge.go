@@ -1,0 +1,329 @@
+// Package sge generates synthetic stand-ins for the paper's proprietary
+// SGE datasets (Management and Exploitation Service of the Rangueil
+// campus, Toulouse): daily calorie consumption from building heating
+// sensors and hourly electricity consumption. The generators reproduce
+// the documented structure — strong seasonal consumption profiles — and
+// inject exactly the anomaly families the paper's experts describe in
+// §4.3:
+//
+//   - negative peaks: impossible negative consumption from meter errors;
+//   - positive peaks: overconsumption spikes;
+//   - collective anomalies: several successive erratic readings caused by
+//     meter-reading faults;
+//   - constant anomalies: a stopped meter repeating one value.
+//
+// Everything is deterministic under the supplied seed.
+package sge
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cdt/internal/datasets"
+	"cdt/internal/timeseries"
+)
+
+// AnomalyKind names the injected anomaly families.
+type AnomalyKind int
+
+const (
+	// NegativePeak is a single impossible negative reading.
+	NegativePeak AnomalyKind = iota
+	// PositivePeak is a single overconsumption spike.
+	PositivePeak
+	// Collective is a run of successive erratic readings.
+	Collective
+	// ConstantRun is a stopped meter repeating one value.
+	ConstantRun
+)
+
+// String names the anomaly kind.
+func (k AnomalyKind) String() string {
+	switch k {
+	case NegativePeak:
+		return "negative-peak"
+	case PositivePeak:
+		return "positive-peak"
+	case Collective:
+		return "collective"
+	case ConstantRun:
+		return "constant-run"
+	}
+	return fmt.Sprintf("AnomalyKind(%d)", int(k))
+}
+
+// CalorieOptions sizes the calorie dataset. The paper's corpus is 25
+// sensors × ~3.7 years of daily data (33536 points, 586 anomalies ≈
+// 1.7%); the zero value generates a laptop-scale version with the same
+// anomaly rate.
+type CalorieOptions struct {
+	// Sensors is the number of buildings (default 8; paper 25).
+	Sensors int
+	// Days per sensor (default 600; paper ~1341).
+	Days int
+	// AnomalyRate is the fraction of anomalous points (default 0.0175,
+	// the paper's rate).
+	AnomalyRate float64
+	// Seed drives generation.
+	Seed int64
+}
+
+func (o CalorieOptions) withDefaults() CalorieOptions {
+	if o.Sensors <= 0 {
+		o.Sensors = 8
+	}
+	if o.Days <= 0 {
+		o.Days = 600
+	}
+	if o.AnomalyRate <= 0 {
+		o.AnomalyRate = 0.0175
+	}
+	return o
+}
+
+// Calorie generates the synthetic calorie dataset.
+func Calorie(opts CalorieOptions) *datasets.Dataset {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	d := &datasets.Dataset{Name: "SGE_Calorie"}
+	for s := 0; s < opts.Sensors; s++ {
+		base := 40 + rng.Float64()*80 // per-building base load
+		amp := 0.5 + rng.Float64()*0.4
+		phase := rng.Float64() * 2 * math.Pi
+		values := make([]float64, opts.Days)
+		for i := range values {
+			day := float64(i)
+			// Annual heating season + weekly workday pattern + noise.
+			annual := 1 + amp*math.Cos(2*math.Pi*day/365+phase)
+			weekly := 1.0
+			if int(day)%7 >= 5 {
+				weekly = 0.7 // weekend setback
+			}
+			noise := 1 + 0.05*rng.NormFloat64()
+			values[i] = base * annual * weekly * noise
+		}
+		series := timeseries.NewLabeled(fmt.Sprintf("calorie-%02d", s), values, make([]bool, opts.Days))
+		injectAnomalies(series, opts.AnomalyRate, base, rng)
+		d.Series = append(d.Series, series)
+	}
+	return d
+}
+
+// ElectricityOptions sizes the electricity dataset. The paper's corpus is
+// one sensor sampled hourly for 10 years (96074 points, 10343 anomalies ≈
+// 10.8% of hours); the anomalies are *clustered events* — meter stops and
+// reading faults spanning consecutive hours — not isolated points, which
+// is what makes the paper's hour→day downsampling meaningful. The
+// generator therefore injects whole events and DayEventRate controls the
+// fraction of days touched by one.
+type ElectricityOptions struct {
+	// Hours of data (default 5 years; paper ~10 years).
+	Hours int
+	// DayEventRate is the target fraction of days containing an
+	// anomalous event (default 0.04). Events cluster into multi-day
+	// stretches (meter stops can last a week), mirroring how the SGE
+	// corpus concentrates its 10.8%% of anomalous hours into long
+	// collective episodes rather than isolated points.
+	DayEventRate float64
+	// Seed drives generation.
+	Seed int64
+}
+
+func (o ElectricityOptions) withDefaults() ElectricityOptions {
+	if o.Hours <= 0 {
+		o.Hours = 5 * 365 * 24
+	}
+	if o.DayEventRate <= 0 {
+		o.DayEventRate = 0.06
+	}
+	return o
+}
+
+// Electricity generates the synthetic hourly electricity dataset.
+func Electricity(opts ElectricityOptions) *datasets.Dataset {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	base := 200.0
+	values := make([]float64, opts.Hours)
+	for i := range values {
+		hour := float64(i % 24)
+		day := float64(i / 24)
+		daily := 1 + 0.4*math.Sin(2*math.Pi*(hour-6)/24) // evening peak
+		weekly := 1.0
+		if int(day)%7 >= 5 {
+			weekly = 0.8
+		}
+		annual := 1 + 0.25*math.Cos(2*math.Pi*day/365)
+		noise := 1 + 0.04*rng.NormFloat64()
+		values[i] = base * daily * weekly * annual * noise
+	}
+	series := timeseries.NewLabeled("electricity-00", values, make([]bool, opts.Hours))
+	injectHourlyEvents(series, opts.DayEventRate, rng)
+	return &datasets.Dataset{Name: "SGE_Electricity", Series: []*timeseries.Series{series}}
+}
+
+// injectHourlyEvents plants clustered anomalous events into an hourly
+// series until the target fraction of days is touched. Event families
+// mirror the SGE expert taxonomy; corrupted values sit at *absolute*
+// levels relative to the series' seasonal maximum (a stuck meter or a
+// mis-read register does not scale with the season), which keeps the
+// normalized magnitude of each anomaly family stable year-round.
+func injectHourlyEvents(s *timeseries.Series, dayRate float64, rng *rand.Rand) {
+	hours := s.Len()
+	days := hours / 24
+	maxV := s.Values[0]
+	for _, v := range s.Values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	targetDays := int(math.Round(dayRate * float64(days)))
+	anomalousDays := func() int {
+		n := 0
+		for d := 0; d < days; d++ {
+			for h := d * 24; h < (d+1)*24; h++ {
+				if s.Anomalies[h] {
+					n++
+					break
+				}
+			}
+		}
+		return n
+	}
+	guard := 0
+	for anomalousDays() < targetDays && guard < 50*days {
+		guard++
+		day := 1 + rng.Intn(days-2)
+		start := day * 24
+		if taken(s, start, start+23) {
+			continue
+		}
+		switch AnomalyKind(rng.Intn(4)) {
+		case PositivePeak:
+			// Overconsumption pinned far above the all-time peak for half
+			// a day to a full day: the daily mean is unmistakable.
+			h0 := start + rng.Intn(8)
+			span := 12 + rng.Intn(13)
+			level := maxV * (1.3 + 0.3*rng.Float64())
+			for h := h0; h < h0+span && h < hours; h++ {
+				s.Values[h] = level * (1 + 0.05*rng.NormFloat64())
+				s.Anomalies[h] = true
+			}
+		case NegativePeak:
+			// Impossible negative readings dominating the day: the daily
+			// mean goes negative, the paper's flagship anomaly.
+			h0 := start + rng.Intn(8)
+			span := 12 + rng.Intn(13)
+			level := -maxV * (0.5 + 0.2*rng.Float64())
+			for h := h0; h < h0+span && h < hours; h++ {
+				s.Values[h] = level * (1 + 0.05*rng.NormFloat64())
+				s.Anomalies[h] = true
+			}
+		case ConstantRun:
+			// Meter stop: one to seven days frozen at one value.
+			span := 24 * (1 + rng.Intn(7))
+			if start+span >= hours {
+				continue
+			}
+			frozen := s.Values[start]
+			for h := start; h < start+span; h++ {
+				s.Values[h] = frozen
+				s.Anomalies[h] = true
+			}
+		case Collective:
+			// Reading fault: daily means swinging between an impossible
+			// high and an impossible low across two to four days.
+			span := 24 * (2 + rng.Intn(3))
+			if start+span >= hours {
+				continue
+			}
+			hi := maxV * (1.2 + 0.2*rng.Float64())
+			lo := -maxV * (0.4 + 0.2*rng.Float64())
+			for h := start; h < start+span; h++ {
+				level := hi
+				if (h-start)/24%2 == 1 {
+					level = lo
+				}
+				s.Values[h] = level * (1 + 0.05*rng.NormFloat64())
+				s.Anomalies[h] = true
+			}
+		}
+	}
+}
+
+// injectAnomalies plants the four SGE anomaly families into a daily
+// series until the target share of points is anomalous. Spike levels are
+// absolute (relative to the series' maximum) so their normalized
+// magnitudes stay stable across seasons. Positions avoid the first/last
+// two points (the pattern alphabet needs both neighbors) and never
+// overlap an existing anomaly.
+func injectAnomalies(s *timeseries.Series, rate float64, base float64, rng *rand.Rand) {
+	n := s.Len()
+	maxV := s.Values[0]
+	for _, v := range s.Values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	target := int(math.Round(rate * float64(n)))
+	budgetGuard := 0
+	for s.AnomalyCount() < target && budgetGuard < 100*n {
+		budgetGuard++
+		kind := AnomalyKind(rng.Intn(4))
+		switch kind {
+		case NegativePeak:
+			i := 2 + rng.Intn(n-4)
+			if taken(s, i, i) {
+				continue
+			}
+			s.Values[i] = -maxV * (0.4 + 0.3*rng.Float64())
+			s.Anomalies[i] = true
+		case PositivePeak:
+			i := 2 + rng.Intn(n-4)
+			if taken(s, i, i) {
+				continue
+			}
+			s.Values[i] = maxV * (1.3 + 0.4*rng.Float64())
+			s.Anomalies[i] = true
+		case Collective:
+			length := 3 + rng.Intn(3)
+			i := 2 + rng.Intn(n-4-length)
+			if taken(s, i, i+length-1) {
+				continue
+			}
+			for j := i; j < i+length; j++ {
+				// Successive abnormal variations: alternating impossible
+				// levels, the meter-reading fault signature.
+				if (j-i)%2 == 0 {
+					s.Values[j] = maxV * (1.2 + 0.3*rng.Float64())
+				} else {
+					s.Values[j] = -maxV * (0.3 + 0.3*rng.Float64())
+				}
+				s.Anomalies[j] = true
+			}
+		case ConstantRun:
+			length := 4 + rng.Intn(4)
+			i := 2 + rng.Intn(n-4-length)
+			if taken(s, i, i+length-1) {
+				continue
+			}
+			frozen := s.Values[i]
+			for j := i; j < i+length; j++ {
+				s.Values[j] = frozen
+				s.Anomalies[j] = true
+			}
+		}
+	}
+}
+
+// taken reports whether any point in [lo,hi] (with one point of margin on
+// each side) is already anomalous.
+func taken(s *timeseries.Series, lo, hi int) bool {
+	for i := lo - 2; i <= hi+2; i++ {
+		if i >= 0 && i < s.Len() && s.Anomalies[i] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+package sge
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCalorieShape(t *testing.T) {
+	d := Calorie(CalorieOptions{Sensors: 3, Days: 300, Seed: 1})
+	if len(d.Series) != 3 {
+		t.Fatalf("got %d series", len(d.Series))
+	}
+	for _, s := range d.Series {
+		if s.Len() != 300 {
+			t.Errorf("series %s has %d points", s.Name, s.Len())
+		}
+		if !s.Labeled() {
+			t.Errorf("series %s unlabeled", s.Name)
+		}
+	}
+	if d.Name != "SGE_Calorie" {
+		t.Errorf("name = %q", d.Name)
+	}
+}
+
+func TestCalorieAnomalyRate(t *testing.T) {
+	d := Calorie(CalorieOptions{Sensors: 5, Days: 500, AnomalyRate: 0.02, Seed: 2})
+	rate := d.AnomalyRate()
+	if math.Abs(rate-0.02) > 0.01 {
+		t.Errorf("anomaly rate = %v, want ≈ 0.02", rate)
+	}
+}
+
+func TestCalorieHasNegativePeaks(t *testing.T) {
+	// Negative consumption is the paper's flagship anomaly family; the
+	// generator must produce some at reasonable scale.
+	d := Calorie(CalorieOptions{Sensors: 10, Days: 500, Seed: 3})
+	negatives := 0
+	for _, s := range d.Series {
+		for i, v := range s.Values {
+			if v < 0 {
+				negatives++
+				if !s.Anomalies[i] {
+					t.Fatalf("negative value at %s[%d] not labeled anomalous", s.Name, i)
+				}
+			}
+		}
+	}
+	if negatives == 0 {
+		t.Error("no negative peaks generated across 10 sensors")
+	}
+}
+
+func TestCalorieConstantRuns(t *testing.T) {
+	d := Calorie(CalorieOptions{Sensors: 10, Days: 600, Seed: 4})
+	foundRun := false
+	for _, s := range d.Series {
+		run := 0
+		for i := 1; i < s.Len(); i++ {
+			if s.Values[i] == s.Values[i-1] && s.Anomalies[i] {
+				run++
+				if run >= 3 {
+					foundRun = true
+				}
+			} else {
+				run = 0
+			}
+		}
+	}
+	if !foundRun {
+		t.Error("no constant-run anomalies generated")
+	}
+}
+
+func TestCalorieDeterministic(t *testing.T) {
+	a := Calorie(CalorieOptions{Seed: 7})
+	b := Calorie(CalorieOptions{Seed: 7})
+	for i := range a.Series {
+		for j := range a.Series[i].Values {
+			if a.Series[i].Values[j] != b.Series[i].Values[j] {
+				t.Fatal("same seed, different values")
+			}
+		}
+	}
+	c := Calorie(CalorieOptions{Seed: 8})
+	same := true
+	for j := range a.Series[0].Values {
+		if a.Series[0].Values[j] != c.Series[0].Values[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestElectricityShape(t *testing.T) {
+	d := Electricity(ElectricityOptions{Hours: 24 * 200, Seed: 1})
+	if len(d.Series) != 1 {
+		t.Fatalf("got %d series", len(d.Series))
+	}
+	s := d.Series[0]
+	if s.Len() != 24*200 {
+		t.Errorf("len = %d", s.Len())
+	}
+	if d.Name != "SGE_Electricity" {
+		t.Errorf("name = %q", d.Name)
+	}
+	if s.AnomalyCount() == 0 {
+		t.Error("no anomalies")
+	}
+}
+
+func TestElectricityDailySeasonality(t *testing.T) {
+	d := Electricity(ElectricityOptions{Hours: 24 * 100, Seed: 2})
+	s := d.Series[0]
+	// Average consumption by hour-of-day must show a clear daily cycle.
+	hourly := make([]float64, 24)
+	counts := make([]int, 24)
+	for i, v := range s.Values {
+		if s.Anomalies[i] {
+			continue
+		}
+		hourly[i%24] += v
+		counts[i%24]++
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for h := range hourly {
+		avg := hourly[h] / float64(counts[h])
+		if avg < min {
+			min = avg
+		}
+		if avg > max {
+			max = avg
+		}
+	}
+	if max/min < 1.3 {
+		t.Errorf("daily cycle too flat: max/min = %v", max/min)
+	}
+}
+
+func TestAnomaliesAvoidSeriesEdges(t *testing.T) {
+	d := Calorie(CalorieOptions{Sensors: 10, Days: 200, Seed: 5})
+	for _, s := range d.Series {
+		if s.Anomalies[0] || s.Anomalies[1] || s.Anomalies[s.Len()-1] || s.Anomalies[s.Len()-2] {
+			t.Errorf("series %s has anomalies at the unlabelable edges", s.Name)
+		}
+	}
+}
+
+func TestAnomalyKindString(t *testing.T) {
+	names := map[AnomalyKind]string{
+		NegativePeak: "negative-peak",
+		PositivePeak: "positive-peak",
+		Collective:   "collective",
+		ConstantRun:  "constant-run",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package yahoo
+
+import (
+	"math"
+	"testing"
+
+	"cdt/internal/datasets"
+)
+
+func families() map[string]func(Options) *datasets.Dataset {
+	return map[string]func(Options) *datasets.Dataset{
+		"A1": A1, "A2": A2, "A3": A3, "A4": A4,
+	}
+}
+
+func TestFamiliesShape(t *testing.T) {
+	for name, gen := range families() {
+		d := gen(Options{Files: 4, Points: 300, Seed: 1})
+		if len(d.Series) != 4 {
+			t.Errorf("%s: %d series", name, len(d.Series))
+		}
+		for _, s := range d.Series {
+			if s.Len() != 300 {
+				t.Errorf("%s/%s: %d points", name, s.Name, s.Len())
+			}
+			if !s.Labeled() {
+				t.Errorf("%s/%s unlabeled", name, s.Name)
+			}
+		}
+		if d.TotalAnomalies() == 0 {
+			t.Errorf("%s: no anomalies", name)
+		}
+	}
+}
+
+func TestFamiliesDeterministic(t *testing.T) {
+	for name, gen := range families() {
+		a := gen(Options{Seed: 5})
+		b := gen(Options{Seed: 5})
+		for i := range a.Series {
+			for j := range a.Series[i].Values {
+				if a.Series[i].Values[j] != b.Series[i].Values[j] {
+					t.Fatalf("%s: same seed, different values", name)
+				}
+				if a.Series[i].Anomalies[j] != b.Series[i].Anomalies[j] {
+					t.Fatalf("%s: same seed, different anomalies", name)
+				}
+			}
+		}
+	}
+}
+
+func TestAnomalyRatesFollowDefaultsAndOverrides(t *testing.T) {
+	tests := []struct {
+		name string
+		gen  func(Options) *datasets.Dataset
+		want float64 // boosted laptop-scale default
+	}{
+		{"A1", A1, 0.02},
+		{"A2", A2, 0.01},
+		{"A3", A3, 0.012},
+		{"A4", A4, 0.012},
+	}
+	for _, tc := range tests {
+		d := tc.gen(Options{Files: 10, Points: 1000, Seed: 2})
+		rate := d.AnomalyRate()
+		// Small corpora are granular; allow slack around the target.
+		if rate < tc.want/2 || rate > tc.want*2.5 {
+			t.Errorf("%s default rate = %v, want ≈ %v", tc.name, rate, tc.want)
+		}
+		// The paper-scale rate must be honoured when passed explicitly.
+		d = tc.gen(Options{Files: 10, Points: 1000, Seed: 2, AnomalyRate: 0.005})
+		rate = d.AnomalyRate()
+		if rate < 0.002 || rate > 0.012 {
+			t.Errorf("%s explicit rate = %v, want ≈ 0.005", tc.name, rate)
+		}
+	}
+}
+
+func TestA2OutliersAreExtreme(t *testing.T) {
+	d := A2(Options{Files: 3, Points: 600, Seed: 3})
+	for _, s := range d.Series {
+		// Outliers are additive point anomalies: they must deviate from
+		// the local interpolation of their neighbors far more than normal
+		// points do.
+		var normalDev, nNormal float64
+		deviation := func(i int) float64 {
+			return math.Abs(s.Values[i] - (s.Values[i-1]+s.Values[i+1])/2)
+		}
+		for i := 1; i < s.Len()-1; i++ {
+			if !s.Anomalies[i-1] && !s.Anomalies[i] && !s.Anomalies[i+1] {
+				normalDev += deviation(i)
+				nNormal++
+			}
+		}
+		normalDev /= nNormal
+		for i := 1; i < s.Len()-1; i++ {
+			if s.Anomalies[i] && deviation(i) < 4*normalDev {
+				t.Errorf("%s[%d]: labeled outlier deviates %v, normal points %v", s.Name, i, deviation(i), normalDev)
+			}
+		}
+	}
+}
+
+func TestA4HasChangePoints(t *testing.T) {
+	// A4 series must contain at least one labeled change point whose
+	// post-shift level differs; A3 must not contain level shifts of that
+	// magnitude (its anomalies are point outliers only).
+	d := A4(Options{Files: 6, Points: 400, Seed: 4})
+	foundShift := false
+	for _, s := range d.Series {
+		for i := 10; i < s.Len()-10; i++ {
+			if !s.Anomalies[i] {
+				continue
+			}
+			before := mean(s.Values[i-8 : i-2])
+			after := mean(s.Values[i+2 : i+8])
+			if math.Abs(after-before) > 0.15*math.Abs(before) {
+				foundShift = true
+			}
+		}
+	}
+	if !foundShift {
+		t.Error("A4 generated no level shifts")
+	}
+}
+
+func mean(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	d := A1(Options{Seed: 1})
+	if len(d.Series) != 8 || d.Series[0].Len() != 600 {
+		t.Errorf("defaults not applied: %d series × %d points", len(d.Series), d.Series[0].Len())
+	}
+}
+
+func TestNamesDistinct(t *testing.T) {
+	d := A3(Options{Files: 5, Seed: 1})
+	seen := map[string]bool{}
+	for _, s := range d.Series {
+		if seen[s.Name] {
+			t.Errorf("duplicate series name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}

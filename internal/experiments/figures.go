@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	cdt "cdt"
+	"cdt/internal/core"
+	"cdt/internal/pattern"
+	"cdt/internal/rules"
+)
+
+// Figure3Row is one dataset's rule counts per method (paper Figure 3).
+type Figure3Row struct {
+	Dataset  string
+	NumRules [3]int // CDT, PART, JRip
+}
+
+// Figure3 reports the number of rules each method produces; it reuses
+// Table 4's runs (the paper derives Figure 3 from the same experiment).
+func (s *Suite) Figure3() ([]Figure3Row, error) {
+	t4, err := s.Table4()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Figure3Row, len(t4))
+	for i, r := range t4 {
+		rows[i] = Figure3Row{Dataset: r.Dataset, NumRules: r.NumRules}
+	}
+	return rows, nil
+}
+
+// FormatFigure3 renders the rule counts as a labeled bar chart.
+func FormatFigure3(rows []Figure3Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: number of rules generated per method\n")
+	header := []string{"Dataset", "CDT", "PART", "JRip"}
+	var body [][]string
+	mins := [3]int{1 << 30, 1 << 30, 1 << 30}
+	maxs := [3]int{}
+	for _, r := range rows {
+		body = append(body, []string{
+			r.Dataset,
+			fmt.Sprint(r.NumRules[0]), fmt.Sprint(r.NumRules[1]), fmt.Sprint(r.NumRules[2]),
+		})
+		order := []int{r.NumRules[0], r.NumRules[1], r.NumRules[2]}
+		for i, v := range order {
+			if v < mins[i] {
+				mins[i] = v
+			}
+			if v > maxs[i] {
+				maxs[i] = v
+			}
+		}
+	}
+	b.WriteString(FormatTable(header, body))
+	fmt.Fprintf(&b, "Ranges: CDT %d-%d (paper %d-%d), PART %d-%d (paper %d-%d), JRip %d-%d (paper %d-%d)\n",
+		mins[0], maxs[0], PaperFigure3["CDT"][0], PaperFigure3["CDT"][1],
+		mins[1], maxs[1], PaperFigure3["PART"][0], PaperFigure3["PART"][1],
+		mins[2], maxs[2], PaperFigure3["JRip"][0], PaperFigure3["JRip"][1])
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s CDT  %s %d\n", r.Dataset, bar(r.NumRules[0]), r.NumRules[0])
+		fmt.Fprintf(&b, "%-16s PART %s %d\n", "", bar(r.NumRules[1]), r.NumRules[1])
+		fmt.Fprintf(&b, "%-16s JRip %s %d\n", "", bar(r.NumRules[2]), r.NumRules[2])
+	}
+	return b.String()
+}
+
+func bar(n int) string {
+	if n > 60 {
+		n = 60
+	}
+	return strings.Repeat("█", n)
+}
+
+// Table5Rule is one interpreted rule from the SGE_Calorie model (paper
+// Table 5 shows example rules with pattern sketches and expert
+// commentary).
+type Table5Rule struct {
+	Text        string
+	Sketch      string
+	Description string
+}
+
+// Table5 trains the F(h)-tuned calorie model and renders its rules with
+// visual sketches and plain-language readings.
+func (s *Suite) Table5() ([]Table5Rule, error) {
+	model, _, err := s.FitTuned("SGE_Calorie", cdt.ObjectiveFH)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := pattern.Config{Delta: model.Opts.Delta, Epsilon: pattern.DefaultEpsilon}
+	var out []Table5Rule
+	for _, p := range model.Rule().Predicates {
+		r := Table5Rule{Text: "IF " + p.Format(pcfg) + " THEN anomaly"}
+		var sketches, descs []string
+		for _, c := range p.PositiveCompositions() {
+			sketches = append(sketches, rules.Sketch(c, pcfg, 5))
+			descs = append(descs, rules.Describe(c))
+		}
+		r.Sketch = strings.Join(sketches, "\n")
+		r.Description = strings.Join(descs, "; ")
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FormatTable5 renders the example rules.
+func FormatTable5(rows []Table5Rule) string {
+	var b strings.Builder
+	b.WriteString("Table 5: example rules generated on SGE_Calorie\n")
+	b.WriteString("(paper examples: negative peak = impossible negative consumption;\n")
+	b.WriteString(" positive peak = overconsumption; collective = meter-reading fault;\n")
+	b.WriteString(" constant = stopped meter)\n\n")
+	for i, r := range rows {
+		fmt.Fprintf(&b, "R%d: %s\n", i+1, r.Text)
+		if r.Description != "" {
+			fmt.Fprintf(&b, "    reading: %s\n", r.Description)
+		}
+		for _, line := range strings.Split(r.Sketch, "\n") {
+			b.WriteString("    ")
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Figure1 demonstrates the pattern alphabet: it labels a small example
+// series and shows the different magnitudes of the PP pattern the
+// paper's Figure 1 illustrates.
+func Figure1() string {
+	cfg := pattern.NewConfig(2)
+	var b strings.Builder
+	b.WriteString("Figure 1: pattern magnitudes (δ=2)\n")
+	examples := []struct {
+		name            string
+		prev, mid, next float64
+	}{
+		{"PP[L,H]", 0.3, 0.7, 0.0}, // α=0.4 (L), β=0.7 (H)
+		{"PP[L,L]", 0.3, 0.7, 0.4}, // α=0.4 (L), β=0.3 (L)
+		{"PP[H,H]", 0.1, 0.9, 0.1}, // α=0.8 (H), β=0.8 (H)
+	}
+	for _, ex := range examples {
+		l := cfg.LabelPoint(ex.prev, ex.mid, ex.next)
+		fmt.Fprintf(&b, "points (%.1f, %.1f, %.1f) → %s (expected %s)\n",
+			ex.prev, ex.mid, ex.next, cfg.LabelName(l), ex.name)
+		comp := core.Composition{Labels: []pattern.Label{l}}
+		for _, line := range strings.Split(rules.Sketch(comp, cfg, 5), "\n") {
+			b.WriteString("  ")
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Figure2 trains a small CDT and renders its structure — the worked
+// illustration of the paper's Figure 2.
+func (s *Suite) Figure2() (string, error) {
+	model, _, err := s.FitTuned("SGE_Calorie", cdt.ObjectiveFH)
+	if err != nil {
+		return "", err
+	}
+	st := model.TreeStats()
+	var b strings.Builder
+	b.WriteString("Figure 2: composition-based decision tree (SGE_Calorie, F(h) parameters)\n")
+	fmt.Fprintf(&b, "splits=%d leaves=%d depth=%d anomaly-leaves=%d\n\n",
+		st.Splits, st.Leaves, st.MaxDepth, st.AnomalyLeaves)
+	b.WriteString(model.TreeText())
+	return b.String(), nil
+}

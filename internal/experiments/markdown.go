@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteMarkdownReport runs every experiment and writes a self-contained
+// Markdown report (the machine-generated companion to EXPERIMENTS.md).
+// Used by `cmd/experiments -md <path>`.
+func (s *Suite) WriteMarkdownReport(w io.Writer) error {
+	fmt.Fprintf(w, "# CDT reproduction report\n\n")
+	fmt.Fprintf(w, "Generated %s · seed %d · scale %s · BO budget %d+%d\n\n",
+		time.Now().UTC().Format(time.RFC3339), s.Config.Seed, scaleName(s.Config.Full),
+		s.Config.BOInit, s.Config.BOIters)
+
+	t2, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Table 2 — optimal hyper-parameters\n\n")
+	mdTable(w,
+		[]string{"Dataset", "F1 ω", "F1 δ", "F(h) ω", "F(h) δ", "paper F1 (ω,δ)", "paper F(h) (ω,δ)"},
+		func(emit func(...string)) {
+			for _, r := range t2 {
+				emit(r.Dataset,
+					fmt.Sprint(r.F1Omega), fmt.Sprint(r.F1Delta),
+					fmt.Sprint(r.FHOmega), fmt.Sprint(r.FHDelta),
+					fmt.Sprintf("(%d,%d)", r.PaperF1Omega, r.PaperF1Delta),
+					fmt.Sprintf("(%d,%d)", r.PaperFHOmega, r.PaperFHDelta))
+			}
+		})
+
+	t3, err := s.Table3()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Table 3 — F1 vs pattern-based baselines\n\n")
+	header := []string{"Dataset"}
+	for _, m := range Table3Methods {
+		header = append(header, m, m+" (paper)")
+	}
+	mdTable(w, header, func(emit func(...string)) {
+		var sums [4]float64
+		for _, r := range t3 {
+			row := []string{r.Dataset}
+			for i := range Table3Methods {
+				row = append(row, fmt.Sprintf("%.2f", r.F1[i]), fmt.Sprintf("%.2f", r.Paper[i]))
+				sums[i] += r.F1[i]
+			}
+			emit(row...)
+		}
+		avg := []string{"**Average**"}
+		for i := range Table3Methods {
+			avg = append(avg, fmt.Sprintf("%.2f", sums[i]/float64(len(t3))), fmt.Sprintf("%.2f", PaperTable3Average[i]))
+		}
+		emit(avg...)
+	})
+
+	t4, err := s.Table4()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Table 4 — F1, Q(R), F(h) vs rule learners\n\n")
+	header = []string{"Dataset"}
+	for _, metric := range []string{"F1", "Q", "F(h)"} {
+		for _, m := range Table4Methods {
+			header = append(header, metric+" "+m)
+		}
+	}
+	mdTable(w, header, func(emit func(...string)) {
+		for _, r := range t4 {
+			row := []string{r.Dataset}
+			for i := range Table4Methods {
+				row = append(row, fmt.Sprintf("%.2f", r.F1[i]))
+			}
+			for i := range Table4Methods {
+				row = append(row, fmt.Sprintf("%.2f", r.Q[i]))
+			}
+			for i := range Table4Methods {
+				row = append(row, fmt.Sprintf("%.2f", r.FH[i]))
+			}
+			emit(row...)
+		}
+	})
+
+	f3, err := s.Figure3()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Figure 3 — number of rules\n\n")
+	mdTable(w, []string{"Dataset", "CDT", "PART", "JRip"}, func(emit func(...string)) {
+		for _, r := range f3 {
+			emit(r.Dataset, fmt.Sprint(r.NumRules[0]), fmt.Sprint(r.NumRules[1]), fmt.Sprint(r.NumRules[2]))
+		}
+	})
+	fmt.Fprintf(w, "Paper ranges: CDT %d–%d, PART %d–%d, JRip %d–%d.\n\n",
+		PaperFigure3["CDT"][0], PaperFigure3["CDT"][1],
+		PaperFigure3["PART"][0], PaperFigure3["PART"][1],
+		PaperFigure3["JRip"][0], PaperFigure3["JRip"][1])
+
+	t5, err := s.Table5()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Table 5 — example rules (SGE_Calorie)\n\n```\n")
+	for i, r := range t5 {
+		fmt.Fprintf(w, "R%d: %s\n", i+1, r.Text)
+		if r.Description != "" {
+			fmt.Fprintf(w, "    reading: %s\n", r.Description)
+		}
+	}
+	fmt.Fprintf(w, "```\n\n")
+
+	fig2, err := s.Figure2()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Figure 2 — tree structure\n\n```\n%s```\n", fig2)
+	return nil
+}
+
+func scaleName(full bool) string {
+	if full {
+		return "paper"
+	}
+	return "laptop"
+}
+
+// mdTable writes one GitHub-flavored Markdown table.
+func mdTable(w io.Writer, header []string, body func(emit func(...string))) {
+	fmt.Fprintf(w, "| %s |\n", strings.Join(header, " | "))
+	seps := make([]string, len(header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	body(func(cells ...string) {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+	})
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,174 @@
+// Package experiments is the harness that regenerates every table and
+// figure of the paper's evaluation (§4) on the synthetic stand-in
+// datasets: Table 2 (optimal hyper-parameters), Table 3 (CDT vs
+// pattern-based baselines), Table 4 (CDT vs rule learners), Figure 3
+// (rule counts), Table 5 (example rules), and the illustrative Figures 1
+// and 2. Each experiment is exposed as a method on Suite so the
+// benchmarks, the CLI, and EXPERIMENTS.md all run the same code.
+package experiments
+
+import (
+	"fmt"
+
+	cdt "cdt"
+	"cdt/internal/datasets"
+	"cdt/internal/datasets/sge"
+	"cdt/internal/datasets/yahoo"
+	"cdt/internal/timeseries"
+)
+
+// DatasetNames lists the six evaluation datasets in the paper's order.
+var DatasetNames = []string{
+	"SGE_Electricity",
+	"SGE_Calorie",
+	"Yahoo_A1",
+	"Yahoo_A2",
+	"Yahoo_A3",
+	"Yahoo_A4",
+}
+
+// Config scales the harness.
+type Config struct {
+	// Full switches from laptop-scale to paper-scale dataset sizes.
+	Full bool
+	// Seed drives dataset generation and every stochastic component.
+	Seed int64
+	// BOInit and BOIters budget the Bayesian optimization per dataset
+	// and objective (defaults 5 and 15).
+	BOInit, BOIters int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BOInit <= 0 {
+		c.BOInit = 5
+	}
+	if c.BOIters <= 0 {
+		c.BOIters = 15
+	}
+	return c
+}
+
+// Prepared is one evaluation dataset after the shared preprocessing of
+// §4.1/§4.2: per-series normalization (and hour→day downsampling for the
+// electricity data), split 60/20/20 chronologically.
+type Prepared struct {
+	Name string
+	// Train, Validation, Test are the per-series chronological segments.
+	Train, Validation, Test []*timeseries.Series
+	// Series are the full normalized series (the unsupervised baselines
+	// of §4.2 build their models on the full data).
+	Series []*timeseries.Series
+}
+
+// Contamination returns the point-level anomaly rate of the full data,
+// used to threshold the unsupervised baselines' scores.
+func (p *Prepared) Contamination() float64 {
+	points, anoms := 0, 0
+	for _, s := range p.Series {
+		points += s.Len()
+		anoms += s.AnomalyCount()
+	}
+	if points == 0 {
+		return 0
+	}
+	return float64(anoms) / float64(points)
+}
+
+// Prepare builds one dataset by name.
+func Prepare(name string, cfg Config) (*Prepared, error) {
+	cfg = cfg.withDefaults()
+	var d *datasets.Dataset
+	switch name {
+	case "SGE_Calorie":
+		opts := sge.CalorieOptions{Seed: cfg.Seed + 1}
+		if cfg.Full {
+			opts.Sensors = 25
+			opts.Days = 1341
+		}
+		d = sge.Calorie(opts)
+	case "SGE_Electricity":
+		opts := sge.ElectricityOptions{Seed: cfg.Seed + 2}
+		if cfg.Full {
+			opts.Hours = 10 * 365 * 24
+		}
+		raw := sge.Electricity(opts)
+		// §4.2: electricity is downsampled from hours to days.
+		day, err := raw.Downsample(24, timeseries.Mean)
+		if err != nil {
+			return nil, err
+		}
+		d = day
+	case "Yahoo_A1":
+		d = yahoo.A1(yahooOpts(cfg, 3))
+	case "Yahoo_A2":
+		d = yahoo.A2(yahooOpts(cfg, 4))
+	case "Yahoo_A3":
+		d = yahoo.A3(yahooOpts(cfg, 5))
+	case "Yahoo_A4":
+		d = yahoo.A4(yahooOpts(cfg, 6))
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+	}
+	if _, err := d.Normalize(); err != nil {
+		return nil, err
+	}
+	p := &Prepared{Name: name, Series: d.Series}
+	for _, s := range d.Series {
+		sp, err := timeseries.ChronologicalSplit(s, 0.6, 0.2, 0.2)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s/%s: %w", name, s.Name, err)
+		}
+		p.Train = append(p.Train, sp.Train)
+		p.Validation = append(p.Validation, sp.Validation)
+		p.Test = append(p.Test, sp.Test)
+	}
+	return p, nil
+}
+
+// yahooOpts sizes a Yahoo family. The synthetic generators emit data at
+// the post-downsampling working resolution directly (see DESIGN.md §4):
+// the real S5 corpus is hourly and the paper resamples it to days, which
+// would leave our scaled files too short to split. At laptop scale the
+// generator's boosted default anomaly rates apply; at full scale the
+// corpora are large enough to carry the paper's documented rates.
+func yahooOpts(cfg Config, salt int64) yahoo.Options {
+	o := yahoo.Options{Seed: cfg.Seed + salt}
+	if cfg.Full {
+		o.Files = 40
+		o.Points = 1400
+		switch salt {
+		case 3: // A1
+			o.AnomalyRate = 0.018
+		case 4: // A2
+			o.AnomalyRate = 0.0033
+		case 5: // A3
+			o.AnomalyRate = 0.0056
+		default: // A4
+			o.AnomalyRate = 0.005
+		}
+	}
+	return o
+}
+
+// PrepareAll builds all six datasets.
+func PrepareAll(cfg Config) ([]*Prepared, error) {
+	out := make([]*Prepared, 0, len(DatasetNames))
+	for _, name := range DatasetNames {
+		p, err := Prepare(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// TrainVal pools the train and validation segments — the refit pool used
+// after hyper-parameter selection (the optimized parameters were chosen
+// on validation, so the final model may train on both).
+func (p *Prepared) TrainVal() []*cdt.Series {
+	out := make([]*cdt.Series, 0, len(p.Train)+len(p.Validation))
+	out = append(out, p.Train...)
+	out = append(out, p.Validation...)
+	return out
+}

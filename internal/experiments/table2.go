@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	cdt "cdt"
+)
+
+// Table2Row is one dataset's optimal hyper-parameters under both
+// objectives (paper Table 2).
+type Table2Row struct {
+	Dataset                string
+	F1Omega, F1Delta       int
+	FHOmega, FHDelta       int
+	F1Score, FHScore       float64
+	PaperF1Omega           int
+	PaperF1Delta           int
+	PaperFHOmega           int
+	PaperFHDelta           int
+	F1Evaluations, FHEvals int
+}
+
+// Table2 runs the Bayesian hyper-parameter optimization per dataset for
+// both objectives. The twelve tuning runs (6 datasets × 2 objectives) are
+// independent, so they execute concurrently with a small worker pool;
+// results land in the suite cache and the rows are assembled in the
+// paper's dataset order.
+func (s *Suite) Table2() ([]Table2Row, error) {
+	type job struct {
+		name string
+		obj  cdt.Objective
+	}
+	jobs := make(chan job)
+	errs := make(chan error, len(DatasetNames)*2)
+	var wg sync.WaitGroup
+	workers := 3
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if _, err := s.Tuned(j.name, j.obj); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	for _, name := range DatasetNames {
+		jobs <- job{name, cdt.ObjectiveF1}
+		jobs <- job{name, cdt.ObjectiveFH}
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+
+	var rows []Table2Row
+	for _, name := range DatasetNames {
+		f1res, err := s.Tuned(name, cdt.ObjectiveF1)
+		if err != nil {
+			return nil, err
+		}
+		fhres, err := s.Tuned(name, cdt.ObjectiveFH)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{
+			Dataset: name,
+			F1Omega: f1res.Best.Omega, F1Delta: f1res.Best.Delta,
+			FHOmega: fhres.Best.Omega, FHDelta: fhres.Best.Delta,
+			F1Score: f1res.BestScore, FHScore: fhres.BestScore,
+			F1Evaluations: f1res.Evaluations, FHEvals: fhres.Evaluations,
+		}
+		if p, ok := PaperTable2[name]; ok {
+			row.PaperF1Omega, row.PaperF1Delta = p[0], p[1]
+			row.PaperFHOmega, row.PaperFHDelta = p[2], p[3]
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders Table 2 with paper values alongside.
+func FormatTable2(rows []Table2Row) string {
+	header := []string{"Dataset", "F1 ω", "F1 δ", "F(h) ω", "F(h) δ", "paper F1 (ω,δ)", "paper F(h) (ω,δ)"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			r.Dataset,
+			fmt.Sprint(r.F1Omega), fmt.Sprint(r.F1Delta),
+			fmt.Sprint(r.FHOmega), fmt.Sprint(r.FHDelta),
+			fmt.Sprintf("(%d,%d)", r.PaperF1Omega, r.PaperF1Delta),
+			fmt.Sprintf("(%d,%d)", r.PaperFHOmega, r.PaperFHDelta),
+		})
+	}
+	var b strings.Builder
+	b.WriteString("Table 2: optimal CDT hyper-parameters per objective\n")
+	b.WriteString(FormatTable(header, body))
+	// The paper's headline observation: F(h) favors small δ.
+	smallDelta := 0
+	for _, r := range rows {
+		if r.FHDelta <= r.F1Delta {
+			smallDelta++
+		}
+	}
+	fmt.Fprintf(&b, "F(h) chose δ ≤ F1's δ on %d/%d datasets (paper: 6/6 with δ ∈ {1,2})\n", smallDelta, len(rows))
+	return b.String()
+}

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	cdt "cdt"
+	"cdt/internal/c45"
+	"cdt/internal/core"
+	"cdt/internal/jrip"
+	"cdt/internal/metrics"
+	"cdt/internal/part"
+	"cdt/internal/pattern"
+)
+
+// Table4Methods lists the §4.3 comparison's methods in column order.
+var Table4Methods = []string{"CDT", "PART", "JRip"}
+
+// Table4Row is one dataset's F1, Q(R) and F(h) per method (paper
+// Table 4), plus the rule counts behind Figure 3.
+type Table4Row struct {
+	Dataset  string
+	F1       [3]float64
+	Q        [3]float64
+	FH       [3]float64
+	NumRules [3]int
+	PaperF1  [3]float64
+	PaperQ   [3]float64
+	PaperFH  [3]float64
+}
+
+// Table4 compares CDT with the PART and JRip rule learners. All three
+// methods use the F(h)-optimal hyper-parameters (§4.3) and see the same
+// ω-windows of pattern labels; PART and JRip receive them as nominal
+// attribute vectors (position → label id). Scores are measured on the
+// held-out test windows; Q(R) follows Equation 3 with each learner's
+// conjunctions as rule predicates.
+func (s *Suite) Table4() ([]Table4Row, error) {
+	s.mu.Lock()
+	if s.table4 != nil {
+		rows := s.table4
+		s.mu.Unlock()
+		return rows, nil
+	}
+	s.mu.Unlock()
+	var rows []Table4Row
+	for _, name := range DatasetNames {
+		model, prep, err := s.FitTuned(name, cdt.ObjectiveFH)
+		if err != nil {
+			return nil, err
+		}
+		row := Table4Row{Dataset: name}
+		if p, ok := PaperTable4[name]; ok {
+			row.PaperF1, row.PaperQ, row.PaperFH = p.F1, p.Q, p.FH
+		}
+
+		rep, err := model.Evaluate(prep.Test)
+		if err != nil {
+			return nil, err
+		}
+		row.F1[0], row.Q[0], row.FH[0] = rep.F1, rep.Q, rep.FH
+		row.NumRules[0] = model.NumRules()
+
+		opts := model.Opts
+		trainDS, _, err := nominalDataset(prep.TrainVal(), opts)
+		if err != nil {
+			return nil, err
+		}
+		testDS, _, err := nominalDataset(prep.Test, opts)
+		if err != nil {
+			return nil, err
+		}
+		maxL := pattern.Config{Delta: opts.Delta}.AlphabetSize()
+
+		partCls, err := part.Learn(trainDS, part.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: PART on %s: %w", name, err)
+		}
+		f1, q := evaluateRuleList(partRulesOf(partCls), partCls.DefaultClass, testDS, opts.Omega, maxL)
+		row.F1[1], row.Q[1], row.FH[1] = f1, q, f1*q
+		row.NumRules[1] = partCls.NumRules()
+
+		jripCls, err := jrip.Learn(trainDS, jrip.Options{Seed: s.Config.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: JRip on %s: %w", name, err)
+		}
+		f1, q = evaluateRuleList(jripRulesOf(jripCls), jripCls.DefaultClass, testDS, opts.Omega, maxL)
+		row.F1[2], row.Q[2], row.FH[2] = f1, q, f1*q
+		row.NumRules[2] = jripCls.NumRules()
+
+		rows = append(rows, row)
+	}
+	s.mu.Lock()
+	s.table4 = rows
+	s.mu.Unlock()
+	return rows, nil
+}
+
+// nominalDataset converts series into the nominal-attribute form the
+// rule learners consume: one instance per ω-window, attribute j = the
+// alphabet id of the label at position j, class 1 = anomaly.
+func nominalDataset(series []*cdt.Series, opts cdt.Options) (*c45.Dataset, []core.Observation, error) {
+	pcfg := pattern.Config{Delta: opts.Delta, Epsilon: opts.Epsilon}
+	if pcfg.Epsilon == 0 {
+		pcfg.Epsilon = pattern.DefaultEpsilon
+	}
+	alphabet := pcfg.Alphabet()
+	ids := make(map[pattern.Label]int, len(alphabet))
+	for i, l := range alphabet {
+		ids[l] = i
+	}
+	ds := &c45.Dataset{NumClasses: 2}
+	for j := 0; j < opts.Omega; j++ {
+		ds.AttrNames = append(ds.AttrNames, fmt.Sprintf("pos%d", j))
+		ds.AttrCard = append(ds.AttrCard, len(alphabet))
+	}
+	var pooled []core.Observation
+	for _, s := range series {
+		obs, err := cdt.ObservationsOf(s, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		pooled = append(pooled, obs...)
+		for _, o := range obs {
+			attrs := make([]int, len(o.Labels))
+			for j, l := range o.Labels {
+				attrs[j] = ids[l]
+			}
+			class := 0
+			if o.Class == core.Anomaly {
+				class = 1
+			}
+			ds.Instances = append(ds.Instances, c45.Instance{Attrs: attrs, Class: class})
+		}
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return ds, pooled, nil
+}
+
+// genericRule abstracts a PART/JRip rule for shared evaluation.
+type genericRule struct {
+	conds, uniq int
+	class       int
+	matches     func(attrs []int) bool
+}
+
+// evaluateRuleList scores an ordered rule list on a nominal test set:
+// window-level F1 (class 1 = anomaly positive) and Q(R) per Equation 3,
+// where each anomaly-predicting conjunction is a rule predicate whose
+// interpretability is 1 − (len · uniqueValues)/(ω · MaxL).
+func evaluateRuleList(rules []genericRule, defaultClass int, test *c45.Dataset, omega, maxL int) (f1, q float64) {
+	var conf metrics.Confusion
+	supports := make([]int, len(rules))
+	for _, inst := range test.Instances {
+		matched := -1
+		for ri := range rules {
+			if rules[ri].matches(inst.Attrs) {
+				matched = ri
+				break
+			}
+		}
+		class := defaultClass
+		if matched >= 0 {
+			class = rules[matched].class
+		}
+		predicted := class == 1
+		actual := inst.Class == 1
+		conf.Add(predicted, actual)
+		if matched >= 0 && predicted && actual {
+			supports[matched]++
+		}
+	}
+	s := conf.TP + conf.TN
+	if s > 0 {
+		num := 0.0
+		for ri := range rules {
+			if rules[ri].class != 1 {
+				continue
+			}
+			m := 1 - float64(rules[ri].conds*rules[ri].uniq)/float64(omega*maxL)
+			if m < 0 {
+				m = 0
+			}
+			if m > 1 {
+				m = 1
+			}
+			num += float64(supports[ri]) * m
+		}
+		q = num / float64(s)
+	}
+	return conf.F1(), q
+}
+
+// uniqueConditionValues counts distinct label ids used in a conjunction —
+// the N_L analogue for attribute-value rules.
+func uniqueConditionValues(conds []c45.Condition) int {
+	seen := make(map[int]struct{}, len(conds))
+	for _, c := range conds {
+		seen[c.Value] = struct{}{}
+	}
+	return len(seen)
+}
+
+// FormatTable4 renders Table 4 with averages and paper values.
+func FormatTable4(rows []Table4Row) string {
+	header := []string{"Dataset"}
+	for _, metric := range []string{"F1", "Q", "F(h)"} {
+		for _, m := range Table4Methods {
+			header = append(header, metric+" "+m)
+		}
+	}
+	var body [][]string
+	var f1Sums, qSums, fhSums [3]float64
+	for _, r := range rows {
+		line := []string{r.Dataset}
+		for i := range Table4Methods {
+			line = append(line, fmt.Sprintf("%.2f", r.F1[i]))
+			f1Sums[i] += r.F1[i]
+		}
+		for i := range Table4Methods {
+			line = append(line, fmt.Sprintf("%.2f", r.Q[i]))
+			qSums[i] += r.Q[i]
+		}
+		for i := range Table4Methods {
+			line = append(line, fmt.Sprintf("%.2f", r.FH[i]))
+			fhSums[i] += r.FH[i]
+		}
+		body = append(body, line)
+	}
+	n := float64(len(rows))
+	avg := []string{"Average"}
+	for i := range Table4Methods {
+		avg = append(avg, fmt.Sprintf("%.2f", f1Sums[i]/n))
+	}
+	for i := range Table4Methods {
+		avg = append(avg, fmt.Sprintf("%.2f", qSums[i]/n))
+	}
+	for i := range Table4Methods {
+		avg = append(avg, fmt.Sprintf("%.2f", fhSums[i]/n))
+	}
+	body = append(body, avg)
+	paper := []string{"(paper avg)"}
+	for i := range Table4Methods {
+		paper = append(paper, fmt.Sprintf("%.2f", PaperTable4Average.F1[i]))
+	}
+	for i := range Table4Methods {
+		paper = append(paper, fmt.Sprintf("%.2f", PaperTable4Average.Q[i]))
+	}
+	for i := range Table4Methods {
+		paper = append(paper, fmt.Sprintf("%.2f", PaperTable4Average.FH[i]))
+	}
+	body = append(body, paper)
+	var b strings.Builder
+	b.WriteString("Table 4: F1, Q(R) and F(h), CDT vs rule learners (F(h)-optimal hyper-parameters)\n")
+	b.WriteString(FormatTable(header, body))
+	return b.String()
+}
+
+// NominalDatasetForDebug exposes nominalDataset for ad-hoc diagnostics
+// from cmd binaries; it builds the train+validation nominal dataset.
+func NominalDatasetForDebug(p *Prepared, opts cdt.Options) (*c45.Dataset, int, error) {
+	ds, obs, err := nominalDataset(p.TrainVal(), opts)
+	return ds, len(obs), err
+}

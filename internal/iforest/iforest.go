@@ -1,0 +1,183 @@
+// Package iforest implements Isolation Forest (Liu, Ting & Zhou 2008),
+// the unsupervised scorer the PBAD baseline applies to its
+// pattern-occurrence embeddings. Points that isolate in few random splits
+// receive scores near 1; deep, hard-to-isolate points score near 0.5 or
+// below.
+package iforest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Options tunes the forest. The zero value selects the reference
+// parameters of the original paper.
+type Options struct {
+	// Trees is the ensemble size (default 100).
+	Trees int
+	// SampleSize is the sub-sampling size ψ per tree (default 256,
+	// clamped to the dataset size).
+	SampleSize int
+	// Seed makes training reproducible.
+	Seed int64
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Trees <= 0 {
+		o.Trees = 100
+	}
+	if o.SampleSize <= 0 {
+		o.SampleSize = 256
+	}
+	if o.SampleSize > n {
+		o.SampleSize = n
+	}
+	return o
+}
+
+// node is one isolation-tree node; leaves record the sample count that
+// reached them.
+type node struct {
+	feature     int
+	split       float64
+	left, right *node
+	size        int
+}
+
+// Forest is a trained isolation forest.
+type Forest struct {
+	trees []*node
+	// c is the average path-length normalizer c(ψ).
+	c float64
+	// dims is the expected feature-vector width.
+	dims int
+}
+
+// avgPathLength is c(n): the average unsuccessful-search path length in a
+// BST of n nodes, used to normalize depths.
+func avgPathLength(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	h := math.Log(float64(n-1)) + 0.5772156649015329 // harmonic via ln + Euler–Mascheroni
+	return 2*h - 2*float64(n-1)/float64(n)
+}
+
+// Fit trains a forest on points (each a feature vector of equal width).
+func Fit(points [][]float64, opts Options) (*Forest, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("iforest: no points")
+	}
+	dims := len(points[0])
+	if dims == 0 {
+		return nil, fmt.Errorf("iforest: zero-width feature vectors")
+	}
+	for i, p := range points {
+		if len(p) != dims {
+			return nil, fmt.Errorf("iforest: point %d has %d features, want %d", i, len(p), dims)
+		}
+	}
+	opts = opts.withDefaults(len(points))
+	rng := rand.New(rand.NewSource(opts.Seed))
+	maxDepth := int(math.Ceil(math.Log2(float64(opts.SampleSize)))) + 1
+	f := &Forest{c: avgPathLength(opts.SampleSize), dims: dims}
+	sample := make([][]float64, opts.SampleSize)
+	for t := 0; t < opts.Trees; t++ {
+		perm := rng.Perm(len(points))
+		for i := 0; i < opts.SampleSize; i++ {
+			sample[i] = points[perm[i]]
+		}
+		f.trees = append(f.trees, buildTree(sample, 0, maxDepth, rng))
+	}
+	return f, nil
+}
+
+// buildTree grows one isolation tree by random feature / random split
+// until depth cap, singleton, or unsplittable data.
+func buildTree(points [][]float64, depth, maxDepth int, rng *rand.Rand) *node {
+	if len(points) <= 1 || depth >= maxDepth {
+		return &node{size: len(points)}
+	}
+	dims := len(points[0])
+	// Pick a feature with spread; give up after a few attempts (constant
+	// block of points).
+	for attempt := 0; attempt < dims; attempt++ {
+		feat := rng.Intn(dims)
+		min, max := points[0][feat], points[0][feat]
+		for _, p := range points[1:] {
+			if p[feat] < min {
+				min = p[feat]
+			}
+			if p[feat] > max {
+				max = p[feat]
+			}
+		}
+		if max == min {
+			continue
+		}
+		split := min + rng.Float64()*(max-min)
+		var left, right [][]float64
+		for _, p := range points {
+			if p[feat] < split {
+				left = append(left, p)
+			} else {
+				right = append(right, p)
+			}
+		}
+		if len(left) == 0 || len(right) == 0 {
+			continue
+		}
+		return &node{
+			feature: feat,
+			split:   split,
+			left:    buildTree(left, depth+1, maxDepth, rng),
+			right:   buildTree(right, depth+1, maxDepth, rng),
+		}
+	}
+	return &node{size: len(points)}
+}
+
+// pathLength descends to the leaf for p and returns depth plus the
+// c(size) adjustment for the unexpanded subtree.
+func pathLength(n *node, p []float64, depth int) float64 {
+	for n.left != nil {
+		if p[n.feature] < n.split {
+			n = n.left
+		} else {
+			n = n.right
+		}
+		depth++
+	}
+	return float64(depth) + avgPathLength(n.size)
+}
+
+// Score returns the anomaly score s(p) = 2^(−E[h(p)]/c(ψ)) in (0,1];
+// higher means more anomalous.
+func (f *Forest) Score(p []float64) (float64, error) {
+	if len(p) != f.dims {
+		return 0, fmt.Errorf("iforest: point has %d features, want %d", len(p), f.dims)
+	}
+	sum := 0.0
+	for _, t := range f.trees {
+		sum += pathLength(t, p, 0)
+	}
+	mean := sum / float64(len(f.trees))
+	if f.c == 0 {
+		return 0.5, nil
+	}
+	return math.Pow(2, -mean/f.c), nil
+}
+
+// ScoreAll scores a batch of points.
+func (f *Forest) ScoreAll(points [][]float64) ([]float64, error) {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		s, err := f.Score(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,187 @@
+package iforest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// cluster generates n points around a center with the given spread.
+func cluster(rng *rand.Rand, n int, center []float64, spread float64) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		p := make([]float64, len(center))
+		for d := range p {
+			p[d] = center[d] + rng.NormFloat64()*spread
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestOutlierScoresHigherThanInliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	points := cluster(rng, 300, []float64{0, 0}, 0.1)
+	outlier := []float64{5, 5}
+	points = append(points, outlier)
+	f, err := Fit(points, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outScore, err := f.Score(outlier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inScore, err := f.Score([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outScore <= inScore {
+		t.Errorf("outlier score %v <= inlier score %v", outScore, inScore)
+	}
+	if outScore < 0.6 {
+		t.Errorf("outlier score %v unexpectedly low", outScore)
+	}
+}
+
+func TestScoresInUnitInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	points := cluster(rng, 200, []float64{1, 2, 3}, 0.5)
+	f, err := Fit(points, Options{Seed: 2, Trees: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := f.ScoreAll(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scores {
+		if s <= 0 || s > 1 {
+			t.Fatalf("score[%d] = %v out of (0,1]", i, s)
+		}
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points := cluster(rng, 100, []float64{0}, 1)
+	f1, err := Fit(points, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Fit(points, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points[:10] {
+		s1, _ := f1.Score(p)
+		s2, _ := f2.Score(p)
+		if s1 != s2 {
+			t.Fatal("same seed, different scores")
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, Options{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Fit([][]float64{{}}, Options{}); err == nil {
+		t.Error("zero-width vectors accepted")
+	}
+	if _, err := Fit([][]float64{{1}, {1, 2}}, Options{}); err == nil {
+		t.Error("ragged vectors accepted")
+	}
+}
+
+func TestScoreDimensionMismatch(t *testing.T) {
+	f, err := Fit([][]float64{{1, 2}, {3, 4}, {5, 6}}, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Score([]float64{1}); err == nil {
+		t.Error("wrong-width point accepted")
+	}
+	if _, err := f.ScoreAll([][]float64{{1}}); err == nil {
+		t.Error("ScoreAll wrong-width point accepted")
+	}
+}
+
+func TestConstantDataUniformScores(t *testing.T) {
+	points := make([][]float64, 50)
+	for i := range points {
+		points[i] = []float64{1, 1}
+	}
+	f, err := Fit(points, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, _ := f.Score(points[0])
+	s1, _ := f.Score(points[1])
+	if s0 != s1 {
+		t.Error("identical points scored differently")
+	}
+}
+
+func TestAvgPathLength(t *testing.T) {
+	if avgPathLength(0) != 0 || avgPathLength(1) != 0 {
+		t.Error("c(0), c(1) should be 0")
+	}
+	// c(2) = 2·H(1) − 2·1/2 = 2·(ln 1 + γ) − 1 ≈ 0.1544.
+	if got := avgPathLength(2); math.Abs(got-(2*0.5772156649015329-1)) > 1e-9 {
+		t.Errorf("c(2) = %v", got)
+	}
+	// c(n) grows with n.
+	if avgPathLength(256) <= avgPathLength(64) {
+		t.Error("c not increasing")
+	}
+}
+
+func TestSampleSizeClamped(t *testing.T) {
+	points := [][]float64{{1}, {2}, {3}}
+	if _, err := Fit(points, Options{Seed: 1, SampleSize: 1000}); err != nil {
+		t.Fatalf("oversized sample rejected: %v", err)
+	}
+}
+
+// The contamination detection property: the top-scored fraction should
+// recover planted outliers.
+func TestTopScoresRecoverPlantedOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	points := cluster(rng, 490, []float64{0, 0}, 0.2)
+	outliers := cluster(rng, 10, []float64{4, -4}, 0.1)
+	all := append(points, outliers...)
+	f, err := Fit(all, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := f.ScoreAll(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count how many of the top-10 scores are planted outliers.
+	type idxScore struct {
+		idx int
+		s   float64
+	}
+	top := make([]idxScore, len(scores))
+	for i, s := range scores {
+		top[i] = idxScore{i, s}
+	}
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < len(top); j++ {
+			if top[j].s > top[i].s {
+				top[i], top[j] = top[j], top[i]
+			}
+		}
+	}
+	hits := 0
+	for i := 0; i < 10; i++ {
+		if top[i].idx >= 490 {
+			hits++
+		}
+	}
+	if hits < 8 {
+		t.Errorf("only %d/10 planted outliers in top-10 scores", hits)
+	}
+}

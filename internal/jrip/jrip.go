@@ -1,0 +1,467 @@
+// Package jrip implements the RIPPER rule learner (Cohen 1995; WEKA's
+// JRip, the §4.3 baseline): classes are handled from rarest to most
+// frequent; per class, rules are grown condition-by-condition by FOIL
+// information gain on a grow set, pruned greedily on a prune set, and
+// accepted while the description length does not blow past the best seen
+// (the MDL stopping rule) and the pruned rule stays better than random.
+// A final optimization pass re-grows each rule in context and keeps the
+// variant with the smaller training error, the essence of RIPPER's
+// rule-optimization phase.
+package jrip
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cdt/internal/c45"
+)
+
+// Rule is a conjunction of attribute tests implying the positive class of
+// its learning round.
+type Rule struct {
+	Conditions []c45.Condition
+	Class      int
+}
+
+// Matches reports whether the conjunction holds.
+func (r Rule) Matches(attrs []int) bool {
+	for _, c := range r.Conditions {
+		if attrs[c.Attr] != c.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Classifier is an ordered RIPPER rule list with a default class.
+type Classifier struct {
+	Rules        []Rule
+	DefaultClass int
+}
+
+// Options tunes learning. The zero value reproduces the reference
+// configuration (2/3–1/3 grow/prune split, 64-bit MDL slack, one
+// optimization pass).
+type Options struct {
+	// Seed drives the stratified grow/prune shuffles.
+	Seed int64
+	// DLSlack is the description-length budget above the minimum before
+	// rule adding stops (default 64, Cohen's d).
+	DLSlack float64
+	// Optimizations is the number of optimization passes (default 1;
+	// negative disables).
+	Optimizations int
+	// MinCoverage is the minimum positives a rule must cover
+	// (default 1).
+	MinCoverage int
+}
+
+func (o Options) withDefaults() Options {
+	if o.DLSlack <= 0 {
+		o.DLSlack = 64
+	}
+	if o.Optimizations == 0 {
+		o.Optimizations = 1
+	}
+	if o.MinCoverage <= 0 {
+		o.MinCoverage = 1
+	}
+	return o
+}
+
+// Learn trains a RIPPER classifier on the dataset.
+func Learn(ds *c45.Dataset, opts Options) (*Classifier, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ds.Instances) == 0 {
+		return nil, fmt.Errorf("jrip: no instances")
+	}
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Order classes rarest first; the most frequent becomes the default.
+	freq := make([]int, ds.NumClasses)
+	for _, inst := range ds.Instances {
+		freq[inst.Class]++
+	}
+	order := classOrder(freq)
+
+	remaining := make([]int, len(ds.Instances))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	cls := &Classifier{DefaultClass: order[len(order)-1]}
+	for _, target := range order[:len(order)-1] {
+		rules := learnClass(ds, remaining, target, opts, rng)
+		cls.Rules = append(cls.Rules, rules...)
+		// Remove instances covered by the new rules.
+		var next []int
+		for _, i := range remaining {
+			covered := false
+			for _, r := range rules {
+				if r.Matches(ds.Instances[i].Attrs) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				next = append(next, i)
+			}
+		}
+		remaining = next
+	}
+	return cls, nil
+}
+
+// classOrder returns class indices sorted by ascending frequency (stable
+// on index for ties).
+func classOrder(freq []int) []int {
+	order := make([]int, len(freq))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && freq[order[j]] < freq[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// learnClass runs the IREP* loop for one positive class over the
+// remaining instance pool.
+func learnClass(ds *c45.Dataset, pool []int, target int, opts Options, rng *rand.Rand) []Rule {
+	var pos, neg []int
+	for _, i := range pool {
+		if ds.Instances[i].Class == target {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	if len(pos) == 0 {
+		return nil
+	}
+	nConds := 0
+	for _, card := range ds.AttrCard {
+		nConds += card
+	}
+
+	var rules []Rule
+	uncoveredPos := append([]int(nil), pos...)
+	uncoveredNeg := append([]int(nil), neg...)
+	bestDL := math.Inf(1)
+	for len(uncoveredPos) > 0 {
+		growPos, prunePos := split23(uncoveredPos, rng)
+		growNeg, pruneNeg := split23(uncoveredNeg, rng)
+		rule := growRule(ds, growPos, growNeg, target)
+		rule = pruneRule(ds, rule, prunePos, pruneNeg)
+		p, n := coverage(ds, rule, uncoveredPos), coverage(ds, rule, uncoveredNeg)
+		if p < opts.MinCoverage {
+			break
+		}
+		// Cohen's stopping rule: reject the rule (and stop) when its
+		// error rate on the *prune* set exceeds 50%. A rule the prune
+		// set never exercises is accepted on the grow set's evidence.
+		pp, pn := coverage(ds, rule, prunePos), coverage(ds, rule, pruneNeg)
+		if pp+pn > 0 && pn >= pp {
+			break
+		}
+		if pp+pn == 0 && n >= p {
+			break
+		}
+		rules = append(rules, rule)
+		uncoveredPos = removeCovered(ds, rule, uncoveredPos)
+		uncoveredNeg = removeCovered(ds, rule, uncoveredNeg)
+		dl := descriptionLength(ds, rules, pos, neg, nConds)
+		if dl < bestDL {
+			bestDL = dl
+		} else if dl > bestDL+opts.DLSlack {
+			// MDL stop: drop the offending rule and finish.
+			rules = rules[:len(rules)-1]
+			break
+		}
+	}
+
+	for pass := 0; pass < opts.Optimizations; pass++ {
+		rules = optimize(ds, rules, pos, neg, opts, rng)
+	}
+	return rules
+}
+
+// split23 shuffles and splits indices 2/3 grow, 1/3 prune; a set too
+// small to split is used for both roles.
+func split23(indices []int, rng *rand.Rand) (grow, prune []int) {
+	if len(indices) < 3 {
+		return indices, indices
+	}
+	shuffled := append([]int(nil), indices...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	cut := len(shuffled) * 2 / 3
+	return shuffled[:cut], shuffled[cut:]
+}
+
+// growRule adds the condition with the best FOIL information gain until
+// the rule covers no grow-set negatives or no condition helps.
+func growRule(ds *c45.Dataset, growPos, growNeg []int, target int) Rule {
+	rule := Rule{Class: target}
+	pos := append([]int(nil), growPos...)
+	neg := append([]int(nil), growNeg...)
+	used := make(map[int]bool)
+	for len(neg) > 0 {
+		p0, n0 := float64(len(pos)), float64(len(neg))
+		bestGain := 0.0
+		var bestCond c45.Condition
+		found := false
+		for attr := range ds.AttrNames {
+			if used[attr] {
+				continue
+			}
+			// Count coverage per value in one pass.
+			pCounts := make([]int, ds.AttrCard[attr])
+			nCounts := make([]int, ds.AttrCard[attr])
+			for _, i := range pos {
+				pCounts[ds.Instances[i].Attrs[attr]]++
+			}
+			for _, i := range neg {
+				nCounts[ds.Instances[i].Attrs[attr]]++
+			}
+			for v := 0; v < ds.AttrCard[attr]; v++ {
+				p1, n1 := float64(pCounts[v]), float64(nCounts[v])
+				if p1 == 0 {
+					continue
+				}
+				gain := p1 * (math.Log2(p1/(p1+n1)) - math.Log2(p0/(p0+n0)))
+				if gain > bestGain+1e-12 {
+					bestGain = gain
+					bestCond = c45.Condition{Attr: attr, Value: v}
+					found = true
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		rule.Conditions = append(rule.Conditions, bestCond)
+		used[bestCond.Attr] = true
+		pos = filterByCond(ds, bestCond, pos)
+		neg = filterByCond(ds, bestCond, neg)
+	}
+	return rule
+}
+
+// pruneRule considers the deletion of every final sequence of conditions
+// (Cohen's IREP* formulation) and keeps the prefix maximizing RIPPER's
+// pruning metric (p + (N − n))/(P + N) on the prune set — the rule's
+// prune-set accuracy, whose ordering is that of p − n. Ties prefer the
+// longer prefix so the grow set's evidence stands when the prune set
+// cannot distinguish candidates.
+func pruneRule(ds *c45.Dataset, rule Rule, prunePos, pruneNeg []int) Rule {
+	metric := func(conds []c45.Condition) int {
+		r := Rule{Conditions: conds, Class: rule.Class}
+		return coverage(ds, r, prunePos) - coverage(ds, r, pruneNeg)
+	}
+	bestLen := len(rule.Conditions)
+	bestMetric := metric(rule.Conditions)
+	for k := len(rule.Conditions) - 1; k >= 1; k-- {
+		if m := metric(rule.Conditions[:k]); m > bestMetric {
+			bestMetric = m
+			bestLen = k
+		}
+	}
+	rule.Conditions = rule.Conditions[:bestLen]
+	return rule
+}
+
+// optimize re-grows each rule in the context of the others and keeps the
+// variant (original, replacement, revision) with the fewest total errors
+// on the training pool.
+func optimize(ds *c45.Dataset, rules []Rule, pos, neg []int, opts Options, rng *rand.Rand) []Rule {
+	totalErrors := func(rs []Rule) int {
+		e := 0
+		for _, i := range pos {
+			if !anyMatches(ds, rs, i) {
+				e++
+			}
+		}
+		for _, i := range neg {
+			if anyMatches(ds, rs, i) {
+				e++
+			}
+		}
+		return e
+	}
+	for ri := range rules {
+		others := append(append([]Rule(nil), rules[:ri]...), rules[ri+1:]...)
+		// Instances not covered by the other rules are this rule's
+		// responsibility.
+		var rpos, rneg []int
+		for _, i := range pos {
+			if !anyMatches(ds, others, i) {
+				rpos = append(rpos, i)
+			}
+		}
+		for _, i := range neg {
+			if !anyMatches(ds, others, i) {
+				rneg = append(rneg, i)
+			}
+		}
+		if len(rpos) == 0 {
+			continue
+		}
+		growPos, prunePos := split23(rpos, rng)
+		growNeg, pruneNeg := split23(rneg, rng)
+		replacement := pruneRule(ds, growRule(ds, growPos, growNeg, rules[ri].Class), prunePos, pruneNeg)
+		revision := reviseRule(ds, rules[ri], growPos, growNeg)
+		bestRules := rules
+		bestErr := totalErrors(rules)
+		for _, cand := range []Rule{replacement, revision} {
+			if len(cand.Conditions) == 0 {
+				continue
+			}
+			trial := append(append([]Rule(nil), rules[:ri]...), cand)
+			trial = append(trial, rules[ri+1:]...)
+			if e := totalErrors(trial); e < bestErr {
+				bestErr = e
+				bestRules = trial
+			}
+		}
+		rules = bestRules
+	}
+	// Drop rules that no longer cover any positive.
+	var kept []Rule
+	for _, r := range rules {
+		if coverage(ds, r, pos) > 0 {
+			kept = append(kept, r)
+		}
+	}
+	return kept
+}
+
+// reviseRule extends an existing rule with further grown conditions.
+func reviseRule(ds *c45.Dataset, rule Rule, growPos, growNeg []int) Rule {
+	pos := removeUncovered(ds, rule, growPos)
+	neg := removeUncovered(ds, rule, growNeg)
+	ext := growRule(ds, pos, neg, rule.Class)
+	out := Rule{Class: rule.Class, Conditions: append(append([]c45.Condition(nil), rule.Conditions...), ext.Conditions...)}
+	return dedupeConditions(out)
+}
+
+func dedupeConditions(r Rule) Rule {
+	seen := make(map[c45.Condition]bool)
+	var conds []c45.Condition
+	for _, c := range r.Conditions {
+		if !seen[c] {
+			seen[c] = true
+			conds = append(conds, c)
+		}
+	}
+	r.Conditions = conds
+	return r
+}
+
+// descriptionLength is the MDL cost of the ruleset: bits to encode each
+// rule's conditions plus bits to encode its exceptions (false positives
+// among covered, false negatives among uncovered).
+func descriptionLength(ds *c45.Dataset, rules []Rule, pos, neg []int, nConds int) float64 {
+	ruleBits := 0.0
+	for _, r := range rules {
+		k := float64(len(r.Conditions))
+		// ~log2(k)+k·log2(#possible conditions) bits per rule.
+		ruleBits += math.Log2(k+1) + k*math.Log2(float64(nConds))
+	}
+	covered, fp := 0, 0
+	uncovered, fn := 0, 0
+	for _, i := range pos {
+		if anyMatches(ds, rules, i) {
+			covered++
+		} else {
+			uncovered++
+			fn++
+		}
+	}
+	for _, i := range neg {
+		if anyMatches(ds, rules, i) {
+			covered++
+			fp++
+		} else {
+			uncovered++
+		}
+	}
+	return ruleBits + logBinomial(covered, fp) + logBinomial(uncovered, fn)
+}
+
+// logBinomial is log2 C(n,k) via lgamma.
+func logBinomial(n, k int) float64 {
+	if k < 0 || k > n || n == 0 {
+		return 0
+	}
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return (ln - lk - lnk) / math.Ln2
+}
+
+func anyMatches(ds *c45.Dataset, rules []Rule, i int) bool {
+	for _, r := range rules {
+		if r.Matches(ds.Instances[i].Attrs) {
+			return true
+		}
+	}
+	return false
+}
+
+func coverage(ds *c45.Dataset, rule Rule, indices []int) int {
+	n := 0
+	for _, i := range indices {
+		if rule.Matches(ds.Instances[i].Attrs) {
+			n++
+		}
+	}
+	return n
+}
+
+func filterByCond(ds *c45.Dataset, cond c45.Condition, indices []int) []int {
+	var out []int
+	for _, i := range indices {
+		if ds.Instances[i].Attrs[cond.Attr] == cond.Value {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func removeCovered(ds *c45.Dataset, rule Rule, indices []int) []int {
+	var out []int
+	for _, i := range indices {
+		if !rule.Matches(ds.Instances[i].Attrs) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func removeUncovered(ds *c45.Dataset, rule Rule, indices []int) []int {
+	var out []int
+	for _, i := range indices {
+		if rule.Matches(ds.Instances[i].Attrs) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Predict classifies by the first matching rule, else the default class.
+func (c *Classifier) Predict(attrs []int) int {
+	for _, r := range c.Rules {
+		if r.Matches(attrs) {
+			return r.Class
+		}
+	}
+	return c.DefaultClass
+}
+
+// NumRules returns the rule-list size (the Figure 3 metric).
+func (c *Classifier) NumRules() int { return len(c.Rules) }

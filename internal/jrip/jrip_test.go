@@ -1,0 +1,268 @@
+package jrip
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdt/internal/c45"
+)
+
+func keyedDataset(n int, seed int64) *c45.Dataset {
+	// class 1 iff (a==1 && b==2); plus a junk attribute.
+	rng := rand.New(rand.NewSource(seed))
+	ds := &c45.Dataset{
+		AttrNames:  []string{"a", "b", "junk"},
+		AttrCard:   []int{2, 3, 4},
+		NumClasses: 2,
+	}
+	for i := 0; i < n; i++ {
+		a, b := rng.Intn(2), rng.Intn(3)
+		class := 0
+		if a == 1 && b == 2 {
+			class = 1
+		}
+		ds.Instances = append(ds.Instances, c45.Instance{
+			Attrs: []int{a, b, rng.Intn(4)},
+			Class: class,
+		})
+	}
+	return ds
+}
+
+func TestLearnConjunction(t *testing.T) {
+	ds := keyedDataset(300, 1)
+	cls, err := Learn(ds, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for _, inst := range ds.Instances {
+		if cls.Predict(inst.Attrs) != inst.Class {
+			errs++
+		}
+	}
+	if float64(errs)/float64(len(ds.Instances)) > 0.05 {
+		t.Errorf("%d/%d errors on a clean conjunction", errs, len(ds.Instances))
+	}
+}
+
+func TestRulesTargetMinorityClass(t *testing.T) {
+	ds := keyedDataset(300, 2)
+	cls, err := Learn(ds, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class 1 (a==1&&b==2, ~1/6 of data) is rarer: rules should predict
+	// it and the default should be class 0.
+	if cls.DefaultClass != 0 {
+		t.Errorf("default class = %d, want 0", cls.DefaultClass)
+	}
+	for _, r := range cls.Rules {
+		if r.Class != 1 {
+			t.Errorf("rule predicts class %d, want 1", r.Class)
+		}
+	}
+}
+
+func TestRulesShorterThanExhaustive(t *testing.T) {
+	ds := keyedDataset(300, 3)
+	cls, err := Learn(ds, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RIPPER should find a compact description: very few rules with at
+	// most ~2 conditions each for a 2-condition concept.
+	if cls.NumRules() > 4 {
+		t.Errorf("%d rules for a single-conjunction concept", cls.NumRules())
+	}
+	for _, r := range cls.Rules {
+		if len(r.Conditions) > 3 {
+			t.Errorf("rule has %d conditions", len(r.Conditions))
+		}
+	}
+}
+
+func TestLearnDeterministicGivenSeed(t *testing.T) {
+	ds := keyedDataset(200, 4)
+	c1, err := Learn(ds, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Learn(ds, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.NumRules() != c2.NumRules() {
+		t.Fatal("same seed, different rule counts")
+	}
+	for i := range c1.Rules {
+		if len(c1.Rules[i].Conditions) != len(c2.Rules[i].Conditions) {
+			t.Fatal("same seed, different rules")
+		}
+	}
+}
+
+func TestLearnErrors(t *testing.T) {
+	ds := &c45.Dataset{AttrNames: []string{"a"}, AttrCard: []int{2}, NumClasses: 2}
+	if _, err := Learn(ds, Options{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestLearnSingleClassData(t *testing.T) {
+	ds := &c45.Dataset{
+		AttrNames:  []string{"a"},
+		AttrCard:   []int{2},
+		NumClasses: 2,
+	}
+	for i := 0; i < 20; i++ {
+		ds.Instances = append(ds.Instances, c45.Instance{Attrs: []int{i % 2}, Class: 0})
+	}
+	cls, err := Learn(ds, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Predict([]int{0}) != 0 {
+		t.Error("single-class data misclassified")
+	}
+}
+
+func TestClassOrder(t *testing.T) {
+	order := classOrder([]int{50, 10, 30})
+	if order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Errorf("order = %v, want [1 2 0]", order)
+	}
+}
+
+func TestGrowRuleFindsDiscriminatingConditions(t *testing.T) {
+	ds := keyedDataset(300, 5)
+	var pos, neg []int
+	for i, inst := range ds.Instances {
+		if inst.Class == 1 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	rule := growRule(ds, pos, neg, 1)
+	if len(rule.Conditions) == 0 {
+		t.Fatal("no conditions grown")
+	}
+	// The grown rule must exclude all negatives.
+	for _, i := range neg {
+		if rule.Matches(ds.Instances[i].Attrs) {
+			t.Fatal("grown rule covers negatives")
+		}
+	}
+	// And cover at least one positive.
+	if coverage(ds, rule, pos) == 0 {
+		t.Fatal("grown rule covers no positives")
+	}
+}
+
+func TestPruneRuleNeverWorsensPruneMetric(t *testing.T) {
+	ds := keyedDataset(300, 6)
+	var pos, neg []int
+	for i, inst := range ds.Instances {
+		if inst.Class == 1 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	full := growRule(ds, pos, neg, 1)
+	// Append a junk condition and check pruning removes it.
+	junk := Rule{Class: 1, Conditions: append(append([]c45.Condition(nil), full.Conditions...), c45.Condition{Attr: 2, Value: 0})}
+	pruned := pruneRule(ds, junk, pos, neg)
+	metric := func(r Rule) float64 {
+		p, n := coverage(ds, r, pos), coverage(ds, r, neg)
+		if p+n == 0 {
+			return -1
+		}
+		return float64(p-n) / float64(p+n)
+	}
+	if metric(pruned) < metric(junk) {
+		t.Error("pruning worsened the prune metric")
+	}
+}
+
+func TestLogBinomial(t *testing.T) {
+	// log2 C(10,3) = log2 120 ≈ 6.9069.
+	if got := logBinomial(10, 3); got < 6.9 || got > 6.91 {
+		t.Errorf("logBinomial(10,3) = %v", got)
+	}
+	if logBinomial(5, 7) != 0 || logBinomial(0, 0) != 0 {
+		t.Error("edge cases wrong")
+	}
+}
+
+func TestRuleMatchesEmpty(t *testing.T) {
+	r := Rule{}
+	if !r.Matches([]int{1, 2}) {
+		t.Error("empty rule should match")
+	}
+}
+
+func TestDedupeConditions(t *testing.T) {
+	r := Rule{Conditions: []c45.Condition{{Attr: 0, Value: 1}, {Attr: 0, Value: 1}, {Attr: 1, Value: 0}}}
+	d := dedupeConditions(r)
+	if len(d.Conditions) != 2 {
+		t.Errorf("got %d conditions", len(d.Conditions))
+	}
+}
+
+func TestPredictDefault(t *testing.T) {
+	cls := &Classifier{DefaultClass: 1}
+	if cls.Predict([]int{0}) != 1 {
+		t.Error("default not used")
+	}
+}
+
+// descriptionLength must grow when a redundant rule is appended: more
+// rule bits, no fewer exceptions.
+func TestDescriptionLengthMonotoneInRedundantRules(t *testing.T) {
+	ds := keyedDataset(200, 7)
+	var pos, neg []int
+	for i, inst := range ds.Instances {
+		if inst.Class == 1 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	nConds := 0
+	for _, card := range ds.AttrCard {
+		nConds += card
+	}
+	good := Rule{Class: 1, Conditions: []c45.Condition{{Attr: 0, Value: 1}, {Attr: 1, Value: 2}}}
+	dupe := good
+	one := descriptionLength(ds, []Rule{good}, pos, neg, nConds)
+	two := descriptionLength(ds, []Rule{good, dupe}, pos, neg, nConds)
+	if two <= one {
+		t.Errorf("DL did not grow for a redundant rule: %v -> %v", one, two)
+	}
+}
+
+// A rule set that explains the data perfectly must cost fewer exception
+// bits than an empty one.
+func TestDescriptionLengthRewardsExplanation(t *testing.T) {
+	ds := keyedDataset(300, 8)
+	var pos, neg []int
+	for i, inst := range ds.Instances {
+		if inst.Class == 1 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	nConds := 0
+	for _, card := range ds.AttrCard {
+		nConds += card
+	}
+	perfect := Rule{Class: 1, Conditions: []c45.Condition{{Attr: 0, Value: 1}, {Attr: 1, Value: 2}}}
+	with := descriptionLength(ds, []Rule{perfect}, pos, neg, nConds)
+	without := descriptionLength(ds, nil, pos, neg, nConds)
+	if with >= without {
+		t.Errorf("perfect rule did not reduce DL: with=%v without=%v", with, without)
+	}
+}

@@ -1,0 +1,201 @@
+// Package matrixprofile implements the Matrix Profile baseline of §4.2
+// (Yeh et al., "Matrix Profile I", ICDM 2016): the self-join matrix
+// profile under z-normalized Euclidean distance, computed with the STOMP
+// recurrence. Subsequences with a *large* profile value are far from
+// every other subsequence — time-series discords — which is the anomaly
+// notion the paper's comparison uses.
+package matrixprofile
+
+import (
+	"fmt"
+	"math"
+)
+
+// Profile is the self-join matrix profile of a series.
+type Profile struct {
+	// Values[i] is the z-normalized Euclidean distance from the
+	// subsequence starting at i to its nearest non-trivial neighbor.
+	Values []float64
+	// Index[i] is the position of that nearest neighbor.
+	Index []int
+	// M is the subsequence length.
+	M int
+}
+
+// Compute builds the self-join matrix profile of values with subsequence
+// length m using the STOMP O(n²) recurrence with an exclusion zone of
+// m/2 around the diagonal (trivial matches). It requires at least 2m
+// points so every subsequence has a non-excluded neighbor.
+func Compute(values []float64, m int) (*Profile, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("matrixprofile: subsequence length %d, want >= 2", m)
+	}
+	n := len(values) - m + 1
+	if n < 2 {
+		return nil, fmt.Errorf("matrixprofile: series of %d points too short for m=%d", len(values), m)
+	}
+	excl := m / 2
+	if excl < 1 {
+		excl = 1
+	}
+
+	means, stds := rollingStats(values, m)
+
+	p := &Profile{
+		Values: make([]float64, n),
+		Index:  make([]int, n),
+		M:      m,
+	}
+	for i := range p.Values {
+		p.Values[i] = math.Inf(1)
+		p.Index[i] = -1
+	}
+
+	// First row of the dot-product matrix: QT[j] = Σ values[k]·values[j+k]
+	// for query at 0.
+	qt := make([]float64, n)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for k := 0; k < m; k++ {
+			s += values[k] * values[j+k]
+		}
+		qt[j] = s
+	}
+	qtFirst := append([]float64(nil), qt...)
+
+	update := func(i int) {
+		for j := 0; j < n; j++ {
+			if abs(i-j) < excl {
+				continue
+			}
+			d := dist(qt[j], means[i], stds[i], means[j], stds[j], m)
+			if d < p.Values[i] {
+				p.Values[i] = d
+				p.Index[i] = j
+			}
+			// The profile is symmetric: the pair (i,j) also updates j.
+			if d < p.Values[j] {
+				p.Values[j] = d
+				p.Index[j] = i
+			}
+		}
+	}
+	update(0)
+	for i := 1; i < n; i++ {
+		// STOMP recurrence: QT_i[j] = QT_{i-1}[j-1]
+		//   − values[i-1]·values[j-1] + values[i+m-1]·values[j+m-1].
+		for j := n - 1; j >= 1; j-- {
+			qt[j] = qt[j-1] - values[i-1]*values[j-1] + values[i+m-1]*values[j+m-1]
+		}
+		qt[0] = qtFirst[i]
+		update(i)
+	}
+	return p, nil
+}
+
+// rollingStats returns per-window means and standard deviations.
+func rollingStats(values []float64, m int) (means, stds []float64) {
+	n := len(values) - m + 1
+	means = make([]float64, n)
+	stds = make([]float64, n)
+	sum, sumSq := 0.0, 0.0
+	for k := 0; k < m; k++ {
+		sum += values[k]
+		sumSq += values[k] * values[k]
+	}
+	for i := 0; i < n; i++ {
+		mean := sum / float64(m)
+		means[i] = mean
+		variance := sumSq/float64(m) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		stds[i] = math.Sqrt(variance)
+		if i+1 < n {
+			sum += values[i+m] - values[i]
+			sumSq += values[i+m]*values[i+m] - values[i]*values[i]
+		}
+	}
+	return means, stds
+}
+
+// dist converts a dot product into the z-normalized Euclidean distance
+// between two subsequences, handling constant (zero-std) subsequences by
+// the standard convention: both constant → distance 0, one constant →
+// maximal distance √m.
+func dist(qt, meanI, stdI, meanJ, stdJ float64, m int) float64 {
+	const eps = 1e-12
+	ci, cj := stdI < eps, stdJ < eps
+	switch {
+	case ci && cj:
+		return 0
+	case ci || cj:
+		return math.Sqrt(float64(m))
+	}
+	corr := (qt - float64(m)*meanI*meanJ) / (float64(m) * stdI * stdJ)
+	if corr > 1 {
+		corr = 1
+	}
+	if corr < -1 {
+		corr = -1
+	}
+	return math.Sqrt(2 * float64(m) * (1 - corr))
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Discords returns the k subsequence starts with the largest profile
+// values, each at least excl apart (non-overlapping discords), best
+// first.
+func (p *Profile) Discords(k, excl int) []int {
+	if excl < 1 {
+		excl = p.M / 2
+		if excl < 1 {
+			excl = 1
+		}
+	}
+	taken := make([]bool, len(p.Values))
+	var out []int
+	for len(out) < k {
+		best, bestVal := -1, math.Inf(-1)
+		for i, v := range p.Values {
+			if !taken[i] && !math.IsInf(v, 1) && v > bestVal {
+				best, bestVal = i, v
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, best)
+		for i := best - excl; i <= best+excl; i++ {
+			if i >= 0 && i < len(taken) {
+				taken[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// WindowScores aggregates the profile into anomaly scores for fixed
+// windows (start, length) of the *original* series: a window's score is
+// the maximum profile value among subsequences starting inside it. This
+// is how the §4.2 comparison converts the profile to the shared
+// window-level protocol.
+func (p *Profile) WindowScores(starts []int, windowLen int) []float64 {
+	out := make([]float64, len(starts))
+	for wi, start := range starts {
+		max := 0.0
+		for i := start; i < start+windowLen && i < len(p.Values); i++ {
+			if i >= 0 && !math.IsInf(p.Values[i], 1) && p.Values[i] > max {
+				max = p.Values[i]
+			}
+		}
+		out[wi] = max
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package matrixprofile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sine builds a clean periodic series.
+func sine(n int, period float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Sin(2 * math.Pi * float64(i) / period)
+	}
+	return out
+}
+
+// bruteForce computes the matrix profile naively for verification.
+func bruteForce(values []float64, m, excl int) []float64 {
+	n := len(values) - m + 1
+	znorm := func(start int) []float64 {
+		sub := values[start : start+m]
+		mean, sd := stats(sub)
+		out := make([]float64, m)
+		for i, v := range sub {
+			if sd < 1e-12 {
+				out[i] = 0
+			} else {
+				out[i] = (v - mean) / sd
+			}
+		}
+		return out
+	}
+	profile := make([]float64, n)
+	for i := 0; i < n; i++ {
+		best := math.Inf(1)
+		zi := znorm(i)
+		_, sdI := stats(values[i : i+m])
+		for j := 0; j < n; j++ {
+			if abs(i-j) < excl {
+				continue
+			}
+			_, sdJ := stats(values[j : j+m])
+			var d float64
+			ci, cj := sdI < 1e-12, sdJ < 1e-12
+			switch {
+			case ci && cj:
+				d = 0
+			case ci || cj:
+				d = math.Sqrt(float64(m))
+			default:
+				zj := znorm(j)
+				s := 0.0
+				for k := 0; k < m; k++ {
+					diff := zi[k] - zj[k]
+					s += diff * diff
+				}
+				d = math.Sqrt(s)
+			}
+			if d < best {
+				best = d
+			}
+		}
+		profile[i] = best
+	}
+	return profile
+}
+
+func stats(sub []float64) (mean, sd float64) {
+	for _, v := range sub {
+		mean += v
+	}
+	mean /= float64(len(sub))
+	ss := 0.0
+	for _, v := range sub {
+		d := v - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(sub)))
+}
+
+func TestComputeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 120)
+	for i := range values {
+		values[i] = rng.Float64()
+	}
+	m := 8
+	p, err := Compute(values, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForce(values, m, m/2)
+	for i := range want {
+		if math.Abs(p.Values[i]-want[i]) > 1e-6 {
+			t.Fatalf("profile[%d] = %v, want %v", i, p.Values[i], want[i])
+		}
+	}
+}
+
+func TestComputeMatchesBruteForceWithConstantRuns(t *testing.T) {
+	values := make([]float64, 80)
+	rng := rand.New(rand.NewSource(2))
+	for i := range values {
+		if i%17 < 6 {
+			values[i] = 0.5 // constant stretches
+		} else {
+			values[i] = rng.Float64()
+		}
+	}
+	m := 6
+	p, err := Compute(values, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForce(values, m, m/2)
+	for i := range want {
+		if math.Abs(p.Values[i]-want[i]) > 1e-6 {
+			t.Fatalf("profile[%d] = %v, want %v", i, p.Values[i], want[i])
+		}
+	}
+}
+
+func TestDiscordDetectsAnomaly(t *testing.T) {
+	values := sine(400, 40)
+	// Plant a discord: distort one cycle.
+	for i := 200; i < 210; i++ {
+		values[i] += 2.5
+	}
+	m := 20
+	p, err := Compute(values, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	discords := p.Discords(1, 0)
+	if len(discords) != 1 {
+		t.Fatal("no discord found")
+	}
+	// The top discord must overlap the planted anomaly region.
+	if discords[0] < 200-m || discords[0] > 210 {
+		t.Errorf("discord at %d, planted anomaly at 200..210", discords[0])
+	}
+}
+
+func TestPeriodicSeriesLowProfile(t *testing.T) {
+	values := sine(300, 30)
+	p, err := Compute(values, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A perfectly periodic series has near-zero profile everywhere.
+	for i, v := range p.Values {
+		if v > 0.1 {
+			t.Fatalf("profile[%d] = %v on periodic data", i, v)
+		}
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute([]float64{1, 2, 3}, 1); err == nil {
+		t.Error("m=1 accepted")
+	}
+	if _, err := Compute([]float64{1, 2, 3}, 3); err == nil {
+		t.Error("too-short series accepted")
+	}
+}
+
+func TestProfileIndexSymmetricNeighbor(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = rng.Float64()
+	}
+	p, err := Compute(values, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range p.Index {
+		if j < 0 {
+			t.Fatalf("profile[%d] has no neighbor", i)
+		}
+		if abs(i-j) < 5 {
+			t.Fatalf("neighbor %d of %d violates exclusion zone", j, i)
+		}
+	}
+}
+
+func TestDiscordsNonOverlapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	values := make([]float64, 200)
+	for i := range values {
+		values[i] = rng.Float64()
+	}
+	m := 10
+	p, err := Compute(values, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	discords := p.Discords(5, m)
+	for i := 0; i < len(discords); i++ {
+		for j := i + 1; j < len(discords); j++ {
+			if abs(discords[i]-discords[j]) <= m {
+				t.Errorf("discords %d and %d overlap", discords[i], discords[j])
+			}
+		}
+	}
+}
+
+func TestWindowScores(t *testing.T) {
+	values := sine(200, 20)
+	for i := 100; i < 105; i++ {
+		values[i] = 3
+	}
+	p, err := Compute(values, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := []int{0, 50, 95, 150}
+	scores := p.WindowScores(starts, 12)
+	// The window covering the anomaly must have the top score.
+	best := 0
+	for i, s := range scores {
+		if s > scores[best] {
+			best = i
+		}
+	}
+	if starts[best] != 95 {
+		t.Errorf("best window starts at %d, want 95 (scores %v)", starts[best], scores)
+	}
+}
+
+func TestRollingStats(t *testing.T) {
+	values := []float64{1, 2, 3, 4, 5}
+	means, stds := rollingStats(values, 3)
+	wantMeans := []float64{2, 3, 4}
+	for i := range wantMeans {
+		if math.Abs(means[i]-wantMeans[i]) > 1e-12 {
+			t.Errorf("mean[%d] = %v, want %v", i, means[i], wantMeans[i])
+		}
+		wantStd := math.Sqrt(2.0 / 3.0)
+		if math.Abs(stds[i]-wantStd) > 1e-12 {
+			t.Errorf("std[%d] = %v, want %v", i, stds[i], wantStd)
+		}
+	}
+}

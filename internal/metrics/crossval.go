@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// KFoldIndices partitions {0..n-1} into k shuffled folds of near-equal
+// size — the 10-fold cross-validation protocol the paper uses to
+// evaluate the WEKA rule learners (§4.3). Every index appears in exactly
+// one fold; fold sizes differ by at most one.
+func KFoldIndices(n, k int, seed int64) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("metrics: k = %d, want >= 2", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("metrics: %d samples cannot fill %d folds", n, k)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	folds := make([][]int, k)
+	for i, idx := range perm {
+		f := i % k
+		folds[f] = append(folds[f], idx)
+	}
+	return folds, nil
+}
+
+// StratifiedKFoldIndices partitions indices into k folds preserving the
+// class ratio given by positive flags — important for the heavily
+// imbalanced anomaly windows, where plain folds can end up with no
+// positive at all.
+func StratifiedKFoldIndices(positive []bool, k int, seed int64) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("metrics: k = %d, want >= 2", k)
+	}
+	if len(positive) < k {
+		return nil, fmt.Errorf("metrics: %d samples cannot fill %d folds", len(positive), k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var pos, neg []int
+	for i, p := range positive {
+		if p {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	folds := make([][]int, k)
+	for i, idx := range pos {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	for i, idx := range neg {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	return folds, nil
+}
+
+// TrainTestFromFolds returns the train indices (every fold except
+// holdout) and the test indices (the holdout fold).
+func TrainTestFromFolds(folds [][]int, holdout int) (train, test []int) {
+	for f, fold := range folds {
+		if f == holdout {
+			test = append(test, fold...)
+		} else {
+			train = append(train, fold...)
+		}
+	}
+	return train, test
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKFoldPartition(t *testing.T) {
+	folds, err := KFoldIndices(10, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 3 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	seen := map[int]int{}
+	for _, fold := range folds {
+		for _, idx := range fold {
+			seen[idx]++
+		}
+	}
+	if len(seen) != 10 {
+		t.Errorf("covered %d indices", len(seen))
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Errorf("index %d appears %d times", idx, n)
+		}
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	if _, err := KFoldIndices(10, 1, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := KFoldIndices(2, 5, 1); err == nil {
+		t.Error("n<k accepted")
+	}
+	if _, err := StratifiedKFoldIndices(nil, 2, 1); err == nil {
+		t.Error("empty stratified input accepted")
+	}
+	if _, err := StratifiedKFoldIndices(make([]bool, 10), 1, 1); err == nil {
+		t.Error("stratified k=1 accepted")
+	}
+}
+
+func TestKFoldBalancedSizes(t *testing.T) {
+	f := func(nRaw, kRaw uint8, seed int64) bool {
+		k := int(kRaw%8) + 2
+		n := k + int(nRaw%100)
+		folds, err := KFoldIndices(n, k, seed)
+		if err != nil {
+			return false
+		}
+		min, max := n, 0
+		total := 0
+		for _, fold := range folds {
+			if len(fold) < min {
+				min = len(fold)
+			}
+			if len(fold) > max {
+				max = len(fold)
+			}
+			total += len(fold)
+		}
+		return total == n && max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStratifiedKFoldPreservesRatio(t *testing.T) {
+	positive := make([]bool, 100)
+	for i := 0; i < 20; i++ {
+		positive[i] = true
+	}
+	folds, err := StratifiedKFoldIndices(positive, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, fold := range folds {
+		pos := 0
+		for _, idx := range fold {
+			if positive[idx] {
+				pos++
+			}
+		}
+		if pos != 4 { // 20 positives / 5 folds
+			t.Errorf("fold %d has %d positives, want 4", f, pos)
+		}
+	}
+}
+
+func TestStratifiedKFoldCoversAll(t *testing.T) {
+	positive := []bool{true, false, true, false, false, true, false, false}
+	folds, err := StratifiedKFoldIndices(positive, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, fold := range folds {
+		for _, idx := range fold {
+			if seen[idx] {
+				t.Fatalf("index %d duplicated", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != len(positive) {
+		t.Errorf("covered %d of %d", len(seen), len(positive))
+	}
+}
+
+func TestTrainTestFromFolds(t *testing.T) {
+	folds := [][]int{{0, 1}, {2, 3}, {4}}
+	train, test := TrainTestFromFolds(folds, 1)
+	if len(test) != 2 || test[0] != 2 {
+		t.Errorf("test = %v", test)
+	}
+	if len(train) != 3 {
+		t.Errorf("train = %v", train)
+	}
+}

@@ -1,0 +1,157 @@
+// Package metrics provides the binary-classification metrics the paper
+// evaluates with (§4.1): precision, recall, the F1 score, plus the
+// average-rank aggregation used in the comparison tables.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Confusion is a binary confusion matrix with "anomaly" as the positive
+// class.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add accumulates one prediction into the matrix.
+func (c *Confusion) Add(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && actual:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// FromBools builds a matrix from aligned prediction/truth slices. The
+// slices must have equal length.
+func FromBools(predicted, actual []bool) Confusion {
+	var c Confusion
+	for i := range predicted {
+		c.Add(predicted[i], actual[i])
+	}
+	return c
+}
+
+// Total returns the number of accumulated predictions.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Precision returns TP/(TP+FP), or 0 when nothing was predicted positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when there are no actual positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall, or 0 when both
+// are 0.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy returns (TP+TN)/total, or 0 on an empty matrix.
+func (c Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// AverageRanks computes, for each method (column), its rank averaged over
+// datasets (rows), with rank 1 for the best (highest) score and tied
+// scores sharing the mean of their rank positions — the aggregation of
+// Tables 3 and 4. scores[d][m] is method m's score on dataset d. The
+// result has one average rank per method.
+func AverageRanks(scores [][]float64) []float64 {
+	if len(scores) == 0 {
+		return nil
+	}
+	m := len(scores[0])
+	sums := make([]float64, m)
+	for _, row := range scores {
+		type entry struct {
+			idx   int
+			score float64
+		}
+		entries := make([]entry, len(row))
+		for i, s := range row {
+			entries[i] = entry{i, s}
+		}
+		sort.SliceStable(entries, func(a, b int) bool { return entries[a].score > entries[b].score })
+		for i := 0; i < len(entries); {
+			j := i
+			for j+1 < len(entries) && entries[j+1].score == entries[i].score {
+				j++
+			}
+			// positions i..j tie: mean rank = (i+j)/2 + 1.
+			rank := float64(i+j)/2 + 1
+			for k := i; k <= j; k++ {
+				sums[entries[k].idx] += rank
+			}
+			i = j + 1
+		}
+	}
+	for i := range sums {
+		sums[i] /= float64(len(scores))
+	}
+	return sums
+}
+
+// ThresholdByQuantile returns the score threshold such that roughly the
+// top `contamination` fraction of scores exceed it — the fair operating
+// point used to binarize the unsupervised baselines' anomaly scores
+// (higher score = more anomalous). contamination is clamped to (0,1].
+func ThresholdByQuantile(scores []float64, contamination float64) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	if contamination <= 0 {
+		contamination = 1.0 / float64(len(scores)+1)
+	}
+	if contamination > 1 {
+		contamination = 1
+	}
+	sorted := append([]float64(nil), scores...)
+	sort.Float64s(sorted)
+	// Flag the k highest scores: the threshold is the (k+1)-th highest,
+	// so exactly the top k exceed it when scores are distinct.
+	k := int(math.Round(float64(len(sorted)) * contamination))
+	idx := len(sorted) - k - 1
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// BinarizeTop returns flags marking scores strictly above the
+// contamination-quantile threshold.
+func BinarizeTop(scores []float64, contamination float64) []bool {
+	th := ThresholdByQuantile(scores, contamination)
+	out := make([]bool, len(scores))
+	for i, s := range scores {
+		out[i] = s > th
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+// Package mining implements the frequent-pattern substrates the PBAD
+// baseline builds on (Feremans et al. 2019): closed frequent itemset
+// mining over discretized windows (Apriori-style level-wise search, which
+// is efficient here because the item alphabet is a handful of value bins)
+// and closed frequent sequential-pattern mining (PrefixSpan).
+package mining
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Itemset is a sorted set of item ids.
+type Itemset []int
+
+// key returns a canonical identity string for a sorted itemset.
+func (s Itemset) key() string {
+	b := make([]byte, 0, len(s)*2)
+	for _, it := range s {
+		b = append(b, byte(it), byte(it>>8))
+	}
+	return string(b)
+}
+
+// contains reports whether the sorted itemset s contains item v.
+func (s Itemset) contains(v int) bool {
+	i := sort.SearchInts(s, v)
+	return i < len(s) && s[i] == v
+}
+
+// SubsetOf reports whether every item of s occurs in the sorted set t.
+func (s Itemset) SubsetOf(t Itemset) bool {
+	if len(s) > len(t) {
+		return false
+	}
+	i := 0
+	for _, v := range s {
+		for i < len(t) && t[i] < v {
+			i++
+		}
+		if i >= len(t) || t[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// FrequentItemset is a mined itemset with its absolute support.
+type FrequentItemset struct {
+	Items   Itemset
+	Support int
+}
+
+// MineClosedItemsets mines all closed frequent itemsets from
+// transactions: itemsets with support >= minSupport (absolute count) such
+// that no proper superset has the same support. maxLen caps itemset size
+// (0 = unlimited). Transactions are deduplicated-per-transaction item
+// lists; order inside a transaction is irrelevant.
+//
+// The search is level-wise (Apriori): candidates of size k+1 are joined
+// from frequent itemsets of size k, pruned by the downward-closure
+// property, then support-counted in one pass over the transactions.
+func MineClosedItemsets(transactions [][]int, minSupport, maxLen int) ([]FrequentItemset, error) {
+	if minSupport < 1 {
+		return nil, fmt.Errorf("mining: minSupport %d, want >= 1", minSupport)
+	}
+	// Canonicalize transactions: sorted unique items.
+	txs := make([]Itemset, len(transactions))
+	for i, t := range transactions {
+		seen := make(map[int]struct{}, len(t))
+		var set Itemset
+		for _, v := range t {
+			if _, ok := seen[v]; !ok {
+				seen[v] = struct{}{}
+				set = append(set, v)
+			}
+		}
+		sort.Ints(set)
+		txs[i] = set
+	}
+
+	// Level 1: frequent single items.
+	counts := make(map[int]int)
+	for _, t := range txs {
+		for _, v := range t {
+			counts[v]++
+		}
+	}
+	var level []FrequentItemset
+	var items []int
+	for v, c := range counts {
+		if c >= minSupport {
+			items = append(items, v)
+		}
+	}
+	sort.Ints(items)
+	for _, v := range items {
+		level = append(level, FrequentItemset{Items: Itemset{v}, Support: counts[v]})
+	}
+
+	all := make(map[string]FrequentItemset)
+	for _, fs := range level {
+		all[fs.Items.key()] = fs
+	}
+
+	for k := 1; len(level) > 0 && (maxLen == 0 || k < maxLen); k++ {
+		// Join step: pairs sharing the first k-1 items.
+		candSet := make(map[string]Itemset)
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				a, b := level[i].Items, level[j].Items
+				if !equalPrefix(a, b, k-1) {
+					continue
+				}
+				cand := make(Itemset, k+1)
+				copy(cand, a)
+				cand[k] = b[k-1]
+				if cand[k-1] > cand[k] {
+					cand[k-1], cand[k] = cand[k], cand[k-1]
+				}
+				candSet[cand.key()] = cand
+			}
+		}
+		// Prune + count.
+		var next []FrequentItemset
+		for _, cand := range candSet {
+			sup := 0
+			for _, t := range txs {
+				if cand.SubsetOf(t) {
+					sup++
+				}
+			}
+			if sup >= minSupport {
+				next = append(next, FrequentItemset{Items: cand, Support: sup})
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return lessItemset(next[i].Items, next[j].Items) })
+		for _, fs := range next {
+			all[fs.Items.key()] = fs
+		}
+		level = next
+	}
+
+	// Closedness filter: drop itemsets with a superset of equal support.
+	var result []FrequentItemset
+	for _, fs := range all {
+		closed := true
+		for _, other := range all {
+			if len(other.Items) > len(fs.Items) && other.Support == fs.Support && fs.Items.SubsetOf(other.Items) {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			result = append(result, fs)
+		}
+	}
+	sort.Slice(result, func(i, j int) bool { return lessItemset(result[i].Items, result[j].Items) })
+	return result, nil
+}
+
+func equalPrefix(a, b Itemset, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lessItemset(a, b Itemset) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,328 @@
+package mining
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMineClosedItemsetsBasic(t *testing.T) {
+	txs := [][]int{
+		{1, 2, 3},
+		{1, 2},
+		{1, 2, 4},
+		{5},
+	}
+	got, err := MineClosedItemsets(txs, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frequent: {1}(3) {2}(3) {1,2}(3). {1} and {2} are not closed
+	// (superset {1,2} has equal support); {1,2} is closed.
+	if len(got) != 1 {
+		t.Fatalf("got %d closed itemsets: %v", len(got), got)
+	}
+	if got[0].Support != 3 || !equalInts(got[0].Items, []int{1, 2}) {
+		t.Errorf("closed itemset = %+v", got[0])
+	}
+}
+
+func TestMineClosedItemsetsKeepsDistinctSupports(t *testing.T) {
+	txs := [][]int{
+		{1, 2},
+		{1, 2},
+		{1},
+	}
+	got, err := MineClosedItemsets(txs, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {1} support 3 (closed: only superset {1,2} has support 2);
+	// {1,2} support 2 (closed). {2} support 2 not closed.
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMineClosedItemsetsMaxLen(t *testing.T) {
+	txs := [][]int{{1, 2, 3}, {1, 2, 3}}
+	got, err := MineClosedItemsets(txs, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fs := range got {
+		if len(fs.Items) > 1 {
+			t.Errorf("itemset %v exceeds maxLen", fs.Items)
+		}
+	}
+}
+
+func TestMineClosedItemsetsDuplicateItemsInTransaction(t *testing.T) {
+	txs := [][]int{{1, 1, 1}, {1}}
+	got, err := MineClosedItemsets(txs, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Support != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMineClosedItemsetsBadSupport(t *testing.T) {
+	if _, err := MineClosedItemsets(nil, 0, 0); err == nil {
+		t.Error("minSupport 0 accepted")
+	}
+}
+
+// Every reported support must equal a direct recount, and every reported
+// itemset must be closed.
+func TestMineClosedItemsetsSoundnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		txs := make([][]int, rng.Intn(20)+5)
+		for i := range txs {
+			n := rng.Intn(5) + 1
+			for j := 0; j < n; j++ {
+				txs[i] = append(txs[i], rng.Intn(6))
+			}
+		}
+		minSup := rng.Intn(3) + 2
+		got, err := MineClosedItemsets(txs, minSup, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon := make([]Itemset, len(txs))
+		for i, tx := range txs {
+			canon[i] = dedupeSorted(tx)
+		}
+		for _, fs := range got {
+			sup := 0
+			for _, tx := range canon {
+				if fs.Items.SubsetOf(tx) {
+					sup++
+				}
+			}
+			if sup != fs.Support {
+				t.Fatalf("itemset %v reported support %d, actual %d", fs.Items, fs.Support, sup)
+			}
+			if sup < minSup {
+				t.Fatalf("itemset %v infrequent", fs.Items)
+			}
+			for _, other := range got {
+				if len(other.Items) > len(fs.Items) && other.Support == fs.Support && fs.Items.SubsetOf(other.Items) {
+					t.Fatalf("itemset %v not closed (%v)", fs.Items, other.Items)
+				}
+			}
+		}
+	}
+}
+
+func dedupeSorted(t []int) Itemset {
+	seen := map[int]struct{}{}
+	var out Itemset
+	for _, v := range t {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestSubsetOf(t *testing.T) {
+	tests := []struct {
+		a, b Itemset
+		want bool
+	}{
+		{Itemset{1, 2}, Itemset{1, 2, 3}, true},
+		{Itemset{1, 4}, Itemset{1, 2, 3}, false},
+		{Itemset{}, Itemset{1}, true},
+		{Itemset{1, 2, 3}, Itemset{1, 2}, false},
+		{Itemset{2}, Itemset{1, 2, 3}, true},
+	}
+	for _, tc := range tests {
+		if got := tc.a.SubsetOf(tc.b); got != tc.want {
+			t.Errorf("%v ⊆ %v = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMineClosedSequencesBasic(t *testing.T) {
+	seqs := [][]int{
+		{1, 2, 3},
+		{1, 3, 2},
+		{1, 2},
+	}
+	got, err := MineClosedSequences(seqs, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySupport := make(map[string]int)
+	for _, fs := range got {
+		bySupport[keyOf(fs.Seq)] = fs.Support
+	}
+	// [1 2] occurs in all three (subsequence in {1,3,2}).
+	if bySupport[keyOf([]int{1, 2})] != 3 {
+		t.Errorf("support of [1 2] = %d, want 3; mined %v", bySupport[keyOf([]int{1, 2})], got)
+	}
+	// [1] support 3 is NOT closed ([1 2] has equal support).
+	if _, ok := bySupport[keyOf([]int{1})]; ok {
+		t.Errorf("[1] should be absorbed by [1 2]: %v", got)
+	}
+}
+
+func keyOf(s []int) string {
+	b := make([]byte, len(s))
+	for i, v := range s {
+		b[i] = byte(v)
+	}
+	return string(b)
+}
+
+func TestMineClosedSequencesMaxLen(t *testing.T) {
+	seqs := [][]int{{1, 2, 3, 4}, {1, 2, 3, 4}}
+	got, err := MineClosedSequences(seqs, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fs := range got {
+		if len(fs.Seq) > 2 {
+			t.Errorf("sequence %v exceeds maxLen", fs.Seq)
+		}
+	}
+}
+
+func TestMineClosedSequencesRepeatedItems(t *testing.T) {
+	seqs := [][]int{{1, 1, 2}, {1, 1, 3}}
+	got, err := MineClosedSequences(seqs, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, fs := range got {
+		if equalInts(fs.Seq, []int{1, 1}) {
+			found = true
+			if fs.Support != 2 {
+				t.Errorf("[1 1] support = %d, want 2", fs.Support)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("[1 1] not mined: %v", got)
+	}
+}
+
+func TestMineClosedSequencesSoundnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		seqs := make([][]int, rng.Intn(15)+5)
+		for i := range seqs {
+			n := rng.Intn(6) + 1
+			for j := 0; j < n; j++ {
+				seqs[i] = append(seqs[i], rng.Intn(4))
+			}
+		}
+		minSup := rng.Intn(3) + 2
+		got, err := MineClosedSequences(seqs, minSup, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fs := range got {
+			sup := 0
+			for _, s := range seqs {
+				if isSubsequence(fs.Seq, s) {
+					sup++
+				}
+			}
+			if sup != fs.Support {
+				t.Fatalf("sequence %v reported support %d, actual %d", fs.Seq, fs.Support, sup)
+			}
+			if sup < minSup {
+				t.Fatalf("sequence %v infrequent", fs.Seq)
+			}
+		}
+	}
+}
+
+func TestMineClosedSequencesBadSupport(t *testing.T) {
+	if _, err := MineClosedSequences(nil, 0, 0); err == nil {
+		t.Error("minSupport 0 accepted")
+	}
+}
+
+func TestContainsSequence(t *testing.T) {
+	if !ContainsSequence([]int{1, 3}, []int{1, 2, 3}) {
+		t.Error("gapped subsequence not found")
+	}
+	if ContainsSequence([]int{3, 1}, []int{1, 2, 3}) {
+		t.Error("order ignored")
+	}
+	if !ContainsSequence(nil, []int{1}) {
+		t.Error("empty pattern should match")
+	}
+}
+
+func TestLongestCommonSubsequence(t *testing.T) {
+	tests := []struct {
+		a, b []int
+		want int
+	}{
+		{[]int{1, 2, 3}, []int{1, 3}, 2},
+		{[]int{1, 2, 3}, []int{4, 5}, 0},
+		{nil, []int{1}, 0},
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 3},
+		{[]int{2, 1, 3}, []int{1, 2, 3}, 2},
+	}
+	for _, tc := range tests {
+		if got := LongestCommonSubsequence(tc.a, tc.b); got != tc.want {
+			t.Errorf("LCS(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// LCS is symmetric and bounded by min length; equals len when one is a
+// subsequence of the other.
+func TestLCSProperties(t *testing.T) {
+	f := func(aRaw, bRaw []byte) bool {
+		a := make([]int, len(aRaw)%12)
+		b := make([]int, len(bRaw)%12)
+		for i := range a {
+			a[i] = int(aRaw[i] % 4)
+		}
+		for i := range b {
+			b[i] = int(bRaw[i] % 4)
+		}
+		l := LongestCommonSubsequence(a, b)
+		if l != LongestCommonSubsequence(b, a) {
+			return false
+		}
+		min := len(a)
+		if len(b) < min {
+			min = len(b)
+		}
+		if l > min || l < 0 {
+			return false
+		}
+		if isSubsequence(a, b) && l != len(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalInts(a []int, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

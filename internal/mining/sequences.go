@@ -1,0 +1,154 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FrequentSequence is a mined sequential pattern with its support: the
+// number of input sequences containing the pattern as a (gapped)
+// subsequence.
+type FrequentSequence struct {
+	Seq     []int
+	Support int
+}
+
+// MineClosedSequences mines frequent sequential patterns from sequences
+// with PrefixSpan: patterns of length <= maxLen (0 = unlimited) occurring
+// as subsequences in at least minSupport input sequences, then filtered to
+// closed patterns (no super-sequence with equal support).
+func MineClosedSequences(sequences [][]int, minSupport, maxLen int) ([]FrequentSequence, error) {
+	if minSupport < 1 {
+		return nil, fmt.Errorf("mining: minSupport %d, want >= 1", minSupport)
+	}
+	// A projected database entry: sequence index + start offset of the
+	// remaining suffix.
+	type proj struct {
+		seq, pos int
+	}
+	var all []FrequentSequence
+	var mine func(prefix []int, db []proj)
+	mine = func(prefix []int, db []proj) {
+		if maxLen > 0 && len(prefix) >= maxLen {
+			return
+		}
+		// Count each item's support in the projected database (one count
+		// per distinct source sequence).
+		counts := make(map[int]int)
+		lastSeen := make(map[int]int)
+		for _, p := range db {
+			s := sequences[p.seq]
+			for _, v := range s[p.pos:] {
+				if last, ok := lastSeen[v]; !ok || last != p.seq+1 {
+					counts[v]++
+					lastSeen[v] = p.seq + 1
+				}
+			}
+		}
+		var frequent []int
+		for v, c := range counts {
+			if c >= minSupport {
+				frequent = append(frequent, v)
+			}
+		}
+		sort.Ints(frequent)
+		for _, v := range frequent {
+			next := append(append([]int(nil), prefix...), v)
+			// Project: first occurrence of v in each suffix.
+			var ndb []proj
+			for _, p := range db {
+				s := sequences[p.seq]
+				for i := p.pos; i < len(s); i++ {
+					if s[i] == v {
+						ndb = append(ndb, proj{p.seq, i + 1})
+						break
+					}
+				}
+			}
+			all = append(all, FrequentSequence{Seq: next, Support: counts[v]})
+			mine(next, ndb)
+		}
+	}
+	root := make([]proj, len(sequences))
+	for i := range sequences {
+		root[i] = proj{i, 0}
+	}
+	mine(nil, root)
+
+	// Closedness filter.
+	var result []FrequentSequence
+	for i, fs := range all {
+		closed := true
+		for j, other := range all {
+			if i == j || len(other.Seq) <= len(fs.Seq) || other.Support != fs.Support {
+				continue
+			}
+			if isSubsequence(fs.Seq, other.Seq) {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			result = append(result, fs)
+		}
+	}
+	sort.Slice(result, func(i, j int) bool { return lessSeq(result[i].Seq, result[j].Seq) })
+	return result, nil
+}
+
+// isSubsequence reports whether needle occurs in order (gaps allowed) in
+// haystack.
+func isSubsequence(needle, haystack []int) bool {
+	if len(needle) == 0 {
+		return true
+	}
+	j := 0
+	for _, v := range haystack {
+		if v == needle[j] {
+			j++
+			if j == len(needle) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ContainsSequence reports whether pattern occurs as a subsequence of seq
+// (exported for PBAD's embedding step).
+func ContainsSequence(pattern, seq []int) bool { return isSubsequence(pattern, seq) }
+
+// LongestCommonSubsequence returns the LCS length of a and b, used for
+// PBAD's weighted (partial) sequence matches.
+func LongestCommonSubsequence(a, b []int) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func lessSeq(a, b []int) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

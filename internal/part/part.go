@@ -1,0 +1,162 @@
+// Package part implements the PART rule learner (Frank & Witten 1998;
+// §4.3's WEKA PART): a separate-and-conquer loop that repeatedly builds a
+// C4.5 tree over the remaining instances, turns the leaf covering the
+// most instances into a rule, removes the covered instances, and repeats
+// until no instances remain. The resulting ordered rule list ends with a
+// default class.
+//
+// The original builds *partial* trees purely as an efficiency device —
+// only the branch that will yield the extracted rule is developed.
+// Both constructions are available (Options.Partial); the default full
+// pruned tree is the straightforward reference variant.
+package part
+
+import (
+	"fmt"
+
+	"cdt/internal/c45"
+)
+
+// Rule is one ordered rule: a conjunction of attribute tests implying a
+// class.
+type Rule struct {
+	Conditions []c45.Condition
+	Class      int
+	// Coverage is the number of training instances the rule covered when
+	// it was created.
+	Coverage int
+}
+
+// Matches reports whether the rule's conjunction holds for attrs.
+func (r Rule) Matches(attrs []int) bool {
+	for _, c := range r.Conditions {
+		if attrs[c.Attr] != c.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Classifier is an ordered PART rule list with a default class.
+type Classifier struct {
+	Rules        []Rule
+	DefaultClass int
+}
+
+// Options configures learning; the embedded tree options mirror WEKA's
+// PART defaults (M=2, C=0.25).
+type Options struct {
+	Tree c45.Options
+	// MaxRules caps the rule list as a safety valve (0 = unlimited).
+	MaxRules int
+	// Partial uses Frank & Witten's partial-tree construction per
+	// iteration (the original algorithm's efficiency device) instead of
+	// a full pruned tree. Both yield a best-coverage leaf rule; partial
+	// trees expand only the branch that produces it.
+	Partial bool
+}
+
+// Learn runs the separate-and-conquer loop over the dataset.
+func Learn(ds *c45.Dataset, opts Options) (*Classifier, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ds.Instances) == 0 {
+		return nil, fmt.Errorf("part: no instances")
+	}
+	remaining := make([]int, len(ds.Instances))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	cls := &Classifier{}
+	for len(remaining) > 0 {
+		if opts.MaxRules > 0 && len(cls.Rules) >= opts.MaxRules {
+			break
+		}
+		var tree *c45.Tree
+		var err error
+		if opts.Partial {
+			tree, err = c45.BuildPartial(ds, remaining, opts.Tree)
+		} else {
+			tree, err = c45.Build(ds, remaining, opts.Tree)
+		}
+		if err != nil {
+			return nil, err
+		}
+		leaves := tree.Leaves()
+		// Pick the developed leaf covering the most remaining instances
+		// (unexpanded partial-tree placeholders are not extractable —
+		// their subsets were never examined).
+		best := -1
+		for i, l := range leaves {
+			if l.Node.Unexpanded {
+				continue
+			}
+			if best < 0 || l.Node.Total() > leaves[best].Node.Total() {
+				best = i
+			}
+		}
+		if best < 0 || leaves[best].Node.Total() == 0 {
+			break
+		}
+		leaf := leaves[best]
+		rule := Rule{
+			Conditions: leaf.Conditions,
+			Class:      leaf.Node.MajorityClass,
+			Coverage:   leaf.Node.Total(),
+		}
+		cls.Rules = append(cls.Rules, rule)
+		// Remove covered instances.
+		var next []int
+		for _, i := range remaining {
+			if !rule.Matches(ds.Instances[i].Attrs) {
+				next = append(next, i)
+			}
+		}
+		if len(next) == len(remaining) {
+			// The rule covered nothing (inconsistent tree) — stop rather
+			// than loop forever.
+			break
+		}
+		remaining = next
+	}
+	// Default class: majority of still-uncovered instances, or of the
+	// whole dataset when everything is covered.
+	counts := make([]int, ds.NumClasses)
+	pool := remaining
+	if len(pool) == 0 {
+		pool = make([]int, len(ds.Instances))
+		for i := range pool {
+			pool[i] = i
+		}
+	}
+	for _, i := range pool {
+		counts[ds.Instances[i].Class]++
+	}
+	cls.DefaultClass = argmax(counts)
+	return cls, nil
+}
+
+// Predict classifies by the first matching rule, falling back to the
+// default class.
+func (c *Classifier) Predict(attrs []int) int {
+	for _, r := range c.Rules {
+		if r.Matches(attrs) {
+			return r.Class
+		}
+	}
+	return c.DefaultClass
+}
+
+// NumRules returns the size of the rule list (the Figure 3 metric).
+func (c *Classifier) NumRules() int { return len(c.Rules) }
+
+func argmax(counts []int) int {
+	best := 0
+	for i, v := range counts {
+		if v > counts[best] {
+			best = i
+		}
+	}
+	return best
+}

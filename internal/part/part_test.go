@@ -1,0 +1,190 @@
+package part
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdt/internal/c45"
+)
+
+func xorDataset(n int, seed int64) *c45.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &c45.Dataset{
+		AttrNames:  []string{"a", "b", "noise"},
+		AttrCard:   []int{2, 2, 4},
+		NumClasses: 2,
+	}
+	for i := 0; i < n; i++ {
+		a, b := rng.Intn(2), rng.Intn(2)
+		ds.Instances = append(ds.Instances, c45.Instance{
+			Attrs: []int{a, b, rng.Intn(4)},
+			Class: a ^ b,
+		})
+	}
+	return ds
+}
+
+func TestLearnXOR(t *testing.T) {
+	ds := xorDataset(200, 1)
+	cls, err := Learn(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for _, inst := range ds.Instances {
+		if cls.Predict(inst.Attrs) != inst.Class {
+			errs++
+		}
+	}
+	if errs != 0 {
+		t.Errorf("%d training errors on noiseless XOR (%d rules)", errs, cls.NumRules())
+	}
+}
+
+func TestLearnCoversEveryInstance(t *testing.T) {
+	ds := xorDataset(100, 2)
+	cls, err := Learn(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.NumRules() == 0 {
+		t.Fatal("no rules learned")
+	}
+	// Rule coverages are recorded and positive.
+	for i, r := range cls.Rules {
+		if r.Coverage <= 0 {
+			t.Errorf("rule %d coverage %d", i, r.Coverage)
+		}
+	}
+}
+
+func TestLearnImbalanced(t *testing.T) {
+	// 95% class 0, 5% class 1 determined by attr 0 == 1.
+	ds := &c45.Dataset{
+		AttrNames:  []string{"key", "junk"},
+		AttrCard:   []int{2, 3},
+		NumClasses: 2,
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		key := 0
+		if i%20 == 0 {
+			key = 1
+		}
+		ds.Instances = append(ds.Instances, c45.Instance{
+			Attrs: []int{key, rng.Intn(3)},
+			Class: key,
+		})
+	}
+	cls, err := Learn(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Predict([]int{1, 0}) != 1 {
+		t.Error("minority class not predicted")
+	}
+	if cls.Predict([]int{0, 1}) != 0 {
+		t.Error("majority class not predicted")
+	}
+}
+
+func TestLearnMaxRules(t *testing.T) {
+	ds := xorDataset(200, 4)
+	cls, err := Learn(ds, Options{MaxRules: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.NumRules() > 1 {
+		t.Errorf("got %d rules, cap was 1", cls.NumRules())
+	}
+}
+
+func TestLearnErrors(t *testing.T) {
+	ds := &c45.Dataset{AttrNames: []string{"a"}, AttrCard: []int{2}, NumClasses: 2}
+	if _, err := Learn(ds, Options{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	ds.AttrCard = []int{2, 3}
+	if _, err := Learn(ds, Options{}); err == nil {
+		t.Error("invalid dataset accepted")
+	}
+}
+
+func TestRuleMatches(t *testing.T) {
+	r := Rule{Conditions: []c45.Condition{{Attr: 0, Value: 1}, {Attr: 2, Value: 0}}}
+	if !r.Matches([]int{1, 9, 0}) {
+		t.Error("matching instance rejected")
+	}
+	if r.Matches([]int{0, 9, 0}) {
+		t.Error("non-matching instance accepted")
+	}
+	empty := Rule{}
+	if !empty.Matches([]int{1, 2, 3}) {
+		t.Error("empty rule should match everything")
+	}
+}
+
+func TestOrderedEvaluation(t *testing.T) {
+	cls := &Classifier{
+		Rules: []Rule{
+			{Conditions: []c45.Condition{{Attr: 0, Value: 1}}, Class: 1},
+			{Conditions: nil, Class: 0}, // catch-all later
+		},
+		DefaultClass: 0,
+	}
+	if cls.Predict([]int{1}) != 1 {
+		t.Error("first rule should win")
+	}
+	if cls.Predict([]int{0}) != 0 {
+		t.Error("catch-all should fire")
+	}
+}
+
+func TestDefaultClassUsed(t *testing.T) {
+	cls := &Classifier{DefaultClass: 1}
+	if cls.Predict([]int{0}) != 1 {
+		t.Error("default class not used")
+	}
+}
+
+func TestLearnDeterministic(t *testing.T) {
+	ds := xorDataset(150, 5)
+	c1, err := Learn(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Learn(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.NumRules() != c2.NumRules() || c1.DefaultClass != c2.DefaultClass {
+		t.Error("nondeterministic learning")
+	}
+}
+
+func TestLearnPartialTreeVariant(t *testing.T) {
+	ds := xorDataset(200, 6)
+	full, err := Learn(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := Learn(ds, Options{Partial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both variants must classify the separable data well.
+	for name, cls := range map[string]*Classifier{"full": full, "partial": partial} {
+		errs := 0
+		for _, inst := range ds.Instances {
+			if cls.Predict(inst.Attrs) != inst.Class {
+				errs++
+			}
+		}
+		if float64(errs)/float64(len(ds.Instances)) > 0.1 {
+			t.Errorf("%s variant: %d/%d errors", name, errs, len(ds.Instances))
+		}
+	}
+	if partial.NumRules() == 0 {
+		t.Error("partial variant learned no rules")
+	}
+}

@@ -1,0 +1,48 @@
+package pattern
+
+import "testing"
+
+// FuzzParseLabel exercises the label parser with arbitrary strings: it
+// must never panic, and anything it accepts must round-trip.
+func FuzzParseLabel(f *testing.F) {
+	cfg := NewConfig(3)
+	for _, l := range cfg.Alphabet() {
+		f.Add(cfg.LabelName(l))
+	}
+	f.Add("")
+	f.Add("PP[")
+	f.Add("PP[L,H]")
+	f.Add("XX[P99,N1]")
+	f.Add("PN[-H,-L]extra")
+	f.Fuzz(func(t *testing.T, s string) {
+		l, err := cfg.ParseLabel(s)
+		if err != nil {
+			return
+		}
+		// Accepted labels must render back to something parseable to the
+		// same value.
+		round, err := cfg.ParseLabel(cfg.LabelName(l))
+		if err != nil {
+			t.Fatalf("rendered label %q failed to parse: %v", cfg.LabelName(l), err)
+		}
+		if round != l {
+			t.Fatalf("round trip changed %v to %v", l, round)
+		}
+	})
+}
+
+// FuzzClassify checks the interval classifier never panics and stays in
+// range for arbitrary inputs.
+func FuzzClassify(f *testing.F) {
+	f.Add(0.0, uint8(2))
+	f.Add(0.5, uint8(1))
+	f.Add(-1.5, uint8(21))
+	f.Fuzz(func(t *testing.T, diff float64, deltaRaw uint8) {
+		delta := int(deltaRaw%21) + 1
+		cfg := NewConfig(delta)
+		iv := cfg.Classify(diff)
+		if iv < Interval(-delta) || iv > Interval(delta) {
+			t.Fatalf("Classify(%v) with delta %d = %d out of range", diff, delta, iv)
+		}
+	})
+}

@@ -1,0 +1,371 @@
+// Package pattern implements the paper's point-labeling alphabet (§3.2):
+// every interior point of a normalized time-series is labeled by the
+// variation of its two neighbors, refined by magnitude intervals.
+//
+// For three successive points x[i-1], x[i], x[i+1] the two signed
+// differences α = x[i]-x[i-1] and β = x[i]-x[i+1] select one of nine
+// variation types (Table 1): PP, PN, SCP, SCN, ECP, ECN, CST, VP, VN.
+// The hyper-parameter δ splits ]0,1] and [-1,0[ into δ equal sub-intervals
+// each, producing 2δ+1 magnitude codes; each label is the variation type
+// plus the two magnitude codes of α and β.
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Variation is one of the nine neighbor-shape types of Table 1.
+type Variation uint8
+
+// The nine variation types. Values are stable and compact so Label can be
+// used as a map key and serialized.
+const (
+	// PP is a positive peak: x[i-1] < x[i] > x[i+1].
+	PP Variation = iota
+	// PN is a negative peak: x[i-1] > x[i] < x[i+1].
+	PN
+	// SCP starts a constant segment after a rise: x[i-1] < x[i] = x[i+1].
+	SCP
+	// SCN starts a constant segment after a fall: x[i-1] > x[i] = x[i+1].
+	SCN
+	// ECP ends a constant segment with a rise: x[i-1] = x[i] < x[i+1].
+	ECP
+	// ECN ends a constant segment with a fall: x[i-1] = x[i] > x[i+1].
+	ECN
+	// CST is a constant run: x[i-1] = x[i] = x[i+1].
+	CST
+	// VP is a positive (rising) variation: x[i-1] < x[i] < x[i+1].
+	VP
+	// VN is a negative (falling) variation: x[i-1] > x[i] > x[i+1].
+	VN
+
+	numVariations = 9
+)
+
+var variationNames = [numVariations]string{"PP", "PN", "SCP", "SCN", "ECP", "ECN", "CST", "VP", "VN"}
+
+// String returns the paper's name for the variation (PP, PN, ...).
+func (v Variation) String() string {
+	if int(v) < len(variationNames) {
+		return variationNames[v]
+	}
+	return fmt.Sprintf("Variation(%d)", uint8(v))
+}
+
+// ParseVariation converts a name such as "PP" back to its Variation.
+func ParseVariation(s string) (Variation, error) {
+	for i, n := range variationNames {
+		if n == s {
+			return Variation(i), nil
+		}
+	}
+	return 0, fmt.Errorf("pattern: unknown variation %q", s)
+}
+
+// Variations lists all nine variation types in Table 1 order.
+func Variations() []Variation {
+	out := make([]Variation, numVariations)
+	for i := range out {
+		out[i] = Variation(i)
+	}
+	return out
+}
+
+// Interval is a signed magnitude code: 0 is the exact-zero interval Z,
+// +k (1 ≤ k ≤ δ) is the k-th sub-interval of ]0,1], and −k the k-th
+// sub-interval of [-1,0[ counting away from zero. With δ=2 the paper's
+// names apply: +1=L, +2=H, −1=-L, −2=-H, 0=Z.
+type Interval int8
+
+// Name renders an interval code using the paper's δ=2 nomenclature when
+// delta == 2 (L, H, -L, -H, Z) and a generic ±k/δ form otherwise.
+func (iv Interval) Name(delta int) string {
+	switch {
+	case iv == 0:
+		return "Z"
+	case delta == 2 && iv == 1:
+		return "L"
+	case delta == 2 && iv == 2:
+		return "H"
+	case delta == 2 && iv == -1:
+		return "-L"
+	case delta == 2 && iv == -2:
+		return "-H"
+	case iv > 0:
+		return fmt.Sprintf("P%d", iv)
+	default:
+		return fmt.Sprintf("N%d", -iv)
+	}
+}
+
+// Label is a pattern instance (Definition 2): a variation type plus the
+// magnitude interval codes of the two differences α = x[i]-x[i-1] and
+// β = x[i]-x[i+1]. Label is comparable and usable as a map key.
+type Label struct {
+	Var   Variation
+	Alpha Interval
+	Beta  Interval
+}
+
+// String renders the label as e.g. "PP[L,H]" (δ=2 names are only used by
+// Name, so String uses the generic codes; see Config.LabelName for the
+// δ-aware rendering).
+func (l Label) String() string {
+	return fmt.Sprintf("%s[%d,%d]", l.Var, l.Alpha, l.Beta)
+}
+
+// Config controls labeling.
+type Config struct {
+	// Delta is the paper's δ: the number of equal sub-intervals that
+	// ]0,1] and [-1,0[ are each divided into. Must be >= 1.
+	Delta int
+	// Epsilon is the tolerance below which a difference is treated as
+	// zero ("x[i-1] = x[i]"). Normalization introduces rounding error, so
+	// exact equality would almost never fire on real data. Zero means
+	// exact comparison.
+	Epsilon float64
+}
+
+// DefaultEpsilon is the equality tolerance used by NewConfig.
+const DefaultEpsilon = 1e-9
+
+// NewConfig returns a Config for the given δ with the default tolerance.
+func NewConfig(delta int) Config { return Config{Delta: delta, Epsilon: DefaultEpsilon} }
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Delta < 1 {
+		return fmt.Errorf("pattern: delta %d, want >= 1", c.Delta)
+	}
+	if c.Epsilon < 0 {
+		return fmt.Errorf("pattern: epsilon %v, want >= 0", c.Epsilon)
+	}
+	return nil
+}
+
+// AlphabetSize returns the number of distinct labels expressible with this
+// δ: four variation types with δ² (α,β) combinations each (PP, PN, VP,
+// VN), four with δ (SCP, SCN, ECP, ECN), and CST — in total
+// 4δ²+4δ+1 = (2δ+1)². This is MaxL in the interpretability measure I(c).
+func (c Config) AlphabetSize() int {
+	n := 2*c.Delta + 1
+	return n * n
+}
+
+// Classify returns the magnitude interval code of a difference value in
+// [-1,1]. Differences within Epsilon of zero map to the Z interval; the
+// remainder of ]0,1] is split into Delta equal sub-intervals (and
+// symmetrically for negatives). Values outside [-1,1] are clamped to the
+// outermost interval, so labeling never fails on slightly out-of-range
+// input.
+func (c Config) Classify(diff float64) Interval {
+	if diff >= -c.Epsilon && diff <= c.Epsilon {
+		return 0
+	}
+	neg := diff < 0
+	if neg {
+		diff = -diff
+	}
+	// k-th sub-interval of ]0,1]: ]((k-1)/δ, k/δ].
+	k := int(diff*float64(c.Delta)) + 1
+	if f := diff * float64(c.Delta); f == float64(int(f)) {
+		// Exact boundary such as 0.5 with δ=2 belongs to the lower
+		// interval (]0,0.5] per the paper's L = ]0,0.5]).
+		k = int(f)
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > c.Delta {
+		k = c.Delta
+	}
+	if neg {
+		return Interval(-k)
+	}
+	return Interval(k)
+}
+
+// LabelPoint labels the middle point of three successive values,
+// returning the variation type selected by the signs of
+// α = mid−prev and β = mid−next, refined by their magnitude intervals.
+func (c Config) LabelPoint(prev, mid, next float64) Label {
+	alpha := c.Classify(mid - prev)
+	beta := c.Classify(mid - next)
+	var v Variation
+	switch {
+	case alpha > 0 && beta > 0:
+		v = PP
+	case alpha < 0 && beta < 0:
+		v = PN
+	case alpha > 0 && beta == 0:
+		v = SCP
+	case alpha < 0 && beta == 0:
+		v = SCN
+	case alpha == 0 && beta < 0:
+		v = ECP
+	case alpha == 0 && beta > 0:
+		v = ECN
+	case alpha == 0 && beta == 0:
+		v = CST
+	case alpha > 0 && beta < 0:
+		v = VP
+	default: // alpha < 0 && beta > 0
+		v = VN
+	}
+	return Label{Var: v, Alpha: alpha, Beta: beta}
+}
+
+// LabelSeries labels every interior point of values (Definition 3): the
+// result has len(values)-2 labels, where label j corresponds to point
+// j+1 of the input. It returns an error if the series has fewer than
+// three points.
+func (c Config) LabelSeries(values []float64) ([]Label, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(values) < 3 {
+		return nil, fmt.Errorf("pattern: series of length %d, want >= 3", len(values))
+	}
+	out := make([]Label, len(values)-2)
+	for i := 1; i < len(values)-1; i++ {
+		out[i-1] = c.LabelPoint(values[i-1], values[i], values[i+1])
+	}
+	return out, nil
+}
+
+// LabelName renders a label with δ-aware interval names, e.g. "PP[L,H]"
+// for δ=2 or "PP[P1,P3]" for larger δ.
+func (c Config) LabelName(l Label) string {
+	return fmt.Sprintf("%s[%s,%s]", l.Var, l.Alpha.Name(c.Delta), l.Beta.Name(c.Delta))
+}
+
+// ParseLabel parses the output of LabelName back into a Label. It accepts
+// both δ=2 names (L, H, -L, -H, Z) and generic codes (P1, N3, Z).
+func (c Config) ParseLabel(s string) (Label, error) {
+	open := strings.IndexByte(s, '[')
+	if open < 0 || !strings.HasSuffix(s, "]") {
+		return Label{}, fmt.Errorf("pattern: malformed label %q", s)
+	}
+	v, err := ParseVariation(s[:open])
+	if err != nil {
+		return Label{}, err
+	}
+	parts := strings.Split(s[open+1:len(s)-1], ",")
+	if len(parts) != 2 {
+		return Label{}, fmt.Errorf("pattern: malformed label %q", s)
+	}
+	a, err := parseInterval(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return Label{}, fmt.Errorf("pattern: label %q: %w", s, err)
+	}
+	b, err := parseInterval(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return Label{}, fmt.Errorf("pattern: label %q: %w", s, err)
+	}
+	return Label{Var: v, Alpha: a, Beta: b}, nil
+}
+
+func parseInterval(s string) (Interval, error) {
+	switch s {
+	case "Z":
+		return 0, nil
+	case "L":
+		return 1, nil
+	case "H":
+		return 2, nil
+	case "-L":
+		return -1, nil
+	case "-H":
+		return -2, nil
+	}
+	if len(s) >= 2 {
+		var k int
+		switch s[0] {
+		case 'P':
+			if _, err := fmt.Sscanf(s[1:], "%d", &k); err == nil && k >= 1 {
+				return Interval(k), nil
+			}
+		case 'N':
+			if _, err := fmt.Sscanf(s[1:], "%d", &k); err == nil && k >= 1 {
+				return Interval(-k), nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("unknown interval %q", s)
+}
+
+// Valid reports whether a label is expressible under this configuration:
+// interval codes within ±δ and signs consistent with the variation type
+// per Table 1.
+func (c Config) Valid(l Label) bool {
+	d := Interval(c.Delta)
+	if l.Alpha < -d || l.Alpha > d || l.Beta < -d || l.Beta > d {
+		return false
+	}
+	switch l.Var {
+	case PP:
+		return l.Alpha > 0 && l.Beta > 0
+	case PN:
+		return l.Alpha < 0 && l.Beta < 0
+	case SCP:
+		return l.Alpha > 0 && l.Beta == 0
+	case SCN:
+		return l.Alpha < 0 && l.Beta == 0
+	case ECP:
+		return l.Alpha == 0 && l.Beta < 0
+	case ECN:
+		return l.Alpha == 0 && l.Beta > 0
+	case CST:
+		return l.Alpha == 0 && l.Beta == 0
+	case VP:
+		return l.Alpha > 0 && l.Beta < 0
+	case VN:
+		return l.Alpha < 0 && l.Beta > 0
+	}
+	return false
+}
+
+// Alphabet enumerates every valid label for this δ in a deterministic
+// order (variation-major, then α, then β). len(result) == AlphabetSize().
+func (c Config) Alphabet() []Label {
+	var out []Label
+	pos := make([]Interval, 0, c.Delta)
+	neg := make([]Interval, 0, c.Delta)
+	for k := 1; k <= c.Delta; k++ {
+		pos = append(pos, Interval(k))
+		neg = append(neg, Interval(-k))
+	}
+	zero := []Interval{0}
+	ranges := func(v Variation) (alphas, betas []Interval) {
+		switch v {
+		case PP:
+			return pos, pos
+		case PN:
+			return neg, neg
+		case SCP:
+			return pos, zero
+		case SCN:
+			return neg, zero
+		case ECP:
+			return zero, neg
+		case ECN:
+			return zero, pos
+		case CST:
+			return zero, zero
+		case VP:
+			return pos, neg
+		default:
+			return neg, pos
+		}
+	}
+	for _, v := range Variations() {
+		alphas, betas := ranges(v)
+		for _, a := range alphas {
+			for _, b := range betas {
+				out = append(out, Label{Var: v, Alpha: a, Beta: b})
+			}
+		}
+	}
+	return out
+}

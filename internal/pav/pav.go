@@ -1,0 +1,153 @@
+// Package pav reimplements the Pattern Anomaly Value baseline of §4.2
+// (Chen & Zhan 2008): multi-scale anomaly detection based on *infrequent
+// linear patterns*. A linear pattern is the pair of discretized slopes
+// around a point; its anomaly value is its rarity relative to the most
+// frequent pattern at the same scale. Points whose patterns are rare at
+// any scale receive high scores.
+package pav
+
+import (
+	"fmt"
+	"math"
+)
+
+// Options tunes the detector. The zero value gives the reference
+// configuration.
+type Options struct {
+	// SlopeBins is the number of discretization bins for slopes in
+	// [-1,1] (default 8).
+	SlopeBins int
+	// Scales lists the downsampling factors examined (default {1,2,4}).
+	Scales []int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SlopeBins <= 0 {
+		o.SlopeBins = 8
+	}
+	if len(o.Scales) == 0 {
+		o.Scales = []int{1, 2, 4}
+	}
+	return o
+}
+
+// Scores computes a pattern-anomaly value per point of a normalized
+// series: the maximum, over scales, of the rarity of the linear pattern
+// observed around the point at that scale. Output is aligned with the
+// input (endpoints inherit their neighbor's score).
+func Scores(values []float64, opts Options) ([]float64, error) {
+	opts = opts.withDefaults()
+	if len(values) < 3 {
+		return nil, fmt.Errorf("pav: series of %d points, want >= 3", len(values))
+	}
+	out := make([]float64, len(values))
+	for _, scale := range opts.Scales {
+		if scale < 1 {
+			return nil, fmt.Errorf("pav: scale %d, want >= 1", scale)
+		}
+		scaled := downsample(values, scale)
+		if len(scaled) < 3 {
+			continue
+		}
+		pavs := scaleScores(scaled, opts.SlopeBins)
+		// Project the scale's scores back to original resolution: point i
+		// belongs to coarse bucket i/scale.
+		for i := range out {
+			b := i / scale
+			if b >= len(pavs) {
+				b = len(pavs) - 1
+			}
+			if pavs[b] > out[i] {
+				out[i] = pavs[b]
+			}
+		}
+	}
+	return out, nil
+}
+
+// scaleScores computes, at one scale, the anomaly value of every point's
+// linear pattern: PAV(p) = 1 − freq(p)/maxFreq.
+func scaleScores(values []float64, slopeBins int) []float64 {
+	n := len(values)
+	// Pattern at interior point i: (slopeBin(in), slopeBin(out)).
+	type pat struct{ in, out int }
+	pats := make([]pat, n)
+	counts := make(map[pat]int)
+	for i := 1; i < n-1; i++ {
+		p := pat{
+			in:  slopeBin(values[i]-values[i-1], slopeBins),
+			out: slopeBin(values[i+1]-values[i], slopeBins),
+		}
+		pats[i] = p
+		counts[p]++
+	}
+	maxFreq := 0
+	for _, c := range counts {
+		if c > maxFreq {
+			maxFreq = c
+		}
+	}
+	scores := make([]float64, n)
+	if maxFreq == 0 {
+		return scores
+	}
+	for i := 1; i < n-1; i++ {
+		scores[i] = 1 - float64(counts[pats[i]])/float64(maxFreq)
+	}
+	// Endpoints inherit their interior neighbor's score.
+	scores[0] = scores[1]
+	scores[n-1] = scores[n-2]
+	return scores
+}
+
+// slopeBin discretizes a slope in [-1,1] into 2·bins+1 codes (negative,
+// zero-ish, positive magnitudes), clamping out-of-range slopes.
+func slopeBin(slope float64, bins int) int {
+	if math.Abs(slope) < 1e-9 {
+		return 0
+	}
+	mag := int(math.Abs(slope)*float64(bins)) + 1
+	if mag > bins {
+		mag = bins
+	}
+	if slope < 0 {
+		return -mag
+	}
+	return mag
+}
+
+// downsample averages consecutive groups of factor points.
+func downsample(values []float64, factor int) []float64 {
+	if factor == 1 {
+		return values
+	}
+	out := make([]float64, 0, (len(values)+factor-1)/factor)
+	for i := 0; i < len(values); i += factor {
+		end := i + factor
+		if end > len(values) {
+			end = len(values)
+		}
+		sum := 0.0
+		for _, v := range values[i:end] {
+			sum += v
+		}
+		out = append(out, sum/float64(end-i))
+	}
+	return out
+}
+
+// WindowScores aggregates point scores to the shared window protocol: a
+// window's score is its maximum point score.
+func WindowScores(pointScores []float64, starts []int, windowLen int) []float64 {
+	out := make([]float64, len(starts))
+	for wi, start := range starts {
+		max := 0.0
+		for i := start; i < start+windowLen && i < len(pointScores); i++ {
+			if i >= 0 && pointScores[i] > max {
+				max = pointScores[i]
+			}
+		}
+		out[wi] = max
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package pav
+
+import (
+	"math"
+	"testing"
+)
+
+func sine(n int, period float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0.5 + 0.4*math.Sin(2*math.Pi*float64(i)/period)
+	}
+	return out
+}
+
+func TestSpikeGetsHighScore(t *testing.T) {
+	values := sine(300, 30)
+	values[150] = 1.0 // spike breaking the smooth pattern
+	scores, err := Scores(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i, s := range scores {
+		if s > scores[best] {
+			best = i
+		}
+	}
+	if best < 148 || best > 152 {
+		t.Errorf("max score at %d, want near 150", best)
+	}
+	if scores[150] < 0.5 {
+		t.Errorf("spike score %v too low", scores[150])
+	}
+}
+
+func TestSmoothSeriesModestScores(t *testing.T) {
+	values := sine(300, 30)
+	scores, err := Scores(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 0.0
+	for _, s := range scores {
+		mean += s
+	}
+	mean /= float64(len(scores))
+	if mean > 0.8 {
+		t.Errorf("mean score %v on smooth periodic data too high", mean)
+	}
+}
+
+func TestScoresBounds(t *testing.T) {
+	values := sine(100, 11)
+	values[50] = 0
+	scores, err := Scores(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(values) {
+		t.Fatalf("got %d scores for %d points", len(scores), len(values))
+	}
+	for i, s := range scores {
+		if s < 0 || s > 1 {
+			t.Errorf("score[%d] = %v out of [0,1]", i, s)
+		}
+	}
+}
+
+func TestScoresErrors(t *testing.T) {
+	if _, err := Scores([]float64{1, 2}, Options{}); err == nil {
+		t.Error("too-short series accepted")
+	}
+	if _, err := Scores(sine(50, 5), Options{Scales: []int{0}}); err == nil {
+		t.Error("scale 0 accepted")
+	}
+}
+
+func TestConstantSeriesAllCommon(t *testing.T) {
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = 0.5
+	}
+	scores, err := Scores(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scores {
+		if s != 0 {
+			t.Errorf("score[%d] = %v on constant data, want 0", i, s)
+		}
+	}
+}
+
+func TestMultiScaleCatchesSlowAnomaly(t *testing.T) {
+	// A level shift only visible after downsampling-level smoothing:
+	// single-scale slopes stay small, coarse slopes jump.
+	values := make([]float64, 200)
+	for i := range values {
+		values[i] = 0.3
+		if i >= 100 {
+			values[i] = 0.31 + 0.003*float64(i-100) // slow drift after the shift
+		}
+	}
+	single, err := Scores(values, Options{Scales: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Scores(values, Options{Scales: []int{1, 4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi[100] < single[100] {
+		t.Errorf("multi-scale score %v < single-scale %v at the change point", multi[100], single[100])
+	}
+}
+
+func TestSlopeBin(t *testing.T) {
+	if slopeBin(0, 8) != 0 {
+		t.Error("zero slope should bin to 0")
+	}
+	if slopeBin(0.9, 8) <= 0 || slopeBin(-0.9, 8) >= 0 {
+		t.Error("sign not preserved")
+	}
+	if slopeBin(5, 8) != 8 || slopeBin(-5, 8) != -8 {
+		t.Error("clamping wrong")
+	}
+	// Larger magnitude → larger bin.
+	if slopeBin(0.9, 8) <= slopeBin(0.1, 8) {
+		t.Error("magnitude ordering wrong")
+	}
+}
+
+func TestDownsampleHelper(t *testing.T) {
+	got := downsample([]float64{1, 3, 5, 7, 9}, 2)
+	want := []float64{2, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	same := []float64{1, 2}
+	if &downsample(same, 1)[0] != &same[0] {
+		t.Error("factor 1 should return the input")
+	}
+}
+
+func TestWindowScoresAggregation(t *testing.T) {
+	points := []float64{0, 0, 0.9, 0, 0, 0, 0.2, 0}
+	scores := WindowScores(points, []int{0, 4}, 4)
+	if scores[0] != 0.9 || scores[1] != 0.2 {
+		t.Errorf("window scores = %v", scores)
+	}
+}

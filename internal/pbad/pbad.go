@@ -1,0 +1,271 @@
+// Package pbad reimplements the Pattern-Based Anomaly Detection baseline
+// (Feremans, Vercruyssen, Cule, Meert & Goethals 2019) the paper compares
+// against in §4.2. The pipeline mirrors the published method:
+//
+//  1. cut the series into fixed windows (the paper's evaluation uses
+//     length 12, step 6);
+//  2. discretize each window's values into equal-width bins, giving an
+//     itemset (distinct bins present) and a sequence (bin per position);
+//  3. mine closed frequent itemsets and closed sequential patterns from
+//     the windows;
+//  4. embed each window by its weighted occurrence of every pattern
+//     (exact containment = 1, otherwise the relative overlap);
+//  5. score the embeddings with an isolation forest — high score = anomaly.
+package pbad
+
+import (
+	"fmt"
+	"sort"
+
+	"cdt/internal/iforest"
+	"cdt/internal/mining"
+)
+
+// Options configures the detector. The zero value reproduces the paper's
+// recommended settings.
+type Options struct {
+	// WindowLen and Step cut the series (defaults 12 and 6, §4.2).
+	WindowLen, Step int
+	// Bins is the number of equal-width value bins over [0,1]
+	// (default 10).
+	Bins int
+	// MinSupportRatio is the relative minimum support for pattern mining
+	// (default 0.01).
+	MinSupportRatio float64
+	// MaxPatternLen caps mined pattern length (default 4).
+	MaxPatternLen int
+	// MaxPatterns caps how many patterns (of each kind) feed the
+	// embedding, keeping the feature space tractable; the most frequent
+	// are kept (default 50).
+	MaxPatterns int
+	// DisableSmoothed drops the moving-average channel. The published
+	// PBAD mines patterns over both the raw series and a smoothed copy;
+	// both channels are on by default.
+	DisableSmoothed bool
+	// SmoothWidth is the (odd) moving-average width of the smoothed
+	// channel (default 5).
+	SmoothWidth int
+	// Forest configures the isolation-forest scorer.
+	Forest iforest.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.WindowLen <= 0 {
+		o.WindowLen = 12
+	}
+	if o.Step <= 0 {
+		o.Step = 6
+	}
+	if o.Bins <= 0 {
+		o.Bins = 10
+	}
+	if o.MinSupportRatio <= 0 {
+		o.MinSupportRatio = 0.01
+	}
+	if o.MaxPatternLen <= 0 {
+		o.MaxPatternLen = 4
+	}
+	if o.MaxPatterns <= 0 {
+		o.MaxPatterns = 50
+	}
+	if o.SmoothWidth <= 0 || o.SmoothWidth%2 == 0 {
+		o.SmoothWidth = 5
+	}
+	return o
+}
+
+// Window is one scored window of the input series.
+type Window struct {
+	// Start is the index of the window's first point in the series.
+	Start int
+	// Len is the window length (the last window may be shorter).
+	Len int
+	// Score is the isolation-forest anomaly score; higher = more
+	// anomalous.
+	Score float64
+}
+
+// Detect runs the full PBAD pipeline on a normalized series and returns
+// one scored window per stride. Values are expected in [0,1] (the shared
+// preprocessing of §4.2); out-of-range values clamp to the edge bins.
+func Detect(values []float64, opts Options) ([]Window, error) {
+	opts = opts.withDefaults()
+	if len(values) < opts.WindowLen {
+		return nil, fmt.Errorf("pbad: series of %d points shorter than window %d", len(values), opts.WindowLen)
+	}
+
+	// Step 1+2: windows → bin sequences, over the raw channel and (per
+	// the published PBAD) a moving-average-smoothed channel.
+	channels := [][]float64{values}
+	if !opts.DisableSmoothed {
+		channels = append(channels, movingAverage(values, opts.SmoothWidth))
+	}
+	var windows []Window
+	chanSeqs := make([][][]int, len(channels))
+	for start := 0; start+opts.WindowLen <= len(values); start += opts.Step {
+		end := start + opts.WindowLen
+		windows = append(windows, Window{Start: start, Len: opts.WindowLen})
+		for ci, ch := range channels {
+			seq := make([]int, 0, opts.WindowLen)
+			for _, v := range ch[start:end] {
+				seq = append(seq, bin(v, opts.Bins))
+			}
+			chanSeqs[ci] = append(chanSeqs[ci], seq)
+		}
+	}
+	seqs := chanSeqs[0]
+
+	minSup := int(opts.MinSupportRatio * float64(len(seqs)))
+	if minSup < 2 {
+		minSup = 2
+	}
+
+	// Steps 3+4: per channel, mine patterns and extend each window's
+	// weighted-occurrence embedding.
+	embeddings := make([][]float64, len(seqs))
+	anyPatterns := false
+	for _, channel := range chanSeqs {
+		itemsets, err := mining.MineClosedItemsets(channel, minSup, opts.MaxPatternLen)
+		if err != nil {
+			return nil, fmt.Errorf("pbad: itemset mining: %w", err)
+		}
+		sequences, err := mining.MineClosedSequences(channel, minSup, opts.MaxPatternLen)
+		if err != nil {
+			return nil, fmt.Errorf("pbad: sequence mining: %w", err)
+		}
+		itemsets = topItemsets(itemsets, opts.MaxPatterns)
+		sequences = topSequences(sequences, opts.MaxPatterns)
+		if len(itemsets)+len(sequences) > 0 {
+			anyPatterns = true
+		}
+		for i, seq := range channel {
+			set := toItemset(seq)
+			for _, p := range itemsets {
+				embeddings[i] = append(embeddings[i], itemsetSimilarity(p.Items, set))
+			}
+			for _, p := range sequences {
+				embeddings[i] = append(embeddings[i], sequenceSimilarity(p.Seq, seq))
+			}
+		}
+	}
+	if !anyPatterns {
+		// No structure to embed with: every window is equally
+		// unsuspicious.
+		return windows, nil
+	}
+
+	// Step 5: isolation forest over embeddings.
+	forest, err := iforest.Fit(embeddings, opts.Forest)
+	if err != nil {
+		return nil, fmt.Errorf("pbad: isolation forest: %w", err)
+	}
+	scores, err := forest.ScoreAll(embeddings)
+	if err != nil {
+		return nil, fmt.Errorf("pbad: scoring: %w", err)
+	}
+	for i := range windows {
+		windows[i].Score = scores[i]
+	}
+	return windows, nil
+}
+
+// movingAverage returns a centered moving average of odd width.
+func movingAverage(values []float64, width int) []float64 {
+	half := width / 2
+	out := make([]float64, len(values))
+	for i := range values {
+		lo, hi := i-half, i+half+1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(values) {
+			hi = len(values)
+		}
+		sum := 0.0
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// bin maps a value in [0,1] to one of n equal-width bins, clamping
+// out-of-range values.
+func bin(v float64, n int) int {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return n - 1
+	}
+	return int(v * float64(n))
+}
+
+// toItemset converts a bin sequence to its sorted distinct-items form.
+func toItemset(seq []int) mining.Itemset {
+	seen := make(map[int]struct{}, len(seq))
+	var out mining.Itemset
+	for _, v := range seq {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// itemsetSimilarity is PBAD's weighted occurrence for itemsets: exact
+// containment scores 1, otherwise the fraction of the pattern's items
+// present.
+func itemsetSimilarity(p, window mining.Itemset) float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	match := 0
+	i := 0
+	for _, v := range p {
+		for i < len(window) && window[i] < v {
+			i++
+		}
+		if i < len(window) && window[i] == v {
+			match++
+		}
+	}
+	return float64(match) / float64(len(p))
+}
+
+// sequenceSimilarity is the weighted occurrence for sequential patterns:
+// exact subsequence containment scores 1, otherwise the relative longest
+// common subsequence.
+func sequenceSimilarity(p, window []int) float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	if mining.ContainsSequence(p, window) {
+		return 1
+	}
+	return float64(mining.LongestCommonSubsequence(p, window)) / float64(len(p))
+}
+
+// topItemsets keeps the n most frequent itemsets (stable on the miner's
+// deterministic order).
+func topItemsets(in []mining.FrequentItemset, n int) []mining.FrequentItemset {
+	if len(in) <= n {
+		return in
+	}
+	out := append([]mining.FrequentItemset(nil), in...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Support > out[j].Support })
+	return out[:n]
+}
+
+// topSequences keeps the n most frequent sequential patterns.
+func topSequences(in []mining.FrequentSequence, n int) []mining.FrequentSequence {
+	if len(in) <= n {
+		return in
+	}
+	out := append([]mining.FrequentSequence(nil), in...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Support > out[j].Support })
+	return out[:n]
+}

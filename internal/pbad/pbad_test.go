@@ -1,0 +1,204 @@
+package pbad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cdt/internal/mining"
+)
+
+func periodic(n int, period float64, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0.5 + 0.3*math.Sin(2*math.Pi*float64(i)/period) + noise*(rng.Float64()-0.5)
+	}
+	return out
+}
+
+func TestDetectScoresAnomalousWindowsHigher(t *testing.T) {
+	values := periodic(600, 24, 0.05, 1)
+	// Plant a burst of extreme values.
+	for i := 300; i < 306; i++ {
+		values[i] = 1.0
+	}
+	windows, err := Detect(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) == 0 {
+		t.Fatal("no windows")
+	}
+	// Mean score of windows overlapping the burst vs the rest.
+	var anomSum, anomN, normSum, normN float64
+	for _, w := range windows {
+		if w.Start+w.Len > 300 && w.Start < 306 {
+			anomSum += w.Score
+			anomN++
+		} else {
+			normSum += w.Score
+			normN++
+		}
+	}
+	if anomN == 0 || normN == 0 {
+		t.Fatal("degenerate window partition")
+	}
+	if anomSum/anomN <= normSum/normN {
+		t.Errorf("anomalous windows mean score %v <= normal %v", anomSum/anomN, normSum/normN)
+	}
+}
+
+func TestDetectWindowGeometry(t *testing.T) {
+	values := periodic(100, 10, 0, 2)
+	windows, err := Detect(values, Options{WindowLen: 12, Step: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (100-12)/6 + 1
+	if len(windows) != want {
+		t.Fatalf("got %d windows, want %d", len(windows), want)
+	}
+	for i, w := range windows {
+		if w.Start != i*6 || w.Len != 12 {
+			t.Errorf("window %d = %+v", i, w)
+		}
+	}
+}
+
+func TestDetectTooShort(t *testing.T) {
+	if _, err := Detect([]float64{1, 2, 3}, Options{WindowLen: 12}); err == nil {
+		t.Error("short series accepted")
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	values := periodic(400, 20, 0.1, 3)
+	w1, err := Detect(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Detect(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w1 {
+		if w1[i].Score != w2[i].Score {
+			t.Fatal("nondeterministic scores")
+		}
+	}
+}
+
+func TestBin(t *testing.T) {
+	if bin(-0.5, 10) != 0 || bin(0, 10) != 0 {
+		t.Error("low clamp wrong")
+	}
+	if bin(1, 10) != 9 || bin(2, 10) != 9 {
+		t.Error("high clamp wrong")
+	}
+	if bin(0.55, 10) != 5 {
+		t.Errorf("bin(0.55) = %d", bin(0.55, 10))
+	}
+}
+
+func TestItemsetSimilarity(t *testing.T) {
+	p := mining.Itemset{1, 3}
+	if got := itemsetSimilarity(p, mining.Itemset{1, 2, 3}); got != 1 {
+		t.Errorf("full containment = %v", got)
+	}
+	if got := itemsetSimilarity(p, mining.Itemset{1, 2}); got != 0.5 {
+		t.Errorf("half overlap = %v", got)
+	}
+	if got := itemsetSimilarity(p, mining.Itemset{4}); got != 0 {
+		t.Errorf("no overlap = %v", got)
+	}
+	if got := itemsetSimilarity(mining.Itemset{}, mining.Itemset{1}); got != 0 {
+		t.Errorf("empty pattern = %v", got)
+	}
+}
+
+func TestSequenceSimilarity(t *testing.T) {
+	if got := sequenceSimilarity([]int{1, 2}, []int{0, 1, 5, 2}); got != 1 {
+		t.Errorf("subsequence = %v", got)
+	}
+	if got := sequenceSimilarity([]int{1, 2}, []int{2, 1}); got != 0.5 {
+		t.Errorf("partial = %v", got)
+	}
+	if got := sequenceSimilarity(nil, []int{1}); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestToItemset(t *testing.T) {
+	got := toItemset([]int{3, 1, 3, 2, 1})
+	want := mining.Itemset{1, 2, 3}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopItemsetsKeepsMostFrequent(t *testing.T) {
+	in := []mining.FrequentItemset{
+		{Items: mining.Itemset{1}, Support: 1},
+		{Items: mining.Itemset{2}, Support: 9},
+		{Items: mining.Itemset{3}, Support: 5},
+	}
+	out := topItemsets(in, 2)
+	if len(out) != 2 || out[0].Support != 9 || out[1].Support != 5 {
+		t.Errorf("topItemsets = %v", out)
+	}
+	if got := topItemsets(in, 10); len(got) != 3 {
+		t.Error("short input should pass through")
+	}
+}
+
+func TestTopSequencesKeepsMostFrequent(t *testing.T) {
+	in := []mining.FrequentSequence{
+		{Seq: []int{1}, Support: 2},
+		{Seq: []int{2}, Support: 7},
+	}
+	out := topSequences(in, 1)
+	if len(out) != 1 || out[0].Support != 7 {
+		t.Errorf("topSequences = %v", out)
+	}
+}
+
+func TestMovingAverageChannel(t *testing.T) {
+	got := movingAverage([]float64{0, 3, 0, 3, 0}, 3)
+	want := []float64{1.5, 1, 2, 1, 1.5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("ma[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDisableSmoothedChangesEmbedding(t *testing.T) {
+	values := periodic(400, 20, 0.1, 11)
+	with, err := Detect(values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Detect(values, Options{DisableSmoothed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with) != len(without) {
+		t.Fatal("window geometry changed")
+	}
+	same := true
+	for i := range with {
+		if with[i].Score != without[i].Score {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("smoothed channel has no effect on scores")
+	}
+}

@@ -1,0 +1,182 @@
+// Package quality implements the paper's rule-quality measures (§3.5):
+// the interpretability I(c) of a composition (Equation 1), the average
+// interpretability M(I_Rs) of a rule predicate (Equation 2), the
+// support-weighted quality Q(R) of a rule (Equation 3), and the
+// optimization objective F(h) = F1 · Q(R) (Equation 5).
+package quality
+
+import (
+	"cdt/internal/core"
+	"cdt/internal/metrics"
+	"cdt/internal/rules"
+)
+
+// Interpretability computes I(c) = 1 − (L_c · N_L) / (ω · MaxL)
+// (Equation 1): shorter compositions using fewer distinct labels are more
+// interpretable. omega is the window size; maxLabels is the total number
+// of labels MaxL — the pattern-alphabet size (2δ+1)². The result is
+// clamped to [0,1] for robustness against degenerate inputs.
+func Interpretability(c core.Composition, omega, maxLabels int) float64 {
+	if omega <= 0 || maxLabels <= 0 {
+		return 0
+	}
+	v := 1 - float64(c.Len()*c.UniqueLabels())/float64(omega*maxLabels)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// PredicateQuality computes M(I_Rs) (Equation 2): the mean I(c) over the
+// predicate's compositions. Following the interpretability intent, every
+// composition the analyst must read — negated or not — counts. An empty
+// predicate has quality 0.
+func PredicateQuality(p rules.Predicate, omega, maxLabels int) float64 {
+	comps := p.Compositions()
+	if len(comps) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range comps {
+		sum += Interpretability(c, omega, maxLabels)
+	}
+	return sum / float64(len(comps))
+}
+
+// Report carries the quality evaluation of a rule on a labeled
+// observation set.
+type Report struct {
+	// Q is the rule quality Q(R) (Equation 3).
+	Q float64
+	// Confusion is the rule's detection confusion matrix on the set.
+	Confusion metrics.Confusion
+	// PredicateSupports holds S_Rs per predicate: the number of true
+	// positives attributed to that predicate.
+	PredicateSupports []int
+	// PredicateFalsePositives counts, per predicate, the normal
+	// observations it (as first matcher) flagged.
+	PredicateFalsePositives []int
+	// PredicateQualities holds M(I_Rs) per predicate.
+	PredicateQualities []float64
+}
+
+// F1 is the rule's F1 on the evaluation set.
+func (r Report) F1() float64 { return r.Confusion.F1() }
+
+// Objective is F(h) = F1 · Q(R) (Equation 5).
+func (r Report) Objective() float64 { return r.F1() * r.Q }
+
+// Evaluate measures a rule on labeled observations and computes Q(R)
+// (Equation 3): Q = (1/S) Σ S_Rs · M(I_Rs), where S_Rs is the support of
+// predicate Rs (true positives it detects) and S is the support of all
+// rule predicates — the correctly classified observations (true positives
+// and true negatives) of the whole rule. A predicate's true positive is
+// attributed to the first predicate that matches, mirroring ordered rule
+// evaluation; attribution does not change Q's numerator because each true
+// positive counts once either way. omega and maxLabels parameterize the
+// interpretability terms.
+func Evaluate(r rules.Rule, obs []core.Observation, omega, maxLabels int) Report {
+	rep := Report{
+		PredicateSupports:       make([]int, len(r.Predicates)),
+		PredicateFalsePositives: make([]int, len(r.Predicates)),
+		PredicateQualities:      make([]float64, len(r.Predicates)),
+	}
+	for i, p := range r.Predicates {
+		rep.PredicateQualities[i] = PredicateQuality(p, omega, maxLabels)
+	}
+	for i := range obs {
+		actual := obs[i].Class == core.Anomaly
+		matched := -1
+		for pi, p := range r.Predicates {
+			if p.Matches(obs[i].Labels, r.Mode) {
+				matched = pi
+				break
+			}
+		}
+		predicted := matched >= 0
+		rep.Confusion.Add(predicted, actual)
+		if predicted {
+			if actual {
+				rep.PredicateSupports[matched]++
+			} else {
+				rep.PredicateFalsePositives[matched]++
+			}
+		}
+	}
+	s := rep.Confusion.TP + rep.Confusion.TN
+	if s == 0 {
+		return rep
+	}
+	num := 0.0
+	for i := range r.Predicates {
+		num += float64(rep.PredicateSupports[i]) * rep.PredicateQualities[i]
+	}
+	rep.Q = num / float64(s)
+	return rep
+}
+
+// GenericPredicate abstracts a rule conjunction from any rule learner
+// (PART, JRip) so the same Q(R) measure can score them (§4.3 compares
+// Q(R) across CDT, PART and JRip). Length is the number of conditions in
+// the conjunction (the analogue of L_c) and UniqueValues the number of
+// distinct attribute values used (the analogue of N_L).
+type GenericPredicate struct {
+	Length       int
+	UniqueValues int
+	// Matches evaluates the conjunction on an observation index.
+	Matches func(i int) bool
+}
+
+// EvaluateGeneric computes F1, Q(R) and F(h) for an ordered rule list
+// from a generic learner over n observations with the given truth. Each
+// predicate is treated as a single composition whose interpretability is
+// I = 1 − (Length · UniqueValues)/(ω · MaxL); defaultPositive reports
+// whether an observation matched by no predicate is classified anomalous
+// (rule lists may end with an anomaly default).
+func EvaluateGeneric(preds []GenericPredicate, n int, truth func(i int) bool, defaultPositive bool, omega, maxLabels int) Report {
+	rep := Report{
+		PredicateSupports:  make([]int, len(preds)),
+		PredicateQualities: make([]float64, len(preds)),
+	}
+	for i, p := range preds {
+		v := 1 - float64(p.Length*p.UniqueValues)/float64(omega*maxLabels)
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		rep.PredicateQualities[i] = v
+	}
+	for i := 0; i < n; i++ {
+		actual := truth(i)
+		matched := -1
+		for pi := range preds {
+			if preds[pi].Matches(i) {
+				matched = pi
+				break
+			}
+		}
+		predicted := defaultPositive
+		if matched >= 0 {
+			predicted = true
+		}
+		rep.Confusion.Add(predicted, actual)
+		if matched >= 0 && actual {
+			rep.PredicateSupports[matched]++
+		}
+	}
+	s := rep.Confusion.TP + rep.Confusion.TN
+	if s == 0 {
+		return rep
+	}
+	num := 0.0
+	for i := range preds {
+		num += float64(rep.PredicateSupports[i]) * rep.PredicateQualities[i]
+	}
+	rep.Q = num / float64(s)
+	return rep
+}

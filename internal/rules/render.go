@@ -1,0 +1,157 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"cdt/internal/core"
+	"cdt/internal/pattern"
+)
+
+// representative returns a plotting magnitude for an interval code: the
+// midpoint of the k-th sub-interval of ]0,1] (or its negative), and 0 for
+// the Z interval.
+func representative(iv pattern.Interval, delta int) float64 {
+	if iv == 0 {
+		return 0
+	}
+	k := float64(iv)
+	if iv < 0 {
+		k = -k
+	}
+	v := (k - 0.5) / float64(delta)
+	if iv < 0 {
+		return -v
+	}
+	return v
+}
+
+// ShapePoints reconstructs a representative value path for a composition:
+// len(c)+2 points whose successive differences realize each label's α and
+// β magnitudes. Consecutive labels overlap in real series; the
+// reconstruction honours the first label's α and every label's β, which
+// is exact for labelings produced from actual data and a faithful sketch
+// otherwise.
+func ShapePoints(c core.Composition, cfg pattern.Config) []float64 {
+	if len(c.Labels) == 0 {
+		return nil
+	}
+	pts := make([]float64, 0, len(c.Labels)+2)
+	pts = append(pts, 0)
+	pts = append(pts, representative(c.Labels[0].Alpha, cfg.Delta))
+	for _, l := range c.Labels {
+		last := pts[len(pts)-1]
+		pts = append(pts, last-representative(l.Beta, cfg.Delta))
+	}
+	return pts
+}
+
+// Sketch draws a composition as a small ASCII chart (height rows), the
+// textual analogue of Table 5's pattern visualizations. Each point is an
+// asterisk placed by value; columns are separated for readability.
+func Sketch(c core.Composition, cfg pattern.Config, height int) string {
+	pts := ShapePoints(c, cfg)
+	if len(pts) == 0 {
+		return "(empty)"
+	}
+	if height < 2 {
+		height = 5
+	}
+	min, max := pts[0], pts[0]
+	for _, p := range pts[1:] {
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	span := max - min
+	grid := make([][]byte, height)
+	width := len(pts)*3 - 2
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(v float64) int {
+		if span == 0 {
+			return height / 2
+		}
+		r := int((max - v) / span * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for i, p := range pts {
+		col := i * 3
+		grid[rowOf(p)][col] = '*'
+		// Connect to the next point with a slope glyph at the midpoint.
+		if i+1 < len(pts) {
+			next := pts[i+1]
+			mid := (p + next) / 2
+			glyph := byte('-')
+			if next > p {
+				glyph = '/'
+			} else if next < p {
+				glyph = '\\'
+			}
+			grid[rowOf(mid)][col+1] = glyph
+			grid[rowOf(mid)][col+2] = glyph
+		}
+	}
+	lines := make([]string, height)
+	for r := range grid {
+		lines[r] = strings.TrimRight(string(grid[r]), " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Explain renders a full rule with one sketch per positive composition —
+// the presentation Table 5 gives to domain experts. Negative literals are
+// listed textually (their shapes describe what must be absent).
+func Explain(r Rule, cfg pattern.Config) string {
+	if len(r.Predicates) == 0 {
+		return "(no anomaly rules)\n"
+	}
+	var b strings.Builder
+	for i, p := range r.Predicates {
+		fmt.Fprintf(&b, "Rule R%d: IF %s THEN anomaly\n", i+1, p.Format(cfg))
+		for _, c := range p.PositiveCompositions() {
+			fmt.Fprintf(&b, "  shape of %s:\n", c.Format(cfg))
+			for _, line := range strings.Split(Sketch(c, cfg, 5), "\n") {
+				b.WriteString("    ")
+				b.WriteString(line)
+				b.WriteByte('\n')
+			}
+		}
+		if i < len(r.Predicates)-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Describe gives a one-line natural-language reading of a composition
+// using the variation semantics of Table 1 (e.g. "negative peak then
+// start of constant segment"), the phrasing experts used in §4.3.
+func Describe(c core.Composition) string {
+	names := map[pattern.Variation]string{
+		pattern.PP:  "positive peak",
+		pattern.PN:  "negative peak",
+		pattern.SCP: "rise into constant segment",
+		pattern.SCN: "fall into constant segment",
+		pattern.ECP: "constant segment ending with rise",
+		pattern.ECN: "constant segment ending with fall",
+		pattern.CST: "constant segment",
+		pattern.VP:  "steady rise",
+		pattern.VN:  "steady fall",
+	}
+	parts := make([]string, len(c.Labels))
+	for i, l := range c.Labels {
+		parts[i] = names[l.Var]
+	}
+	return strings.Join(parts, ", then ")
+}

@@ -1,0 +1,108 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"cdt/internal/core"
+	"cdt/internal/pattern"
+)
+
+func TestShapePointsLength(t *testing.T) {
+	c := comp(la, lb, lc)
+	pts := ShapePoints(c, cfg2)
+	if len(pts) != len(c.Labels)+2 {
+		t.Fatalf("got %d points, want %d", len(pts), len(c.Labels)+2)
+	}
+	if ShapePoints(core.Composition{}, cfg2) != nil {
+		t.Error("empty composition should give nil points")
+	}
+}
+
+// For labels produced from actual data, the reconstruction realizes every
+// β step: a positive peak must come back down.
+func TestShapePointsPeakShape(t *testing.T) {
+	c := comp(lbl(pattern.PP, 1, 2))
+	pts := ShapePoints(c, cfg2)
+	if len(pts) != 3 {
+		t.Fatal("wrong size")
+	}
+	if !(pts[1] > pts[0] && pts[1] > pts[2]) {
+		t.Errorf("PP shape not a peak: %v", pts)
+	}
+}
+
+func TestShapePointsNegativePeak(t *testing.T) {
+	pts := ShapePoints(comp(lbl(pattern.PN, -2, -2)), cfg2)
+	if !(pts[1] < pts[0] && pts[1] < pts[2]) {
+		t.Errorf("PN shape not a trough: %v", pts)
+	}
+}
+
+func TestSketchContainsPoints(t *testing.T) {
+	out := Sketch(comp(lbl(pattern.PP, 1, 2)), cfg2, 5)
+	if strings.Count(out, "*") != 3 {
+		t.Errorf("sketch should plot 3 points:\n%s", out)
+	}
+	if len(strings.Split(out, "\n")) != 5 {
+		t.Errorf("sketch should have 5 rows:\n%s", out)
+	}
+}
+
+func TestSketchConstant(t *testing.T) {
+	out := Sketch(comp(lbl(pattern.CST, 0, 0)), cfg2, 5)
+	if !strings.Contains(out, "*") {
+		t.Error("constant sketch missing points")
+	}
+	if strings.Contains(out, "/") || strings.Contains(out, "\\") {
+		t.Errorf("constant sketch has slopes:\n%s", out)
+	}
+}
+
+func TestSketchEmpty(t *testing.T) {
+	if got := Sketch(core.Composition{}, cfg2, 5); got != "(empty)" {
+		t.Errorf("Sketch(empty) = %q", got)
+	}
+}
+
+func TestSketchDefaultsHeight(t *testing.T) {
+	out := Sketch(comp(la), cfg2, 0)
+	if len(strings.Split(out, "\n")) != 5 {
+		t.Error("height default not applied")
+	}
+}
+
+func TestExplainListsRulesAndShapes(t *testing.T) {
+	r := Rule{Predicates: []Predicate{
+		{Literals: []Literal{pos(comp(lb, lc))}},
+		{Literals: []Literal{pos(comp(la)), neg(comp(lb))}},
+	}}
+	out := Explain(r, cfg2)
+	for _, want := range []string{"Rule R1", "Rule R2", "shape of", "THEN anomaly"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(Explain(Rule{}, cfg2), "no anomaly rules") {
+		t.Error("empty rule explanation wrong")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	got := Describe(comp(lbl(pattern.PN, -2, -1), lbl(pattern.SCP, 1, 0)))
+	if got != "negative peak, then rise into constant segment" {
+		t.Errorf("Describe = %q", got)
+	}
+}
+
+func TestRepresentativeMagnitudes(t *testing.T) {
+	if representative(0, 2) != 0 {
+		t.Error("Z should be 0")
+	}
+	if representative(1, 2) != 0.25 {
+		t.Errorf("L midpoint = %v, want 0.25", representative(1, 2))
+	}
+	if representative(-2, 2) != -0.75 {
+		t.Errorf("-H midpoint = %v, want -0.75", representative(-2, 2))
+	}
+}

@@ -1,0 +1,187 @@
+package rules
+
+import "sort"
+
+// Simplify minimizes the rule's sum-of-products form with Boolean-algebra
+// rewrites, iterated to a fixpoint (paper §3.4, "Rule Simplifications"):
+//
+//  1. contradiction removal — a predicate containing both c and ¬c is
+//     unsatisfiable and is dropped;
+//  2. duplicate-literal removal within a predicate (idempotence c∧c = c);
+//  3. negation elimination — for predicates P = A∧x and Q = B∧¬x with
+//     A∖{x} ⊆ B∖{¬x}, the ¬x in Q is redundant: A∧x ∨ B∧¬x = A∧x ∨ B.
+//     The special case A = {x} is the paper's worked example:
+//     (c1) ∨ (c2∧¬c1) = (c1) ∨ (c2);
+//  4. absorption — if the literal set of P is a subset of Q's, Q is
+//     implied by P and is dropped (covers exact duplicates too).
+//
+// The input is not mutated. Predicate order is preserved for surviving
+// predicates (stable), which keeps rule numbering meaningful across the
+// simplification.
+func Simplify(r Rule) Rule {
+	preds := make([]predSet, 0, len(r.Predicates))
+	for _, p := range r.Predicates {
+		preds = append(preds, newPredSet(p))
+	}
+	for {
+		changed := false
+		next := preds[:0]
+		// Pass 1: drop contradictions and duplicate literals.
+		for _, p := range preds {
+			if p.contradictory() {
+				changed = true
+				continue
+			}
+			next = append(next, p)
+		}
+		preds = next
+		// Pass 2: negation elimination.
+		for i := range preds {
+			for j := range preds {
+				if i == j {
+					continue
+				}
+				if preds[j].eliminateNegationsUsing(preds[i]) {
+					changed = true
+				}
+			}
+		}
+		// Pass 3: absorption (keep the first of any implied pair).
+		keep := make([]bool, len(preds))
+		for i := range keep {
+			keep[i] = true
+		}
+		for i := range preds {
+			if !keep[i] {
+				continue
+			}
+			for j := range preds {
+				if i == j || !keep[j] {
+					continue
+				}
+				if preds[i].subsetOf(preds[j]) {
+					// P_i implies covering P_j: absorb the larger one.
+					// On exact equality keep the earlier predicate.
+					if !preds[j].subsetOf(preds[i]) || i < j {
+						keep[j] = false
+						changed = true
+					}
+				}
+			}
+		}
+		if changed {
+			var filtered []predSet
+			for i, k := range keep {
+				if k {
+					filtered = append(filtered, preds[i])
+				}
+			}
+			preds = filtered
+		}
+		if !changed {
+			break
+		}
+	}
+	out := Rule{Mode: r.Mode, Predicates: make([]Predicate, 0, len(preds))}
+	for _, p := range preds {
+		out.Predicates = append(out.Predicates, p.toPredicate())
+	}
+	return out
+}
+
+// predSet is a predicate as a set of literal keys, retaining the literal
+// values for reconstruction.
+type predSet struct {
+	lits map[string]Literal
+}
+
+func newPredSet(p Predicate) predSet {
+	ps := predSet{lits: make(map[string]Literal, len(p.Literals))}
+	for _, l := range p.Literals {
+		ps.lits[l.Key()] = l
+	}
+	return ps
+}
+
+// contradictory reports whether the set holds both polarities of any
+// composition.
+func (ps predSet) contradictory() bool {
+	for k := range ps.lits {
+		opposite := "+" + k[1:]
+		if k[0] == '+' {
+			opposite = "!" + k[1:]
+		}
+		if _, ok := ps.lits[opposite]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// subsetOf reports whether every literal of ps is in other.
+func (ps predSet) subsetOf(other predSet) bool {
+	if len(ps.lits) > len(other.lits) {
+		return false
+	}
+	for k := range ps.lits {
+		if _, ok := other.lits[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// eliminateNegationsUsing removes from ps any literal ¬x such that donor
+// contains positive x and donor∖{x} ⊆ ps∖{¬x}; under those conditions
+// donor∨ps ≡ donor∨(ps without ¬x). Returns whether anything changed.
+func (ps predSet) eliminateNegationsUsing(donor predSet) bool {
+	changed := false
+	for k := range ps.lits {
+		if k[0] != '!' {
+			continue
+		}
+		posKey := "+" + k[1:]
+		if _, ok := donor.lits[posKey]; !ok {
+			continue
+		}
+		ok := true
+		for dk := range donor.lits {
+			if dk == posKey {
+				continue
+			}
+			if _, in := ps.lits[dk]; !in {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			delete(ps.lits, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// toPredicate rebuilds a Predicate with literals in a deterministic
+// order: positives first (shortest composition first), then negatives.
+func (ps predSet) toPredicate() Predicate {
+	keys := make([]string, 0, len(ps.lits))
+	for k := range ps.lits {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if (a[0] == '+') != (b[0] == '+') {
+			return a[0] == '+'
+		}
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	p := Predicate{Literals: make([]Literal, 0, len(keys))}
+	for _, k := range keys {
+		p.Literals = append(p.Literals, ps.lits[k])
+	}
+	return p
+}

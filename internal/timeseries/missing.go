@@ -1,0 +1,129 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sensor feeds lose readings; the paper's preprocessing assumes uniformly
+// spaced complete series, so gaps must be repaired before labeling. NaN
+// marks a missing reading.
+
+// MissingCount returns the number of NaN values.
+func (s *Series) MissingCount() int {
+	n := 0
+	for _, v := range s.Values {
+		if math.IsNaN(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// FillPolicy selects how Repair fills gaps.
+type FillPolicy int
+
+const (
+	// FillLinear interpolates linearly between the nearest present
+	// neighbors (leading/trailing gaps copy the nearest present value).
+	FillLinear FillPolicy = iota
+	// FillPrevious repeats the last present value (leading gaps copy the
+	// first present value).
+	FillPrevious
+)
+
+// String names the policy.
+func (p FillPolicy) String() string {
+	if p == FillPrevious {
+		return "previous"
+	}
+	return "linear"
+}
+
+// Repair returns a copy of the series with NaN gaps filled according to
+// the policy. It fails if the series has no present value at all.
+// Anomaly flags are preserved; filled points keep their original flag
+// (a missing reading's flag is whatever the annotator recorded for it).
+func Repair(s *Series, policy FillPolicy) (*Series, error) {
+	if len(s.Values) == 0 {
+		return nil, ErrEmpty
+	}
+	out := s.Clone()
+	present := false
+	for _, v := range out.Values {
+		if !math.IsNaN(v) {
+			present = true
+			break
+		}
+	}
+	if !present {
+		return nil, fmt.Errorf("timeseries: series %q is entirely missing", s.Name)
+	}
+	switch policy {
+	case FillPrevious:
+		fillPrevious(out.Values)
+	case FillLinear:
+		fillLinear(out.Values)
+	default:
+		return nil, fmt.Errorf("timeseries: unknown fill policy %d", policy)
+	}
+	return out, nil
+}
+
+// fillPrevious repeats the last seen value; a leading gap copies the
+// first present value backwards.
+func fillPrevious(values []float64) {
+	first := math.NaN()
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			first = v
+			break
+		}
+	}
+	last := first
+	for i, v := range values {
+		if math.IsNaN(v) {
+			values[i] = last
+		} else {
+			last = v
+		}
+	}
+}
+
+// fillLinear interpolates interior gaps and extends edge gaps with the
+// nearest present value.
+func fillLinear(values []float64) {
+	n := len(values)
+	i := 0
+	for i < n {
+		if !math.IsNaN(values[i]) {
+			i++
+			continue
+		}
+		// Gap [i, j).
+		j := i
+		for j < n && math.IsNaN(values[j]) {
+			j++
+		}
+		switch {
+		case i == 0 && j == n:
+			// Unreachable: Repair checked for at least one present value.
+		case i == 0:
+			for k := i; k < j; k++ {
+				values[k] = values[j]
+			}
+		case j == n:
+			for k := i; k < j; k++ {
+				values[k] = values[i-1]
+			}
+		default:
+			lo, hi := values[i-1], values[j]
+			span := float64(j - i + 1)
+			for k := i; k < j; k++ {
+				t := float64(k-i+1) / span
+				values[k] = lo + (hi-lo)*t
+			}
+		}
+		i = j
+	}
+}

@@ -1,0 +1,151 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var nan = math.NaN()
+
+func TestMissingCount(t *testing.T) {
+	s := New("s", []float64{1, nan, 3, nan})
+	if got := s.MissingCount(); got != 2 {
+		t.Errorf("MissingCount = %d", got)
+	}
+}
+
+func TestRepairLinearInterior(t *testing.T) {
+	s := New("s", []float64{1, nan, nan, 4})
+	out, err := Repair(s, FillLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3, 4}
+	for i := range want {
+		if math.Abs(out.Values[i]-want[i]) > 1e-12 {
+			t.Errorf("Values[%d] = %v, want %v", i, out.Values[i], want[i])
+		}
+	}
+	// Input untouched.
+	if !math.IsNaN(s.Values[1]) {
+		t.Error("Repair mutated the input")
+	}
+}
+
+func TestRepairLinearEdges(t *testing.T) {
+	s := New("s", []float64{nan, nan, 5, 7, nan})
+	out, err := Repair(s, FillLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 5, 5, 7, 7}
+	for i := range want {
+		if out.Values[i] != want[i] {
+			t.Errorf("Values[%d] = %v, want %v", i, out.Values[i], want[i])
+		}
+	}
+}
+
+func TestRepairPrevious(t *testing.T) {
+	s := New("s", []float64{nan, 2, nan, nan, 5})
+	out, err := Repair(s, FillPrevious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 2, 2, 2, 5}
+	for i := range want {
+		if out.Values[i] != want[i] {
+			t.Errorf("Values[%d] = %v, want %v", i, out.Values[i], want[i])
+		}
+	}
+}
+
+func TestRepairErrors(t *testing.T) {
+	if _, err := Repair(New("s", nil), FillLinear); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := Repair(New("s", []float64{nan, nan}), FillLinear); err == nil {
+		t.Error("all-missing series accepted")
+	}
+	if _, err := Repair(New("s", []float64{1}), FillPolicy(99)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRepairPreservesAnomalies(t *testing.T) {
+	s := NewLabeled("s", []float64{1, nan, 3}, []bool{false, true, false})
+	out, err := Repair(s, FillLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Anomalies[1] {
+		t.Error("anomaly flag lost")
+	}
+}
+
+// Repair never leaves NaN behind and never changes present values.
+func TestRepairProperty(t *testing.T) {
+	f := func(seed int64, policyRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 1
+		values := make([]float64, n)
+		anyPresent := false
+		for i := range values {
+			if rng.Intn(3) == 0 {
+				values[i] = nan
+			} else {
+				values[i] = rng.Float64() * 10
+				anyPresent = true
+			}
+		}
+		if !anyPresent {
+			values[0] = 1
+		}
+		orig := append([]float64(nil), values...)
+		policy := FillPolicy(policyRaw % 2)
+		out, err := Repair(New("p", values), policy)
+		if err != nil {
+			return false
+		}
+		for i, v := range out.Values {
+			if math.IsNaN(v) {
+				return false
+			}
+			if !math.IsNaN(orig[i]) && v != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Linear interpolation stays within the bounds of its anchors.
+func TestRepairLinearBounded(t *testing.T) {
+	s := New("s", []float64{2, nan, nan, nan, 8})
+	out, err := Repair(s, FillLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out.Values {
+		if v < 2 || v > 8 {
+			t.Errorf("Values[%d] = %v escapes anchors", i, v)
+		}
+	}
+	// Monotone between the monotone anchors.
+	for i := 1; i < len(out.Values); i++ {
+		if out.Values[i] < out.Values[i-1] {
+			t.Error("interpolation not monotone between monotone anchors")
+		}
+	}
+}
+
+func TestFillPolicyString(t *testing.T) {
+	if FillLinear.String() != "linear" || FillPrevious.String() != "previous" {
+		t.Error("policy names wrong")
+	}
+}

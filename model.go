@@ -1,0 +1,265 @@
+package cdt
+
+import (
+	"fmt"
+	"strings"
+
+	"cdt/internal/core"
+	"cdt/internal/metrics"
+	"cdt/internal/pattern"
+	"cdt/internal/quality"
+	"cdt/internal/rules"
+)
+
+// Model is a trained CDT: the tree, the simplified rule set extracted
+// from it, and the configuration needed to preprocess new data.
+type Model struct {
+	// Opts is the training configuration.
+	Opts Options
+
+	tree *core.Tree
+	rule rules.Rule
+	raw  rules.Rule
+	pcfg pattern.Config
+}
+
+// Fit trains a CDT on one or more labeled series: each series is
+// normalized to [0,1] (if not already), labeled with the δ pattern
+// alphabet, cut into ω-windows, and the pooled windows grow the tree
+// (Algorithm 1); rules are then extracted and Boolean-simplified (§3.4).
+// At least one series must contain an anomaly, otherwise there is
+// nothing to learn rules for.
+func Fit(train []*Series, opts Options) (*Model, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(train) == 0 {
+		return nil, fmt.Errorf("cdt: no training series")
+	}
+	pcfg := opts.patternConfig()
+	var pooled []core.Observation
+	for _, s := range train {
+		obs, err := observations(s, pcfg, opts.Omega)
+		if err != nil {
+			return nil, err
+		}
+		pooled = append(pooled, obs...)
+	}
+	tree, err := core.Build(pooled, opts.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Opts: opts, tree: tree, pcfg: pcfg}
+	m.raw = rules.FromTree(tree, opts.LeafPolicy)
+	m.rule = rules.Simplify(m.raw)
+	return m, nil
+}
+
+// Rule returns the simplified rule set.
+func (m *Model) Rule() Rule { return m.rule }
+
+// RawRule returns the rule set as extracted from the tree, before
+// Boolean simplification (useful for measuring what simplification
+// saves).
+func (m *Model) RawRule() Rule { return m.raw }
+
+// NumRules returns the number of rule predicates (the Figure 3 metric).
+func (m *Model) NumRules() int { return m.rule.Count() }
+
+// RuleText renders the rules as IF-THEN lines with δ-aware label names.
+func (m *Model) RuleText() string { return m.rule.Format(m.pcfg) }
+
+// Explain renders the rules with ASCII shape sketches and plain-language
+// descriptions — the presentation of Table 5.
+func (m *Model) Explain() string {
+	var b strings.Builder
+	b.WriteString(rules.Explain(m.rule, m.pcfg))
+	for _, p := range m.rule.Predicates {
+		for _, c := range p.PositiveCompositions() {
+			fmt.Fprintf(&b, "reading of %s: %s\n", c.Format(m.pcfg), rules.Describe(c))
+		}
+	}
+	return b.String()
+}
+
+// TreeText renders the underlying decision tree (Figure 2's view).
+func (m *Model) TreeText() string { return m.tree.Render(m.pcfg) }
+
+// TreeStats summarizes the tree's shape.
+func (m *Model) TreeStats() core.Stats { return m.tree.Stats() }
+
+// DetectWindows runs the rule over a series and returns one flag per
+// sliding window (window i covers points [i+1, i+ω] of the series).
+func (m *Model) DetectWindows(s *Series) ([]bool, error) {
+	obs, err := observations(s, m.pcfg, m.Opts.Omega)
+	if err != nil {
+		return nil, err
+	}
+	return m.rule.DetectAll(obs), nil
+}
+
+// PointFlags projects window detections to per-point anomaly flags: a
+// point is flagged when at least one window covering it fires. The
+// result has the same length as the series.
+func (m *Model) PointFlags(s *Series) ([]bool, error) {
+	windows, err := m.DetectWindows(s)
+	if err != nil {
+		return nil, err
+	}
+	flags := make([]bool, s.Len())
+	for wi, fired := range windows {
+		if !fired {
+			continue
+		}
+		// Window wi covers points wi+1 .. wi+ω.
+		for p := wi + 1; p <= wi+m.Opts.Omega && p < len(flags); p++ {
+			flags[p] = true
+		}
+	}
+	return flags, nil
+}
+
+// Report is a full evaluation of the model on labeled data: detection
+// quality (F1) plus the paper's rule-quality measures.
+type Report struct {
+	// Confusion is the window-level confusion matrix.
+	Confusion metrics.Confusion
+	// F1 is the window-level F1 score.
+	F1 float64
+	// Q is the rule quality Q(R) (Equation 3).
+	Q float64
+	// FH is the objective F(h) = F1 · Q(R) (Equation 5).
+	FH float64
+	// NumRules is the rule-predicate count.
+	NumRules int
+}
+
+// Evaluate measures the model on labeled series, pooling their windows
+// (the protocol of §4.1: window-level classification scored by F1, rule
+// quality by Equation 3).
+func (m *Model) Evaluate(eval []*Series) (Report, error) {
+	if len(eval) == 0 {
+		return Report{}, fmt.Errorf("cdt: no evaluation series")
+	}
+	var pooled []core.Observation
+	for _, s := range eval {
+		obs, err := observations(s, m.pcfg, m.Opts.Omega)
+		if err != nil {
+			return Report{}, err
+		}
+		pooled = append(pooled, obs...)
+	}
+	qrep := quality.Evaluate(m.rule, pooled, m.Opts.Omega, m.pcfg.AlphabetSize())
+	return Report{
+		Confusion: qrep.Confusion,
+		F1:        qrep.F1(),
+		Q:         qrep.Q,
+		FH:        qrep.Objective(),
+		NumRules:  m.rule.Count(),
+	}, nil
+}
+
+// Predict classifies one window of labels directly (for callers managing
+// their own labeling).
+func (m *Model) Predict(labels []Label) bool {
+	return m.tree.Predict(labels) == core.Anomaly
+}
+
+// GeneralRule is a magnitude-generalized rule set (see Generalize).
+type GeneralRule = rules.GeneralRule
+
+// PruneRedundant returns a copy of the rule set without predicates that
+// contribute no true positive on the reference series — the paper's
+// "eliminate redundant rules" improvement. The reference should be
+// labeled data not used for training (e.g. the validation split).
+func (m *Model) PruneRedundant(reference []*Series) (Rule, error) {
+	obs, err := m.pooledObservations(reference)
+	if err != nil {
+		return Rule{}, err
+	}
+	return rules.RemoveRedundant(m.rule, obs), nil
+}
+
+// Generalize widens the magnitude intervals of the learned rules —
+// PP[L,H] becomes PP[+,+] ("any positive peak") — keeping each widening
+// only when the rule's F1 on the reference series does not degrade; the
+// paper's "combine rules by a generalization" improvement. Generalized
+// rules transfer better across magnitude regimes and read more
+// naturally. The reference should be labeled data not used for training.
+func (m *Model) Generalize(reference []*Series) (GeneralRule, error) {
+	obs, err := m.pooledObservations(reference)
+	if err != nil {
+		return GeneralRule{}, err
+	}
+	return rules.Generalize(m.rule, obs, m.Opts.Delta), nil
+}
+
+// GeneralRuleText renders a generalized rule set with this model's
+// δ-aware label names.
+func (m *Model) GeneralRuleText(g GeneralRule) string { return g.Format(m.pcfg) }
+
+// pooledObservations labels and windows a set of series into one pool.
+func (m *Model) pooledObservations(series []*Series) ([]core.Observation, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("cdt: no reference series")
+	}
+	var pooled []core.Observation
+	for _, s := range series {
+		obs, err := observations(s, m.pcfg, m.Opts.Omega)
+		if err != nil {
+			return nil, err
+		}
+		pooled = append(pooled, obs...)
+	}
+	return pooled, nil
+}
+
+// RuleStat summarizes one rule predicate's behaviour on an evaluation
+// set — the audit view an analyst reads before trusting a rule.
+type RuleStat struct {
+	// Index is the 1-based rule number matching RuleText's numbering.
+	Index int
+	// Text is the rendered predicate.
+	Text string
+	// Support is the number of anomalous windows the rule correctly
+	// claimed (as first matcher).
+	Support int
+	// FalseAlarms is the number of normal windows it flagged.
+	FalseAlarms int
+	// Interpretability is M(I_Rs), Equation 2.
+	Interpretability float64
+}
+
+// Precision is Support/(Support+FalseAlarms), or 0 when the rule never
+// fired.
+func (r RuleStat) Precision() float64 {
+	if r.Support+r.FalseAlarms == 0 {
+		return 0
+	}
+	return float64(r.Support) / float64(r.Support+r.FalseAlarms)
+}
+
+// Audit evaluates every rule predicate on labeled series and returns
+// per-rule support, false alarms, and interpretability, in rule order.
+func (m *Model) Audit(eval []*Series) ([]RuleStat, error) {
+	obs, err := m.pooledObservations(eval)
+	if err != nil {
+		return nil, err
+	}
+	rep := quality.Evaluate(m.rule, obs, m.Opts.Omega, m.pcfg.AlphabetSize())
+	stats := make([]RuleStat, len(m.rule.Predicates))
+	for i, p := range m.rule.Predicates {
+		stats[i] = RuleStat{
+			Index:            i + 1,
+			Text:             p.Format(m.pcfg),
+			Support:          rep.PredicateSupports[i],
+			FalseAlarms:      rep.PredicateFalsePositives[i],
+			Interpretability: rep.PredicateQualities[i],
+		}
+	}
+	return stats, nil
+}
+
+// TreeDOT renders the decision tree as Graphviz source for
+// publication-quality diagrams (render with `dot -Tpng`).
+func (m *Model) TreeDOT() string { return m.tree.DOT(m.pcfg) }

@@ -1,0 +1,231 @@
+package cdt
+
+// Multivariate support — the paper's final future-work item ("we could
+// also expand our method to suit multivariate time-series"). Each
+// dimension is labeled with its own pattern alphabet and grows its own
+// CDT; a combination policy fuses the per-dimension window verdicts.
+// Per-dimension rules stay individually interpretable ("dimension
+// 'pressure': IF [PN[-H,-H]] THEN anomaly"), which preserves the paper's
+// whole point while covering multivariate feeds.
+
+import (
+	"fmt"
+	"strings"
+
+	"cdt/internal/core"
+	"cdt/internal/metrics"
+)
+
+// MultiSeries is a set of aligned series (equal length, same clock) with
+// one shared anomaly annotation.
+type MultiSeries struct {
+	// Name identifies the multivariate feed.
+	Name string
+	// Dims holds one series per dimension. Per-dimension anomaly flags
+	// are ignored; the shared annotation below is the ground truth.
+	Dims []*Series
+	// Anomalies flags anomalous time points (nil for unlabeled feeds).
+	Anomalies []bool
+}
+
+// Validate checks alignment.
+func (ms *MultiSeries) Validate() error {
+	if len(ms.Dims) == 0 {
+		return fmt.Errorf("cdt: multivariate series %q has no dimensions", ms.Name)
+	}
+	n := ms.Dims[0].Len()
+	for d, s := range ms.Dims {
+		if s.Len() != n {
+			return fmt.Errorf("cdt: %q dimension %d has %d points, want %d", ms.Name, d, s.Len(), n)
+		}
+	}
+	if ms.Anomalies != nil && len(ms.Anomalies) != n {
+		return fmt.Errorf("cdt: %q has %d anomaly flags for %d points", ms.Name, len(ms.Anomalies), n)
+	}
+	return nil
+}
+
+// Len returns the number of time points.
+func (ms *MultiSeries) Len() int {
+	if len(ms.Dims) == 0 {
+		return 0
+	}
+	return ms.Dims[0].Len()
+}
+
+// CombinePolicy fuses per-dimension window verdicts.
+type CombinePolicy int
+
+const (
+	// CombineAny flags a window when any dimension's rules fire — the
+	// sensitive default (an anomaly may manifest in one dimension only).
+	CombineAny CombinePolicy = iota
+	// CombineMajority flags a window when more than half the dimensions
+	// fire.
+	CombineMajority
+	// CombineAll flags a window only when every dimension fires — the
+	// high-precision setting.
+	CombineAll
+)
+
+// String names the policy.
+func (p CombinePolicy) String() string {
+	switch p {
+	case CombineMajority:
+		return "majority"
+	case CombineAll:
+		return "all"
+	}
+	return "any"
+}
+
+// MultiModel is one trained CDT per dimension plus the fusion policy.
+type MultiModel struct {
+	// Opts is the shared per-dimension training configuration.
+	Opts Options
+	// Policy fuses dimension verdicts.
+	Policy CombinePolicy
+
+	models []*Model
+	names  []string
+}
+
+// FitMulti trains one CDT per dimension over the aligned training feeds.
+// Every feed must have the same dimensionality; dimension d of every
+// feed trains model d, using the feed's shared anomaly annotation.
+func FitMulti(train []*MultiSeries, opts Options, policy CombinePolicy) (*MultiModel, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(train) == 0 {
+		return nil, fmt.Errorf("cdt: no training feeds")
+	}
+	dims := len(train[0].Dims)
+	for _, ms := range train {
+		if err := ms.Validate(); err != nil {
+			return nil, err
+		}
+		if len(ms.Dims) != dims {
+			return nil, fmt.Errorf("cdt: feed %q has %d dimensions, want %d", ms.Name, len(ms.Dims), dims)
+		}
+	}
+	mm := &MultiModel{Opts: opts, Policy: policy}
+	for d := 0; d < dims; d++ {
+		var perDim []*Series
+		for _, ms := range train {
+			// Attach the shared annotation to this dimension's values.
+			perDim = append(perDim, NewLabeledSeries(ms.Dims[d].Name, ms.Dims[d].Values, ms.Anomalies))
+		}
+		model, err := Fit(perDim, opts)
+		if err != nil {
+			return nil, fmt.Errorf("cdt: dimension %d: %w", d, err)
+		}
+		mm.models = append(mm.models, model)
+		mm.names = append(mm.names, train[0].Dims[d].Name)
+	}
+	return mm, nil
+}
+
+// Dimensions returns the number of per-dimension models.
+func (mm *MultiModel) Dimensions() int { return len(mm.models) }
+
+// DimensionModel returns dimension d's trained CDT.
+func (mm *MultiModel) DimensionModel(d int) *Model { return mm.models[d] }
+
+// DetectWindows fuses the per-dimension window verdicts for one feed.
+func (mm *MultiModel) DetectWindows(ms *MultiSeries) ([]bool, error) {
+	if err := ms.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ms.Dims) != len(mm.models) {
+		return nil, fmt.Errorf("cdt: feed has %d dimensions, model expects %d", len(ms.Dims), len(mm.models))
+	}
+	var votes [][]bool
+	for d, model := range mm.models {
+		w, err := model.DetectWindows(ms.Dims[d])
+		if err != nil {
+			return nil, fmt.Errorf("cdt: dimension %d: %w", d, err)
+		}
+		votes = append(votes, w)
+	}
+	out := make([]bool, len(votes[0]))
+	for wi := range out {
+		fired := 0
+		for d := range votes {
+			if votes[d][wi] {
+				fired++
+			}
+		}
+		switch mm.Policy {
+		case CombineAll:
+			out[wi] = fired == len(votes)
+		case CombineMajority:
+			out[wi] = fired*2 > len(votes)
+		default:
+			out[wi] = fired > 0
+		}
+	}
+	return out, nil
+}
+
+// Evaluate scores the fused detection on labeled feeds, pooling windows.
+func (mm *MultiModel) Evaluate(eval []*MultiSeries) (Report, error) {
+	if len(eval) == 0 {
+		return Report{}, fmt.Errorf("cdt: no evaluation feeds")
+	}
+	var conf metrics.Confusion
+	for _, ms := range eval {
+		if ms.Anomalies == nil {
+			return Report{}, fmt.Errorf("cdt: feed %q is unlabeled", ms.Name)
+		}
+		predicted, err := mm.DetectWindows(ms)
+		if err != nil {
+			return Report{}, err
+		}
+		// Window wi covers points wi+1..wi+ω (same geometry as the
+		// univariate model).
+		truthSeries := NewLabeledSeries(ms.Name, ms.Dims[0].Values, ms.Anomalies)
+		obs, err := observations(truthSeries, mm.models[0].pcfg, mm.Opts.Omega)
+		if err != nil {
+			return Report{}, err
+		}
+		if len(obs) != len(predicted) {
+			return Report{}, fmt.Errorf("cdt: window count mismatch: %d vs %d", len(obs), len(predicted))
+		}
+		for wi := range obs {
+			conf.Add(predicted[wi], obs[wi].Class == core.Anomaly)
+		}
+	}
+	return Report{
+		Confusion: conf,
+		F1:        conf.F1(),
+		NumRules:  mm.NumRules(),
+	}, nil
+}
+
+// NumRules sums the rule counts of all dimension models.
+func (mm *MultiModel) NumRules() int {
+	n := 0
+	for _, m := range mm.models {
+		n += m.NumRules()
+	}
+	return n
+}
+
+// RuleText renders each dimension's rules under a header.
+func (mm *MultiModel) RuleText() string {
+	var b strings.Builder
+	for d, model := range mm.models {
+		name := mm.names[d]
+		if name == "" {
+			name = fmt.Sprintf("dim%d", d)
+		}
+		fmt.Fprintf(&b, "dimension %q:\n", name)
+		for _, line := range strings.Split(strings.TrimRight(model.RuleText(), "\n"), "\n") {
+			b.WriteString("  ")
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,192 @@
+package cdt
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// makeMultiFeed builds a 2-dimensional feed where anomalies manifest
+// only in the dimension given by anomalyDim.
+func makeMultiFeed(name string, n int, spikes []int, anomalyDim int, seed int64) *MultiSeries {
+	rng := rand.New(rand.NewSource(seed))
+	dims := make([][]float64, 2)
+	for d := range dims {
+		dims[d] = make([]float64, n)
+		for i := range dims[d] {
+			dims[d][i] = 50 + 10*math.Sin(float64(i)/5+float64(d)) + rng.Float64()
+		}
+	}
+	anoms := make([]bool, n)
+	for _, at := range spikes {
+		dims[anomalyDim][at] = 200
+		anoms[at] = true
+	}
+	return &MultiSeries{
+		Name:      name,
+		Dims:      []*Series{NewSeries("temp", dims[0]), NewSeries("pressure", dims[1])},
+		Anomalies: anoms,
+	}
+}
+
+func TestFitMultiDetectsSingleDimensionAnomaly(t *testing.T) {
+	train := makeMultiFeed("train", 400, []int{60, 150, 250, 340}, 1, 1)
+	mm, err := FitMulti([]*MultiSeries{train}, Options{Omega: 5, Delta: 2}, CombineAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.Dimensions() != 2 {
+		t.Fatalf("dimensions = %d", mm.Dimensions())
+	}
+	rep, err := mm.Evaluate([]*MultiSeries{train})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.F1 < 0.9 {
+		t.Errorf("CombineAny training F1 = %v", rep.F1)
+	}
+}
+
+func TestCombinePolicies(t *testing.T) {
+	// Anomaly visible only in dimension 1: Any fires, All cannot (the
+	// clean dimension never fires).
+	train := makeMultiFeed("train", 400, []int{60, 150, 250, 340}, 1, 2)
+	any, err := FitMulti([]*MultiSeries{train}, Options{Omega: 5, Delta: 2}, CombineAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := FitMulti([]*MultiSeries{train}, Options{Omega: 5, Delta: 2}, CombineAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyRep, err := any.Evaluate([]*MultiSeries{train})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allRep, err := all.Evaluate([]*MultiSeries{train})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anyRep.Confusion.TP <= allRep.Confusion.TP {
+		t.Errorf("Any TP %d should exceed All TP %d for single-dim anomalies",
+			anyRep.Confusion.TP, allRep.Confusion.TP)
+	}
+	// Majority of 2 dims == All for 2 dims.
+	maj, err := FitMulti([]*MultiSeries{train}, Options{Omega: 5, Delta: 2}, CombineMajority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	majRep, err := maj.Evaluate([]*MultiSeries{train})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if majRep.Confusion.TP != allRep.Confusion.TP {
+		t.Errorf("majority-of-2 TP %d != all TP %d", majRep.Confusion.TP, allRep.Confusion.TP)
+	}
+}
+
+func TestFitMultiValidation(t *testing.T) {
+	good := makeMultiFeed("g", 100, []int{50}, 0, 3)
+	if _, err := FitMulti(nil, Options{Omega: 5, Delta: 2}, CombineAny); err == nil {
+		t.Error("no feeds accepted")
+	}
+	if _, err := FitMulti([]*MultiSeries{good}, Options{Omega: 0, Delta: 2}, CombineAny); err == nil {
+		t.Error("bad options accepted")
+	}
+	ragged := &MultiSeries{
+		Name:      "r",
+		Dims:      []*Series{NewSeries("a", make([]float64, 10)), NewSeries("b", make([]float64, 9))},
+		Anomalies: make([]bool, 10),
+	}
+	if _, err := FitMulti([]*MultiSeries{ragged}, Options{Omega: 3, Delta: 2}, CombineAny); err == nil {
+		t.Error("ragged dimensions accepted")
+	}
+	empty := &MultiSeries{Name: "e"}
+	if err := empty.Validate(); err == nil {
+		t.Error("zero-dimension feed accepted")
+	}
+	misflag := &MultiSeries{
+		Name:      "m",
+		Dims:      []*Series{NewSeries("a", make([]float64, 10))},
+		Anomalies: make([]bool, 5),
+	}
+	if err := misflag.Validate(); err == nil {
+		t.Error("misaligned annotation accepted")
+	}
+	mixed := makeMultiFeed("one", 100, []int{50}, 0, 4)
+	mixed.Dims = mixed.Dims[:1]
+	if _, err := FitMulti([]*MultiSeries{good, mixed}, Options{Omega: 5, Delta: 2}, CombineAny); err == nil {
+		t.Error("mixed dimensionality accepted")
+	}
+}
+
+func TestMultiDetectWindowsDimensionMismatch(t *testing.T) {
+	train := makeMultiFeed("train", 200, []int{60}, 0, 5)
+	mm, err := FitMulti([]*MultiSeries{train}, Options{Omega: 5, Delta: 2}, CombineAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneDim := &MultiSeries{Name: "x", Dims: train.Dims[:1]}
+	if _, err := mm.DetectWindows(oneDim); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestMultiEvaluateRequiresLabels(t *testing.T) {
+	train := makeMultiFeed("train", 200, []int{60}, 0, 6)
+	mm, err := FitMulti([]*MultiSeries{train}, Options{Omega: 5, Delta: 2}, CombineAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlabeled := &MultiSeries{Name: "u", Dims: train.Dims}
+	if _, err := mm.Evaluate([]*MultiSeries{unlabeled}); err == nil {
+		t.Error("unlabeled feed accepted")
+	}
+	if _, err := mm.Evaluate(nil); err == nil {
+		t.Error("empty evaluation accepted")
+	}
+}
+
+func TestMultiRuleTextNamesDimensions(t *testing.T) {
+	train := makeMultiFeed("train", 300, []int{60, 150}, 1, 7)
+	mm, err := FitMulti([]*MultiSeries{train}, Options{Omega: 5, Delta: 2}, CombineAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := mm.RuleText()
+	for _, want := range []string{`dimension "temp"`, `dimension "pressure"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("RuleText missing %q:\n%s", want, text)
+		}
+	}
+	if mm.NumRules() == 0 {
+		t.Error("no rules")
+	}
+	if mm.DimensionModel(1) == nil {
+		t.Error("dimension model inaccessible")
+	}
+}
+
+func TestCombinePolicyString(t *testing.T) {
+	if CombineAny.String() != "any" || CombineMajority.String() != "majority" || CombineAll.String() != "all" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestMultiGeneralizesAcrossFeeds(t *testing.T) {
+	trainA := makeMultiFeed("a", 400, []int{60, 150, 250, 340}, 1, 8)
+	trainB := makeMultiFeed("b", 400, []int{80, 210, 300}, 1, 9)
+	test := makeMultiFeed("t", 300, []int{70, 190}, 1, 10)
+	mm, err := FitMulti([]*MultiSeries{trainA, trainB}, Options{Omega: 5, Delta: 2}, CombineAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mm.Evaluate([]*MultiSeries{test})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.F1 < 0.7 {
+		t.Errorf("held-out multivariate F1 = %v", rep.F1)
+	}
+}

@@ -1,0 +1,186 @@
+package cdt
+
+// Model persistence: a trained CDT serializes to a stable, versioned
+// JSON document (tree structure, options, and pattern configuration), so
+// rules learned once can be deployed without retraining.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cdt/internal/core"
+	"cdt/internal/pattern"
+	"cdt/internal/rules"
+)
+
+// persistVersion identifies the serialization format.
+const persistVersion = 1
+
+// modelDoc is the on-disk form of a Model.
+type modelDoc struct {
+	Version int        `json:"version"`
+	Options optionsDoc `json:"options"`
+	Tree    *nodeDoc   `json:"tree"`
+}
+
+// optionsDoc mirrors Options with explicit enum encodings.
+type optionsDoc struct {
+	Omega             int     `json:"omega"`
+	Delta             int     `json:"delta"`
+	Epsilon           float64 `json:"epsilon"`
+	MaxCompositionLen int     `json:"max_composition_len,omitempty"`
+	Criterion         string  `json:"criterion"`
+	Match             string  `json:"match"`
+	LeafPolicy        string  `json:"leaf_policy"`
+}
+
+// nodeDoc is one serialized tree node.
+type nodeDoc struct {
+	// Composition holds label triples [variation, alpha, beta]; nil for
+	// leaves.
+	Composition [][3]int8 `json:"composition,omitempty"`
+	True        *nodeDoc  `json:"true,omitempty"`
+	False       *nodeDoc  `json:"false,omitempty"`
+	Normal      int       `json:"normal"`
+	Anomaly     int       `json:"anomaly"`
+}
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	doc := modelDoc{
+		Version: persistVersion,
+		Options: optionsDoc{
+			Omega:             m.Opts.Omega,
+			Delta:             m.Opts.Delta,
+			Epsilon:           m.pcfg.Epsilon,
+			MaxCompositionLen: m.Opts.MaxCompositionLen,
+			Criterion:         m.Opts.Criterion.String(),
+			Match:             m.Opts.Match.String(),
+			LeafPolicy:        m.Opts.LeafPolicy.String(),
+		},
+		Tree: encodeNode(m.tree.Root, 0),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func encodeNode(n *core.Node, depth int) *nodeDoc {
+	if n == nil {
+		return nil
+	}
+	doc := &nodeDoc{Normal: n.Counts.Normal, Anomaly: n.Counts.Anomaly}
+	if !n.Leaf() {
+		doc.Composition = make([][3]int8, n.Composition.Len())
+		for i, l := range n.Composition.Labels {
+			doc.Composition[i] = [3]int8{int8(l.Var), int8(l.Alpha), int8(l.Beta)}
+		}
+		doc.True = encodeNode(n.ChildTrue, depth+1)
+		doc.False = encodeNode(n.ChildFalse, depth+1)
+	}
+	return doc
+}
+
+// Load reads a model saved by Save. The restored model predicts and
+// detects identically to the original.
+func Load(r io.Reader) (*Model, error) {
+	var doc modelDoc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("cdt: decoding model: %w", err)
+	}
+	if doc.Version != persistVersion {
+		return nil, fmt.Errorf("cdt: model version %d, this build reads %d", doc.Version, persistVersion)
+	}
+	opts := Options{
+		Omega:             doc.Options.Omega,
+		Delta:             doc.Options.Delta,
+		Epsilon:           doc.Options.Epsilon,
+		MaxCompositionLen: doc.Options.MaxCompositionLen,
+	}
+	switch doc.Options.Criterion {
+	case "", "gini":
+		opts.Criterion = core.Gini
+	case "entropy":
+		opts.Criterion = core.Entropy
+	default:
+		return nil, fmt.Errorf("cdt: unknown criterion %q", doc.Options.Criterion)
+	}
+	switch doc.Options.Match {
+	case "", "contiguous":
+		opts.Match = core.MatchContiguous
+	case "subsequence":
+		opts.Match = core.MatchSubsequence
+	default:
+		return nil, fmt.Errorf("cdt: unknown match mode %q", doc.Options.Match)
+	}
+	switch doc.Options.LeafPolicy {
+	case "", "pure-anomaly":
+		opts.LeafPolicy = rules.PureAnomalyLeaves
+	case "majority-anomaly":
+		opts.LeafPolicy = rules.MajorityAnomalyLeaves
+	default:
+		return nil, fmt.Errorf("cdt: unknown leaf policy %q", doc.Options.LeafPolicy)
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if doc.Tree == nil {
+		return nil, fmt.Errorf("cdt: model has no tree")
+	}
+	root, err := decodeNode(doc.Tree, 0, opts.Delta)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := opts.patternConfig()
+	m := &Model{
+		Opts: opts,
+		tree: &core.Tree{Root: root, Omega: opts.Omega, Opts: opts.coreOptions()},
+		pcfg: pcfg,
+	}
+	m.raw = rules.FromTree(m.tree, opts.LeafPolicy)
+	m.rule = rules.Simplify(m.raw)
+	return m, nil
+}
+
+func decodeNode(doc *nodeDoc, depth, delta int) (*core.Node, error) {
+	n := &core.Node{
+		Counts: core.ClassCounts{Normal: doc.Normal, Anomaly: doc.Anomaly},
+		Depth:  depth,
+	}
+	if doc.Normal < 0 || doc.Anomaly < 0 {
+		return nil, fmt.Errorf("cdt: negative class counts in model")
+	}
+	if len(doc.Composition) == 0 {
+		if doc.True != nil || doc.False != nil {
+			return nil, fmt.Errorf("cdt: node has children but no composition")
+		}
+		return n, nil
+	}
+	if doc.True == nil || doc.False == nil {
+		return nil, fmt.Errorf("cdt: split node missing a child")
+	}
+	pcfg := pattern.Config{Delta: delta}
+	comp := core.Composition{Labels: make([]pattern.Label, len(doc.Composition))}
+	for i, triple := range doc.Composition {
+		l := pattern.Label{
+			Var:   pattern.Variation(triple[0]),
+			Alpha: pattern.Interval(triple[1]),
+			Beta:  pattern.Interval(triple[2]),
+		}
+		if !pcfg.Valid(l) {
+			return nil, fmt.Errorf("cdt: invalid label %v for delta %d", l, delta)
+		}
+		comp.Labels[i] = l
+	}
+	n.Composition = &comp
+	var err error
+	if n.ChildTrue, err = decodeNode(doc.True, depth+1, delta); err != nil {
+		return nil, err
+	}
+	if n.ChildFalse, err = decodeNode(doc.False, depth+1, delta); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,123 @@
+package cdt
+
+// Streaming detection: the paper's use case is monitoring live sensor
+// feeds, so the library offers an online detector that consumes one
+// reading at a time and reports rule firings as soon as they are
+// decidable. A point's pattern label needs its successor, and a window
+// needs ω labels, so detections for point p arrive after point p+1 (at
+// the earliest) and keep arriving while p stays inside a firing window.
+
+import (
+	"fmt"
+
+	"cdt/internal/pattern"
+)
+
+// Detection reports one fired window from a stream.
+type Detection struct {
+	// WindowStart and WindowEnd delimit the covered points (inclusive,
+	// 0-based indices into the stream).
+	WindowStart, WindowEnd int
+}
+
+// Stream is an online anomaly detector backed by a trained model. It is
+// not safe for concurrent use.
+type Stream struct {
+	model *Model
+	scale Scale
+
+	// lastTwo holds the most recent raw values, pending their labels.
+	lastTwo [2]float64
+	n       int // points consumed
+
+	// window is the ring of the most recent ω labels.
+	window []pattern.Label
+}
+
+// Scale fixes the normalization applied to incoming values. Streaming
+// cannot min-max normalize retroactively, so the caller provides the
+// expected value range up front (e.g. from the training data or sensor
+// specification); values outside it clamp to the nearest bound.
+type Scale struct {
+	Min, Max float64
+}
+
+// normalize maps a raw value into [0,1] under the stream's scale.
+func (sc Scale) normalize(v float64) float64 {
+	if sc.Max <= sc.Min {
+		return 0
+	}
+	n := (v - sc.Min) / (sc.Max - sc.Min)
+	if n < 0 {
+		return 0
+	}
+	if n > 1 {
+		return 1
+	}
+	return n
+}
+
+// NewStream starts an online detector. The scale must span the values
+// the sensor can produce; a degenerate scale is rejected.
+func (m *Model) NewStream(scale Scale) (*Stream, error) {
+	if scale.Max <= scale.Min {
+		return nil, fmt.Errorf("cdt: stream scale [%v,%v] is empty", scale.Min, scale.Max)
+	}
+	return &Stream{
+		model:  m,
+		scale:  scale,
+		window: make([]pattern.Label, 0, m.Opts.Omega),
+	}, nil
+}
+
+// Push consumes the next reading and returns any window detection that
+// became decidable with it. At most one new window completes per point,
+// so the result is nil or a single detection.
+func (s *Stream) Push(value float64) []Detection {
+	v := s.scale.normalize(value)
+	s.n++
+	switch s.n {
+	case 1:
+		s.lastTwo[0] = v
+		return nil
+	case 2:
+		s.lastTwo[1] = v
+		return nil
+	}
+	// The previous point (0-based index s.n-2) becomes labelable now
+	// that its successor arrived.
+	label := s.model.pcfg.LabelPoint(s.lastTwo[0], s.lastTwo[1], v)
+	s.lastTwo[0], s.lastTwo[1] = s.lastTwo[1], v
+
+	omega := s.model.Opts.Omega
+	if len(s.window) < omega {
+		s.window = append(s.window, label)
+	} else {
+		copy(s.window, s.window[1:])
+		s.window[omega-1] = label
+	}
+	if len(s.window) < omega {
+		return nil
+	}
+	if !s.model.rule.Detect(s.window) {
+		return nil
+	}
+	// The ω labels cover original points [first labeled .. last labeled]:
+	// the newest label belongs to 0-based point s.n-2, the oldest in the
+	// window to s.n-2-(omega-1).
+	end := s.n - 2
+	return []Detection{{WindowStart: end - omega + 1, WindowEnd: end}}
+}
+
+// Points returns the number of readings consumed.
+func (s *Stream) Points() int { return s.n }
+
+// Ready reports whether the stream has seen enough points to evaluate
+// full windows.
+func (s *Stream) Ready() bool { return len(s.window) == s.model.Opts.Omega }
+
+// Reset clears the stream state, keeping the model and scale.
+func (s *Stream) Reset() {
+	s.n = 0
+	s.window = s.window[:0]
+}

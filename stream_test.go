@@ -1,0 +1,130 @@
+package cdt
+
+import (
+	"testing"
+)
+
+func TestStreamMatchesBatchDetection(t *testing.T) {
+	model, _ := trainedModel(t, Options{Omega: 5, Delta: 2})
+	target := spikySeries("target", 300, []int{80, 190}, 44)
+
+	// The stream normalizes with a fixed scale; use the target's own
+	// range so batch (min-max) and stream agree.
+	tmin, tmax, err := target.MinMax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := model.NewStream(Scale{Min: tmin, Max: tmax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamFired = map[int]bool{} // window start -> fired
+	for _, v := range target.Values {
+		for _, d := range stream.Push(v) {
+			streamFired[d.WindowStart] = true
+			if d.WindowEnd-d.WindowStart+1 != model.Opts.Omega {
+				t.Fatalf("detection span %d..%d, want width %d", d.WindowStart, d.WindowEnd, model.Opts.Omega)
+			}
+		}
+	}
+	batch, err := model.DetectWindows(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wi, fired := range batch {
+		// Batch window wi covers points wi+1..wi+ω → stream start wi+1.
+		if fired != streamFired[wi+1] {
+			t.Fatalf("window %d: batch %v, stream %v", wi, fired, streamFired[wi+1])
+		}
+	}
+	if !stream.Ready() {
+		t.Error("stream should be ready after a full series")
+	}
+	if stream.Points() != target.Len() {
+		t.Errorf("points = %d", stream.Points())
+	}
+}
+
+func TestStreamWarmup(t *testing.T) {
+	model, _ := trainedModel(t, Options{Omega: 5, Delta: 2})
+	stream, err := model.NewStream(Scale{Min: 0, Max: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ω labels need ω+2 points; until then nothing can fire.
+	for i := 0; i < model.Opts.Omega+1; i++ {
+		if got := stream.Push(50); got != nil {
+			t.Fatalf("detection during warm-up at point %d", i)
+		}
+	}
+	if stream.Ready() {
+		t.Error("ready before the first full window")
+	}
+}
+
+func TestStreamRejectsDegenerateScale(t *testing.T) {
+	model, _ := trainedModel(t, Options{Omega: 5, Delta: 2})
+	if _, err := model.NewStream(Scale{Min: 5, Max: 5}); err == nil {
+		t.Error("degenerate scale accepted")
+	}
+	if _, err := model.NewStream(Scale{Min: 7, Max: 3}); err == nil {
+		t.Error("inverted scale accepted")
+	}
+}
+
+func TestStreamClampsOutOfRange(t *testing.T) {
+	sc := Scale{Min: 0, Max: 10}
+	if sc.normalize(-5) != 0 || sc.normalize(15) != 1 {
+		t.Error("clamping wrong")
+	}
+	if sc.normalize(5) != 0.5 {
+		t.Error("normalization wrong")
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	model, _ := trainedModel(t, Options{Omega: 4, Delta: 2})
+	stream, err := model.NewStream(Scale{Min: 0, Max: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		stream.Push(float64(i))
+	}
+	stream.Reset()
+	if stream.Points() != 0 || stream.Ready() {
+		t.Error("reset incomplete")
+	}
+	// Usable again after reset.
+	for i := 0; i < 20; i++ {
+		stream.Push(float64(i))
+	}
+	if !stream.Ready() {
+		t.Error("stream not ready after refill")
+	}
+}
+
+func TestStreamDetectsSpikeLive(t *testing.T) {
+	model, _ := trainedModel(t, Options{Omega: 5, Delta: 2})
+	stream, err := model.NewStream(Scale{Min: 40, Max: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spike := spikySeries("live", 200, []int{100}, 77)
+	var hits []Detection
+	for _, v := range spike.Values {
+		hits = append(hits, stream.Push(v)...)
+	}
+	if len(hits) == 0 {
+		t.Fatal("spike not detected in streaming mode")
+	}
+	covered := false
+	for _, d := range hits {
+		if d.WindowStart <= 100 && 100 <= d.WindowEnd {
+			covered = true
+		}
+	}
+	if !covered {
+		t.Errorf("no detection covers the spike: %+v", hits)
+	}
+}
