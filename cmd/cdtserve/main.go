@@ -1,0 +1,124 @@
+// Command cdtserve serves trained CDT models over HTTP: batch scoring,
+// live streaming-detection sessions, and a hot-reloadable model
+// registry. Every detection in a response carries the fired rule
+// predicates in human-readable form — the interpretable payload the
+// paper argues anomaly detectors owe their operators.
+//
+// Usage:
+//
+//	cdtserve -models dir [-addr :8080] [-workers 8] [-session-ttl 15m] [-timeout 30s]
+//
+// The model directory holds one <name>.json per model (written by
+// `cdt train -save` or Model.Save); the basename becomes the model name.
+// SIGHUP or POST /models/reload atomically swaps in the directory's
+// current contents without dropping in-flight requests. SIGINT/SIGTERM
+// drain in-flight requests before exiting.
+//
+// Endpoints:
+//
+//	GET    /healthz                    liveness + model/session counts
+//	GET    /models                     registered models with rule counts
+//	POST   /models/reload              atomic hot-reload from the model dir
+//	POST   /models/{name}/detect       batch scoring: {"series":[{"name","values"}]}
+//	POST   /streams                    open a session: {"model","min","max"}
+//	POST   /streams/{id}/points        push readings: {"points":[...]}
+//	POST   /streams/{id}/reset         clear a session's window state
+//	DELETE /streams/{id}               close a session
+//	GET    /debug/vars                 expvar counters (map "cdtserve")
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cdt/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cdtserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cdtserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	models := fs.String("models", "", "directory of <name>.json model artifacts (required)")
+	workers := fs.Int("workers", 0, "batch-scoring worker pool size (0 = GOMAXPROCS)")
+	sessionTTL := fs.Duration("session-ttl", 15*time.Minute, "evict streaming sessions idle longer than this")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request handler timeout")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *models == "" {
+		return fmt.Errorf("-models is required")
+	}
+
+	s, err := server.New(server.Config{
+		ModelDir:   *models,
+		SessionTTL: *sessionTTL,
+		Workers:    *workers,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           http.TimeoutHandler(s.Handler(), *timeout, `{"error":"request timed out"}`),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *timeout + 10*time.Second,
+		WriteTimeout:      *timeout + 10*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// SIGHUP hot-reloads the registry; SIGINT/SIGTERM drain and exit.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			n, err := s.Registry().Reload()
+			if err != nil {
+				log.Printf("SIGHUP reload failed (previous models still serving): %v", err)
+				continue
+			}
+			log.Printf("SIGHUP reload: %d models live", n)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("cdtserve listening on %s (%d models from %s)", *addr, s.Registry().Len(), *models)
+		errc <- httpServer.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down, draining in-flight requests (budget %s)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpServer.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

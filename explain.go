@@ -1,0 +1,106 @@
+package cdt
+
+// Explained detection: the paper's whole point is that detections come
+// with human-readable rules attached (§3.4, Table 5), so the library can
+// report not just *where* a window fired but *which* rule predicates
+// fired and what shape they describe. The serving subsystem
+// (internal/server) returns these alongside every detection.
+
+import (
+	"strings"
+
+	"cdt/internal/rules"
+)
+
+// FiredPredicate identifies one rule predicate that matched a window,
+// rendered for humans.
+type FiredPredicate struct {
+	// Index is the 1-based rule number matching RuleText's numbering.
+	Index int
+	// Text is the rendered predicate, e.g.
+	// "[PN[-H,-L], SCP[L,Z]] AND NOT [CST[Z,Z]]".
+	Text string
+	// Description is the plain-language reading of the predicate's
+	// positive compositions (Table 1 phrasing), e.g.
+	// "negative peak, then rise into constant segment".
+	Description string
+}
+
+// WindowDetection is one fired window of a batch scan, with the rule
+// predicates that fired on it.
+type WindowDetection struct {
+	// Window is the 0-based sliding-window index (as in DetectWindows).
+	Window int
+	// Start and End delimit the covered points (inclusive, 0-based
+	// indices into the series): window w covers points [w+1, w+ω].
+	Start, End int
+	// Fired lists the matching rule predicates in rule order.
+	Fired []FiredPredicate
+}
+
+// finalizeRules derives the simplified rule from the raw extraction and
+// caches the per-predicate renderings so hot detection paths (streams,
+// batch serving) do not re-format rule text per window. Fit and Load
+// both call it exactly once; a Model is immutable afterwards.
+func (m *Model) finalizeRules() {
+	m.rule = rules.Simplify(m.raw)
+	m.predTexts = make([]string, len(m.rule.Predicates))
+	m.predDescs = make([]string, len(m.rule.Predicates))
+	for i, p := range m.rule.Predicates {
+		m.predTexts[i] = p.Format(m.pcfg)
+		m.predDescs[i] = describePredicate(p)
+	}
+}
+
+// describePredicate joins the natural-language readings of a predicate's
+// positive compositions.
+func describePredicate(p rules.Predicate) string {
+	var parts []string
+	for _, c := range p.PositiveCompositions() {
+		parts = append(parts, rules.Describe(c))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// FiredPredicates evaluates every rule predicate against one window of
+// labels and returns those that matched, in rule order. It returns nil
+// when the window is normal.
+func (m *Model) FiredPredicates(labels []Label) []FiredPredicate {
+	var out []FiredPredicate
+	for i, p := range m.rule.Predicates {
+		if !p.Matches(labels, m.rule.Mode) {
+			continue
+		}
+		out = append(out, FiredPredicate{
+			Index:       i + 1,
+			Text:        m.predTexts[i],
+			Description: m.predDescs[i],
+		})
+	}
+	return out
+}
+
+// DetectExplained runs the rule over a series and returns one entry per
+// fired window, each carrying the rule predicates that fired — the
+// batch-scoring analogue of DetectWindows for callers who need the
+// explanation, not just the flag.
+func (m *Model) DetectExplained(s *Series) ([]WindowDetection, error) {
+	obs, err := observations(s, m.pcfg, m.Opts.Omega)
+	if err != nil {
+		return nil, err
+	}
+	var out []WindowDetection
+	for i := range obs {
+		fired := m.FiredPredicates(obs[i].Labels)
+		if len(fired) == 0 {
+			continue
+		}
+		out = append(out, WindowDetection{
+			Window: i,
+			Start:  i + 1,
+			End:    i + m.Opts.Omega,
+			Fired:  fired,
+		})
+	}
+	return out, nil
+}

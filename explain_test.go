@@ -1,0 +1,105 @@
+package cdt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDetectExplainedMatchesDetectWindows(t *testing.T) {
+	model, train := trainedModel(t, Options{Omega: 5, Delta: 2})
+	flags, err := model.DetectWindows(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explained, err := model.DetectExplained(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := map[int]WindowDetection{}
+	for _, d := range explained {
+		fired[d.Window] = d
+	}
+	for w, f := range flags {
+		d, ok := fired[w]
+		if ok != f {
+			t.Fatalf("window %d: DetectWindows=%v but DetectExplained reported %v", w, f, ok)
+		}
+		if !ok {
+			continue
+		}
+		if len(d.Fired) == 0 {
+			t.Fatalf("window %d fired with no predicates attached", w)
+		}
+		if d.Start != w+1 || d.End != w+model.Opts.Omega {
+			t.Fatalf("window %d covers [%d,%d], want [%d,%d]", w, d.Start, d.End, w+1, w+model.Opts.Omega)
+		}
+	}
+	if len(explained) == 0 {
+		t.Fatal("training series produced no detections; test exercises nothing")
+	}
+}
+
+func TestFiredPredicatesRenderRuleText(t *testing.T) {
+	model, train := trainedModel(t, Options{Omega: 5, Delta: 2})
+	explained, err := model.DetectExplained(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ruleText := model.RuleText()
+	for _, d := range explained {
+		for _, f := range d.Fired {
+			if f.Index < 1 || f.Index > model.NumRules() {
+				t.Fatalf("fired index %d out of range [1,%d]", f.Index, model.NumRules())
+			}
+			// The fired text must be exactly the predicate RuleText shows
+			// under the same number.
+			if !strings.Contains(ruleText, f.Text) {
+				t.Fatalf("fired text %q not present in RuleText:\n%s", f.Text, ruleText)
+			}
+			if f.Description == "" {
+				t.Errorf("rule %d has no plain-language description", f.Index)
+			}
+		}
+	}
+}
+
+func TestStreamDetectionsCarryFiredRules(t *testing.T) {
+	model, train := trainedModel(t, Options{Omega: 5, Delta: 2})
+	lo, hi, err := train.MinMax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := model.NewStream(Scale{Min: lo, Max: hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, v := range train.Values {
+		for _, d := range stream.Push(v) {
+			n++
+			if len(d.Fired) == 0 {
+				t.Fatalf("stream detection %d..%d has no fired rules", d.WindowStart, d.WindowEnd)
+			}
+			if d.Fired[0].Text == "" {
+				t.Fatal("fired rule has empty text")
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("stream raised no detections over labeled training data")
+	}
+}
+
+func TestNewStreamDegenerateScaleErrorExplainsBothFootguns(t *testing.T) {
+	model, _ := trainedModel(t, Options{Omega: 5, Delta: 2})
+	_, err := model.NewStream(Scale{Min: 3, Max: 3})
+	if err == nil {
+		t.Fatal("degenerate scale accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"normalize to 0", "clamp"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}

@@ -15,6 +15,24 @@ func FuzzLoad(f *testing.F) {
 	f.Add(`{}`)
 	f.Add(`null`)
 	f.Add(`[1,2,3]`)
+	// Malformed documents the server's registry must survive: wrong
+	// version, absurd hyper-parameters, invalid labels, inconsistent
+	// trees, negative counts, and syntax errors.
+	f.Add(`{"version": 2, "options": {"omega": 5, "delta": 2}, "tree": {"normal": 1, "anomaly": 0}}`)
+	f.Add(`{"version": 1, "options": {"omega": 9000000000000000000, "delta": 2}, "tree": {"normal": 1, "anomaly": 0}}`)
+	f.Add(`{"version": 1, "options": {"omega": 5, "delta": 2}, "tree": {"normal": 1, "anomaly": 0, "composition": [[99,99,99]], "true": {"normal":0,"anomaly":0}, "false": {"normal":0,"anomaly":0}}}`)
+	f.Add(`{"version": 1, "options": {"omega": 5, "delta": 2}, "tree": {"normal": 1, "anomaly": 0, "composition": [[0,1,1]]}}`)
+	f.Add(`{"version": 1, "options": {"omega": 5, "delta": 2}, "tree": {"normal": -1, "anomaly": 0}}`)
+	f.Add(`{"version": 1, "options": {"omega": 5, "delta": 2}, "tree": {"normal": 1, "anomaly": 0, "true": {"normal":0,"anomaly":0}}}`)
+	f.Add(`{"version": 1, "options": {"omega": 5, "delta"`)
+	// A real artifact, truncated at several byte offsets: the registry
+	// can race a half-written file on reload.
+	if artifact := savedModelJSON(f); artifact != "" {
+		for _, frac := range []int{4, 2, 3} {
+			f.Add(artifact[:len(artifact)/frac])
+		}
+		f.Add(artifact + artifact) // trailing garbage
+	}
 	f.Fuzz(func(t *testing.T, doc string) {
 		m, err := Load(strings.NewReader(doc))
 		if err != nil {
@@ -24,5 +42,29 @@ func FuzzLoad(f *testing.F) {
 		labels := make([]Label, m.Opts.Omega)
 		_ = m.Predict(labels)
 		_ = m.RuleText()
+		// And truncating any accepted document must fail or load cleanly,
+		// never panic.
+		if m2, err := Load(strings.NewReader(doc[:len(doc)/2])); err == nil {
+			_ = m2.Predict(make([]Label, m2.Opts.Omega))
+		}
 	})
+}
+
+// savedModelJSON trains a tiny model and returns its serialized form,
+// for truncation seeds. Returns "" when training fails (the fuzz corpus
+// just loses those seeds).
+func savedModelJSON(f *testing.F) string {
+	f.Helper()
+	values := []float64{1, 2, 1, 9, 1, 2, 1, 2, 1, 9, 1, 2, 1, 2, 1}
+	anoms := make([]bool, len(values))
+	anoms[3], anoms[9] = true, true
+	m, err := Fit([]*Series{NewLabeledSeries("seed", values, anoms)}, Options{Omega: 3, Delta: 2})
+	if err != nil {
+		return ""
+	}
+	var b strings.Builder
+	if err := m.Save(&b); err != nil {
+		return ""
+	}
+	return b.String()
 }

@@ -1,0 +1,106 @@
+package server
+
+// Batch scoring: POST /models/{name}/detect accepts a multi-series
+// payload and fans the series across the server-wide bounded worker
+// pool. Each series is scored independently (normalize → label →
+// window → rule), and every detection carries the fired rule predicates
+// rendered for humans.
+
+import (
+	"context"
+	"net/http"
+	"sync"
+
+	cdt "cdt"
+)
+
+type batchRequest struct {
+	Series []seriesPayload `json:"series"`
+}
+
+type seriesPayload struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+type batchDetection struct {
+	Window int         `json:"window"`
+	Start  int         `json:"start"`
+	End    int         `json:"end"`
+	Rules  []firedRule `json:"rules"`
+}
+
+type seriesResult struct {
+	Name       string           `json:"name"`
+	Detections []batchDetection `json:"detections"`
+	Error      string           `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Model   string         `json:"model"`
+	Results []seriesResult `json:"results"`
+}
+
+func (s *Server) handleBatchDetect(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	model, ok := s.registry.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model %q", name)
+		return
+	}
+	var req batchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Series) == 0 {
+		writeError(w, http.StatusBadRequest, "series must be non-empty")
+		return
+	}
+	results := s.scoreBatch(r.Context(), model, req.Series)
+	writeJSON(w, http.StatusOK, batchResponse{Model: name, Results: results})
+}
+
+// scoreBatch fans the series across the worker pool, preserving input
+// order. The pool is server-wide, so concurrent batch requests share the
+// configured parallelism instead of multiplying it.
+func (s *Server) scoreBatch(ctx context.Context, model *cdt.Model, series []seriesPayload) []seriesResult {
+	results := make([]seriesResult, len(series))
+	var wg sync.WaitGroup
+	for i := range series {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := series[i]
+			results[i].Name = sp.Name
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			case <-ctx.Done():
+				results[i].Error = "request canceled before scoring"
+				return
+			}
+			if ctx.Err() != nil {
+				results[i].Error = "request canceled before scoring"
+				return
+			}
+			dets, err := model.DetectExplained(cdt.NewSeries(sp.Name, sp.Values))
+			if err != nil {
+				results[i].Error = err.Error()
+				return
+			}
+			results[i].Detections = make([]batchDetection, len(dets))
+			for j, d := range dets {
+				results[i].Detections[j] = batchDetection{
+					Window: d.Window,
+					Start:  d.Start,
+					End:    d.End,
+					Rules:  firedRules(d.Fired),
+				}
+			}
+			stats.Add("batch_series", 1)
+			stats.Add("detections", int64(len(dets)))
+		}(i)
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	cdt "cdt"
+)
+
+// Registry serves trained models loaded from a directory of versioned
+// JSON artifacts (one `<name>.json` per model, the format written by
+// Model.Save). Lookups take a read lock; Reload builds a complete new
+// model set off to the side and swaps it in atomically under the write
+// lock, so in-flight requests keep the *cdt.Model pointer they already
+// resolved — models are immutable after load, which makes hot-reload
+// safe without draining traffic.
+type Registry struct {
+	dir string
+
+	mu     sync.RWMutex
+	models map[string]*cdt.Model
+}
+
+// ModelInfo summarizes one registered model for listings.
+type ModelInfo struct {
+	Name     string `json:"name"`
+	Omega    int    `json:"omega"`
+	Delta    int    `json:"delta"`
+	NumRules int    `json:"num_rules"`
+}
+
+// NewRegistry loads every model in dir. The directory must exist and
+// every *.json file in it must be a loadable model — a serving process
+// should fail fast on a bad artifact rather than come up partial.
+func NewRegistry(dir string) (*Registry, error) {
+	models, err := loadModelDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Registry{dir: dir, models: models}, nil
+}
+
+// loadModelDir reads every *.json model in dir, keyed by basename.
+func loadModelDir(dir string) (map[string]*cdt.Model, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading model dir: %w", err)
+	}
+	models := make(map[string]*cdt.Model)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		m, err := cdt.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("server: loading %s: %w", path, err)
+		}
+		models[strings.TrimSuffix(e.Name(), ".json")] = m
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("server: no *.json models in %s", dir)
+	}
+	return models, nil
+}
+
+// Get resolves a model by name. The returned model stays valid across
+// reloads (it is immutable; the registry only swaps the map).
+func (r *Registry) Get(name string) (*cdt.Model, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[name]
+	return m, ok
+}
+
+// Reload re-reads the model directory and atomically replaces the whole
+// model set. On any load error the previous set stays untouched, so a
+// corrupt artifact can never take down serving. Returns the number of
+// models now live.
+func (r *Registry) Reload() (int, error) {
+	models, err := loadModelDir(r.dir)
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	r.models = models
+	r.mu.Unlock()
+	stats.Add("reloads", 1)
+	return len(models), nil
+}
+
+// List returns the registered models sorted by name.
+func (r *Registry) List() []ModelInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ModelInfo, 0, len(r.models))
+	for name, m := range r.models {
+		out = append(out, ModelInfo{
+			Name:     name,
+			Omega:    m.Opts.Omega,
+			Delta:    m.Opts.Delta,
+			NumRules: m.NumRules(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}

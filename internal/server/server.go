@@ -1,0 +1,288 @@
+// Package server implements cdtserve, the HTTP serving subsystem for
+// trained CDT models: a hot-reloadable model registry, streaming
+// detection sessions, and batch scoring over a bounded worker pool.
+//
+// Interpretability is the paper's point (EDBT 2021 §3.4), so every
+// detection the server returns carries the fired rule predicates in
+// human-readable form, not just window indices.
+//
+// The package is stdlib-only (net/http, sync, context, expvar).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	cdt "cdt"
+)
+
+// stats publishes the serving counters under the "cdtserve" expvar map
+// (visible at GET /debug/vars): requests, detections, batch_series,
+// active_sessions, sessions_evicted, reloads.
+var stats = expvar.NewMap("cdtserve")
+
+// Config tunes a Server.
+type Config struct {
+	// ModelDir is the directory of <name>.json model artifacts.
+	ModelDir string
+	// SessionTTL evicts streaming sessions idle longer than this
+	// (default 15m; <= 0 keeps the default, it does not disable).
+	SessionTTL time.Duration
+	// Workers bounds concurrent batch-scoring goroutines server-wide
+	// (default GOMAXPROCS).
+	Workers int
+	// MaxBodyBytes caps request bodies (default 32 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	return c
+}
+
+// Server wires the registry, the session manager, and the batch worker
+// pool behind an http.Handler. Create with New, serve Handler(), and
+// Close when done.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	sessions *Sessions
+	sem      chan struct{} // batch worker-pool slots
+	mux      *http.ServeMux
+}
+
+// New loads the model directory and assembles the serving stack.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	reg, err := NewRegistry(cfg.ModelDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		registry: reg,
+		sessions: NewSessions(cfg.SessionTTL),
+		sem:      make(chan struct{}, cfg.Workers),
+		mux:      http.NewServeMux(),
+	}
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /models", s.handleListModels)
+	s.mux.HandleFunc("POST /models/reload", s.handleReload)
+	s.mux.HandleFunc("POST /models/{name}/detect", s.handleBatchDetect)
+	s.mux.HandleFunc("POST /streams", s.handleCreateStream)
+	s.mux.HandleFunc("POST /streams/{id}/points", s.handlePushPoints)
+	s.mux.HandleFunc("POST /streams/{id}/reset", s.handleResetStream)
+	s.mux.HandleFunc("DELETE /streams/{id}", s.handleDeleteStream)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+}
+
+// Handler returns the HTTP surface, with body limiting and request
+// counting applied to every route.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		stats.Add("requests", 1)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Registry exposes the model registry (the SIGHUP handler reloads it).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Close releases background resources (the session janitor).
+func (s *Server) Close() { s.sessions.Close() }
+
+// --- JSON plumbing -----------------------------------------------------
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// readJSON decodes a request body, mapping size/syntax problems to 4xx.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return false
+	}
+	// Trailing garbage after the document is a malformed request too.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// --- rule DTOs ---------------------------------------------------------
+
+// firedRule is the wire form of a fired rule predicate.
+type firedRule struct {
+	Index       int    `json:"index"`
+	Text        string `json:"text"`
+	Description string `json:"description,omitempty"`
+}
+
+func firedRules(fired []cdt.FiredPredicate) []firedRule {
+	out := make([]firedRule, len(fired))
+	for i, f := range fired {
+		out[i] = firedRule{Index: f.Index, Text: f.Text, Description: f.Description}
+	}
+	return out
+}
+
+// --- operational handlers ----------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"models":          s.registry.Len(),
+		"active_sessions": s.sessions.Len(),
+	})
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.registry.List()})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	n, err := s.registry.Reload()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reload failed (previous models still serving): %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": n})
+}
+
+// --- streaming handlers ------------------------------------------------
+
+type createStreamRequest struct {
+	Model string  `json:"model"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+type createStreamResponse struct {
+	ID    string `json:"id"`
+	Model string `json:"model"`
+	Omega int    `json:"omega"`
+}
+
+func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
+	var req createStreamRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	model, ok := s.registry.Get(req.Model)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model %q", req.Model)
+		return
+	}
+	sess, err := s.sessions.Create(req.Model, model, cdt.Scale{Min: req.Min, Max: req.Max})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, createStreamResponse{ID: sess.ID, Model: sess.Model, Omega: sess.Omega})
+}
+
+type pushPointsRequest struct {
+	Points []float64 `json:"points"`
+}
+
+type streamDetection struct {
+	WindowStart int         `json:"window_start"`
+	WindowEnd   int         `json:"window_end"`
+	Rules       []firedRule `json:"rules"`
+}
+
+type pushPointsResponse struct {
+	Detections     []streamDetection `json:"detections"`
+	PointsConsumed int               `json:"points_consumed"`
+	Ready          bool              `json:"ready"`
+}
+
+func (s *Server) handlePushPoints(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream %q", r.PathValue("id"))
+		return
+	}
+	var req pushPointsRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, "points must be non-empty")
+		return
+	}
+	dets, consumed, ready := sess.Push(req.Points)
+	resp := pushPointsResponse{
+		Detections:     make([]streamDetection, len(dets)),
+		PointsConsumed: consumed,
+		Ready:          ready,
+	}
+	for i, d := range dets {
+		resp.Detections[i] = streamDetection{
+			WindowStart: d.WindowStart,
+			WindowEnd:   d.WindowEnd,
+			Rules:       firedRules(d.Fired),
+		}
+	}
+	stats.Add("detections", int64(len(dets)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleResetStream(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream %q", r.PathValue("id"))
+		return
+	}
+	sess.Reset()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDeleteStream(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.Delete(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "unknown stream %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	cdt "cdt"
+)
+
+// Sessions manages live streaming-detection sessions. cdt.Stream is not
+// safe for concurrent use, so each session wraps its stream in a mutex;
+// the manager itself guards the id→session map and evicts sessions that
+// have been idle longer than the TTL (a monitor that silently went away
+// must not leak its window state forever).
+type Sessions struct {
+	ttl time.Duration
+
+	mu sync.Mutex
+	m  map[string]*Session
+
+	stop chan struct{}
+	once sync.Once
+}
+
+// Session is one live stream handle. All stream access goes through
+// Push/Reset, which serialize on the session mutex.
+type Session struct {
+	ID    string
+	Model string // registry name the stream was created from
+	Omega int
+
+	mu       sync.Mutex
+	stream   *cdt.Stream
+	lastUsed time.Time
+}
+
+// NewSessions starts a session manager; ttl <= 0 disables eviction. The
+// janitor wakes at ttl/4 so an idle session lives at most ~1.25·ttl.
+func NewSessions(ttl time.Duration) *Sessions {
+	s := &Sessions{ttl: ttl, m: make(map[string]*Session), stop: make(chan struct{})}
+	if ttl > 0 {
+		go s.janitor()
+	}
+	return s
+}
+
+func (s *Sessions) janitor() {
+	tick := s.ttl / 4
+	if tick <= 0 {
+		tick = s.ttl
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-t.C:
+			s.evictIdle(now)
+		}
+	}
+}
+
+// evictIdle removes sessions idle longer than the TTL.
+func (s *Sessions) evictIdle(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, sess := range s.m {
+		sess.mu.Lock()
+		idle := now.Sub(sess.lastUsed)
+		sess.mu.Unlock()
+		if idle > s.ttl {
+			delete(s.m, id)
+			stats.Add("sessions_evicted", 1)
+			stats.Add("active_sessions", -1)
+		}
+	}
+}
+
+// Close stops the eviction janitor. Live sessions are simply dropped.
+func (s *Sessions) Close() {
+	s.once.Do(func() { close(s.stop) })
+}
+
+// newSessionID returns a random 128-bit hex id.
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; degrade loudly.
+		panic(fmt.Sprintf("server: session id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Create opens a stream on model (named name in the registry) and
+// registers it. The session pins the model it was created with, so a
+// registry reload does not disturb live streams.
+func (s *Sessions) Create(name string, model *cdt.Model, scale cdt.Scale) (*Session, error) {
+	stream, err := model.NewStream(scale)
+	if err != nil {
+		return nil, err
+	}
+	sess := &Session{
+		ID:       newSessionID(),
+		Model:    name,
+		Omega:    model.Opts.Omega,
+		stream:   stream,
+		lastUsed: time.Now(),
+	}
+	s.mu.Lock()
+	s.m[sess.ID] = sess
+	s.mu.Unlock()
+	stats.Add("active_sessions", 1)
+	return sess, nil
+}
+
+// Get resolves a session by id.
+func (s *Sessions) Get(id string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.m[id]
+	return sess, ok
+}
+
+// Delete removes a session, reporting whether it existed.
+func (s *Sessions) Delete(id string) bool {
+	s.mu.Lock()
+	_, ok := s.m[id]
+	delete(s.m, id)
+	s.mu.Unlock()
+	if ok {
+		stats.Add("active_sessions", -1)
+	}
+	return ok
+}
+
+// Len returns the number of live sessions.
+func (s *Sessions) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Push feeds values through the session's stream in order and returns
+// every detection they produced, tagged with the number of points the
+// stream had consumed when the detection fired.
+func (sess *Session) Push(values []float64) ([]cdt.Detection, int, bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	var out []cdt.Detection
+	for _, v := range values {
+		out = append(out, sess.stream.Push(v)...)
+	}
+	sess.lastUsed = time.Now()
+	return out, sess.stream.Points(), sess.stream.Ready()
+}
+
+// Reset clears the stream state, keeping model and scale.
+func (sess *Session) Reset() {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.stream.Reset()
+	sess.lastUsed = time.Now()
+}

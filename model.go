@@ -21,6 +21,11 @@ type Model struct {
 	rule rules.Rule
 	raw  rules.Rule
 	pcfg pattern.Config
+
+	// predTexts and predDescs cache the per-predicate renderings of
+	// rule, indexed like rule.Predicates (see finalizeRules).
+	predTexts []string
+	predDescs []string
 }
 
 // Fit trains a CDT on one or more labeled series: each series is
@@ -51,7 +56,7 @@ func Fit(train []*Series, opts Options) (*Model, error) {
 	}
 	m := &Model{Opts: opts, tree: tree, pcfg: pcfg}
 	m.raw = rules.FromTree(tree, opts.LeafPolicy)
-	m.rule = rules.Simplify(m.raw)
+	m.finalizeRules()
 	return m, nil
 }
 

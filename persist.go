@@ -126,6 +126,14 @@ func Load(r io.Reader) (*Model, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	// Bound hyper-parameters to plausible magnitudes: models are loaded
+	// from disk at serving time, and an adversarial or corrupted file
+	// must fail cleanly instead of driving huge allocations downstream
+	// (window buffers are sized by ω, interval tables by δ).
+	const maxHyper = 1 << 20
+	if opts.Omega > maxHyper || opts.Delta > maxHyper {
+		return nil, fmt.Errorf("cdt: implausible hyper-parameters omega=%d delta=%d (max %d)", opts.Omega, opts.Delta, maxHyper)
+	}
 	if doc.Tree == nil {
 		return nil, fmt.Errorf("cdt: model has no tree")
 	}
@@ -140,7 +148,7 @@ func Load(r io.Reader) (*Model, error) {
 		pcfg: pcfg,
 	}
 	m.raw = rules.FromTree(m.tree, opts.LeafPolicy)
-	m.rule = rules.Simplify(m.raw)
+	m.finalizeRules()
 	return m, nil
 }
 

@@ -18,6 +18,10 @@ type Detection struct {
 	// WindowStart and WindowEnd delimit the covered points (inclusive,
 	// 0-based indices into the stream).
 	WindowStart, WindowEnd int
+	// Fired lists the rule predicates that matched the window, in rule
+	// order (1-based indices matching RuleText) — the interpretable
+	// payload a monitor shows next to the alert.
+	Fired []FiredPredicate
 }
 
 // Stream is an online anomaly detector backed by a trained model. It is
@@ -58,10 +62,14 @@ func (sc Scale) normalize(v float64) float64 {
 }
 
 // NewStream starts an online detector. The scale must span the values
-// the sensor can produce; a degenerate scale is rejected.
+// the sensor can produce; a degenerate scale is rejected, because
+// normalize would silently map every reading to 0. Note that values
+// outside a valid scale clamp to the nearest bound.
 func (m *Model) NewStream(scale Scale) (*Stream, error) {
 	if scale.Max <= scale.Min {
-		return nil, fmt.Errorf("cdt: stream scale [%v,%v] is empty", scale.Min, scale.Max)
+		return nil, fmt.Errorf("cdt: stream scale [%v,%v] is degenerate (Max must exceed Min): "+
+			"every reading would normalize to 0; note in-range scales clamp out-of-range values to the nearest bound",
+			scale.Min, scale.Max)
 	}
 	return &Stream{
 		model:  m,
@@ -99,14 +107,15 @@ func (s *Stream) Push(value float64) []Detection {
 	if len(s.window) < omega {
 		return nil
 	}
-	if !s.model.rule.Detect(s.window) {
+	fired := s.model.FiredPredicates(s.window)
+	if len(fired) == 0 {
 		return nil
 	}
 	// The ω labels cover original points [first labeled .. last labeled]:
 	// the newest label belongs to 0-based point s.n-2, the oldest in the
 	// window to s.n-2-(omega-1).
 	end := s.n - 2
-	return []Detection{{WindowStart: end - omega + 1, WindowEnd: end}}
+	return []Detection{{WindowStart: end - omega + 1, WindowEnd: end, Fired: fired}}
 }
 
 // Points returns the number of readings consumed.
