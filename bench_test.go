@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	cdt "cdt"
+	"cdt/internal/bayesopt"
 	"cdt/internal/core"
 	"cdt/internal/experiments"
 	"cdt/internal/iforest"
@@ -487,6 +488,142 @@ func BenchmarkModelSaveLoad(b *testing.B) {
 		}
 		if _, err := cdt.Load(&buf); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- corpus pipeline benchmarks ---------------------------------------
+//
+// The Optimize pair measures the steady-state hyper-parameter search the
+// Suite actually runs: repeated searches over the same splits (two
+// objectives, repeated budgets). The uncached baseline re-runs
+// normalize → label → window for every candidate of every search; the
+// cached variant drives OptimizeCorpus against warm corpora, so candidate
+// evaluations pay only for tree induction and scoring.
+
+// corpusBenchSeries builds a long sparse-anomaly labeled series: the
+// regime where the preprocessing stages dominate tree induction.
+func corpusBenchSeries(name string, n int, anomalyEvery int, seed int64) *cdt.Series {
+	values := benchValues(n, seed)
+	anoms := make([]bool, n)
+	for at := anomalyEvery; at < n-1; at += anomalyEvery {
+		values[at] = 2
+		anoms[at] = true
+	}
+	return cdt.NewLabeledSeries(name, values, anoms)
+}
+
+func corpusBenchSearch() (train, val []*cdt.Series, opts cdt.OptimizeOptions) {
+	train = []*cdt.Series{corpusBenchSeries("t", 20000, 4000, 20)}
+	val = []*cdt.Series{corpusBenchSeries("v", 8000, 2500, 21)}
+	opts = cdt.OptimizeOptions{
+		OmegaMin: 3, OmegaMax: 12,
+		DeltaMin: 1, DeltaMax: 6,
+		InitPoints: 5, Iterations: 7,
+		Seed: 42,
+		Base: cdt.Options{MaxCompositionLen: 2},
+	}
+	return train, val, opts
+}
+
+// BenchmarkOptimizeUncached is the pre-corpus baseline: every candidate
+// evaluation rebuilds the full preprocessing pipeline via bayesopt driven
+// by from-scratch Fit/Evaluate (exactly what Optimize did before the
+// corpus layer).
+func BenchmarkOptimizeUncached(b *testing.B) {
+	train, val, opts := corpusBenchSearch()
+	space := bayesopt.Space{
+		{Name: "omega", Min: opts.OmegaMin, Max: opts.OmegaMax},
+		{Name: "delta", Min: opts.DeltaMin, Max: opts.DeltaMax},
+	}
+	objective := func(x []int) float64 {
+		cfg := opts.Base
+		cfg.Omega, cfg.Delta = x[0], x[1]
+		model, err := cdt.Fit(train, cfg)
+		if err != nil {
+			return 0
+		}
+		rep, err := model.Evaluate(val)
+		if err != nil {
+			return 0
+		}
+		return rep.F1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := bayesopt.Maximize(objective, space, bayesopt.Options{
+			InitPoints:  opts.InitPoints,
+			Iterations:  opts.Iterations,
+			Seed:        opts.Seed,
+			LengthScale: 0.2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeCached runs the identical search through OptimizeCorpus
+// against corpora warmed by one prior search — the Suite's steady state,
+// where the F(h) search follows the F1 search over the same splits.
+// Acceptance target: ≥2× over BenchmarkOptimizeUncached.
+func BenchmarkOptimizeCached(b *testing.B) {
+	train, val, opts := corpusBenchSearch()
+	trainC, err := cdt.NewCorpus(train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	valC, err := cdt.NewCorpus(val)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cdt.OptimizeCorpus(trainC, valC, cdt.ObjectiveF1, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := cdt.OptimizeCorpus(trainC, valC, cdt.ObjectiveF1, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The Fit pair isolates the labeling cache: repeated fits at a fixed δ
+// with varying ω share one labeling through the corpus (and, warm, their
+// window pools); uncached they re-label the series every time.
+
+var fitSweepOmegas = []int{3, 4, 5, 6, 7, 8, 9, 10}
+
+func BenchmarkRepeatedFitVaryingOmegaUncached(b *testing.B) {
+	train := []*cdt.Series{corpusBenchSeries("t", 20000, 4000, 22)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, omega := range fitSweepOmegas {
+			if _, err := cdt.Fit(train, cdt.Options{Omega: omega, Delta: 3, MaxCompositionLen: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRepeatedFitVaryingOmegaCached(b *testing.B) {
+	train := []*cdt.Series{corpusBenchSeries("t", 20000, 4000, 22)}
+	c, err := cdt.NewCorpus(train)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, omega := range fitSweepOmegas { // warm the per-(ω,δ) window pools
+		if _, err := c.Fit(cdt.Options{Omega: omega, Delta: 3, MaxCompositionLen: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, omega := range fitSweepOmegas {
+			if _, err := c.Fit(cdt.Options{Omega: omega, Delta: 3, MaxCompositionLen: 2}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

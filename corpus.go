@@ -1,0 +1,276 @@
+package cdt
+
+// Corpus is the shared training-pipeline layer: it inverts the data flow
+// of the original trainers. Instead of every Fit/Evaluate/Optimize call
+// re-running normalize → label → window from scratch, series are
+// normalized once at corpus construction (normalization is
+// parameter-free), per-δ labelings and per-(ω, δ) pooled observation
+// windows are memoized behind an RWMutex-guarded bounded cache, and
+// trainers pull immutable labeled views out of the corpus. Hyper-parameter
+// search (one CDT per candidate (ω, δ)) and cross-validation suites — the
+// two hottest training-side loops — are the intended beneficiaries:
+// candidates sharing a δ share one labeling, and repeated (ω, δ)
+// evaluations across searches share everything but tree induction.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"cdt/internal/core"
+	"cdt/internal/pattern"
+	"cdt/internal/rules"
+)
+
+// DefaultCorpusCacheSize bounds each of the corpus caches (labelings and
+// window pools) when NewCorpus is used. The paper's full search space is
+// ω ∈ [3,31] × δ ∈ [1,21] = 609 cells, but a Bayesian search touches a
+// few dozen of them; 256 keeps every candidate of a typical search (and
+// the repeated candidates of a two-objective suite) resident without
+// letting a grid sweep pin the whole plane in memory.
+const DefaultCorpusCacheSize = 256
+
+// Corpus holds pre-normalized training (or evaluation) series and
+// memoizes the parameter-dependent pipeline stages:
+//
+//	series ──normalize once──► Corpus ──per-δ cache──► labelings
+//	                                  ──per-(ω,δ) cache──► pooled windows
+//
+// Cache keys are the effective pattern configuration: labelings key on
+// (δ, ε), window pools on (ω, δ, ε), where ε is the value-equality
+// tolerance after defaulting. Both caches are bounded; when full, the
+// least-recently-used entry is evicted and will be recomputed on the next
+// request (evicted slices remain valid for holders — nothing is recycled).
+//
+// A Corpus is safe for concurrent use. Everything it hands out is shared
+// and immutable by contract: callers must not mutate returned observation
+// slices or their labels, and must not mutate the underlying series while
+// the corpus is alive (construction reuses a caller's slice when the
+// series is already normalized to [0,1]).
+type Corpus struct {
+	series []*Series
+	limit  int
+
+	mu      sync.RWMutex
+	tick    atomic.Uint64
+	labels  map[labelKey]*labelEntry
+	windows map[windowKey]*windowEntry
+}
+
+// labelKey identifies a labeling: labeling depends only on δ and the
+// equality tolerance, not on ω.
+type labelKey struct {
+	delta   int
+	epsilon float64
+}
+
+// windowKey identifies a pooled window set: ω plus the labeling key.
+type windowKey struct {
+	omega int
+	labelKey
+}
+
+// labelEntry is one cached labeling of every corpus series. once
+// guarantees a single computation per resident entry even under
+// concurrent misses; lastUse drives LRU eviction and is atomic so cache
+// hits can bump it under the read lock.
+type labelEntry struct {
+	once    sync.Once
+	lastUse atomic.Uint64
+
+	perSeries [][]pattern.Label
+	err       error
+}
+
+// windowEntry is one cached pooled observation set.
+type windowEntry struct {
+	once    sync.Once
+	lastUse atomic.Uint64
+
+	obs []core.Observation
+	err error
+}
+
+// NewCorpus builds a corpus over the series, normalizing each to [0,1]
+// up front (series already in range are used as-is, so pre-normalized
+// splits keep a common scale — the same rule Fit always applied). The
+// caches are bounded by DefaultCorpusCacheSize.
+func NewCorpus(series []*Series) (*Corpus, error) {
+	return NewCorpusSize(series, DefaultCorpusCacheSize)
+}
+
+// NewCorpusSize is NewCorpus with an explicit bound on each cache (at
+// least 1). Small bounds force eviction and recomputation; they never
+// affect results.
+func NewCorpusSize(series []*Series, cacheSize int) (*Corpus, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("cdt: corpus needs at least one series")
+	}
+	if cacheSize < 1 {
+		cacheSize = 1
+	}
+	c := &Corpus{
+		series:  make([]*Series, len(series)),
+		limit:   cacheSize,
+		labels:  make(map[labelKey]*labelEntry),
+		windows: make(map[windowKey]*windowEntry),
+	}
+	for i, s := range series {
+		ns, err := ensureNormalized(s)
+		if err != nil {
+			return nil, fmt.Errorf("cdt: series %q: %w", s.Name, err)
+		}
+		c.series[i] = ns
+	}
+	return c, nil
+}
+
+// Len returns the number of series in the corpus.
+func (c *Corpus) Len() int { return len(c.series) }
+
+// labelsFor returns the cached per-series labelings for a pattern
+// configuration, computing them once on miss. All series label into one
+// backing array via pattern.LabelSeriesInto, so a cache refill costs a
+// single allocation regardless of corpus width.
+func (c *Corpus) labelsFor(pcfg pattern.Config) ([][]pattern.Label, error) {
+	k := labelKey{delta: pcfg.Delta, epsilon: pcfg.Epsilon}
+	c.mu.RLock()
+	e, ok := c.labels[k]
+	c.mu.RUnlock()
+	if !ok {
+		c.mu.Lock()
+		if e, ok = c.labels[k]; !ok {
+			evictLRU(c.labels, c.limit)
+			e = &labelEntry{}
+			c.labels[k] = e
+		}
+		c.mu.Unlock()
+	}
+	e.lastUse.Store(c.tick.Add(1))
+	e.once.Do(func() {
+		total := 0
+		for _, s := range c.series {
+			if n := s.Len() - 2; n > 0 {
+				total += n
+			}
+		}
+		buf := make([]pattern.Label, 0, total)
+		perSeries := make([][]pattern.Label, len(c.series))
+		for i, s := range c.series {
+			start := len(buf)
+			var err error
+			buf, err = pcfg.LabelSeriesInto(buf, s.Values)
+			if err != nil {
+				e.err = fmt.Errorf("cdt: series %q: %w", s.Name, err)
+				return
+			}
+			// Full slice expression: a labeling is immutable once cached.
+			perSeries[i] = buf[start:len(buf):len(buf)]
+		}
+		e.perSeries = perSeries
+	})
+	return e.perSeries, e.err
+}
+
+// Observations returns the pooled ω-windows of every corpus series for
+// the given options — the exact pool Fit trains on — computing and
+// caching them on first request. The returned slice is shared: treat it
+// (and the labels it references) as read-only.
+func (c *Corpus) Observations(opts Options) ([]Observation, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	pcfg := opts.patternConfig()
+	k := windowKey{omega: opts.Omega, labelKey: labelKey{delta: pcfg.Delta, epsilon: pcfg.Epsilon}}
+	c.mu.RLock()
+	e, ok := c.windows[k]
+	c.mu.RUnlock()
+	if !ok {
+		c.mu.Lock()
+		if e, ok = c.windows[k]; !ok {
+			evictLRU(c.windows, c.limit)
+			e = &windowEntry{}
+			c.windows[k] = e
+		}
+		c.mu.Unlock()
+	}
+	e.lastUse.Store(c.tick.Add(1))
+	e.once.Do(func() {
+		perSeries, err := c.labelsFor(pcfg)
+		if err != nil {
+			e.err = err
+			return
+		}
+		total := 0
+		for _, labels := range perSeries {
+			if n := len(labels) - opts.Omega + 1; n > 0 {
+				total += n
+			}
+		}
+		pooled := make([]core.Observation, 0, total)
+		for i, labels := range perSeries {
+			s := c.series[i]
+			if opts.Omega > len(labels) {
+				e.err = fmt.Errorf("cdt: series %q: omega %d exceeds %d labels", s.Name, opts.Omega, len(labels))
+				return
+			}
+			obs, err := core.Windows(labels, s.Anomalies, opts.Omega)
+			if err != nil {
+				e.err = fmt.Errorf("cdt: series %q: %w", s.Name, err)
+				return
+			}
+			pooled = append(pooled, obs...)
+		}
+		e.obs = pooled
+	})
+	return e.obs, e.err
+}
+
+// Fit trains a CDT on the corpus — the same pipeline as the package-level
+// Fit (which is now a thin wrapper over a throwaway corpus), but pulling
+// the pooled windows out of the cache so repeated fits at overlapping
+// hyper-parameters pay only for tree induction.
+func (c *Corpus) Fit(opts Options) (*Model, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	pooled, err := c.Observations(opts)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := core.Build(pooled, opts.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Opts: opts, tree: tree, pcfg: opts.patternConfig()}
+	m.raw = rules.FromTree(tree, opts.LeafPolicy)
+	m.finalizeRules()
+	return m, nil
+}
+
+// lastUser is the shared shape of the two cache entry types, letting one
+// LRU eviction routine serve both maps.
+type lastUser interface {
+	lastUsed() uint64
+}
+
+func (e *labelEntry) lastUsed() uint64  { return e.lastUse.Load() }
+func (e *windowEntry) lastUsed() uint64 { return e.lastUse.Load() }
+
+// evictLRU removes least-recently-used entries until the map has room for
+// one more under limit. Called with the corpus write lock held. Evicted
+// slices stay valid for any goroutine that already holds them; they are
+// simply recomputed on the next request.
+func evictLRU[K comparable, E lastUser](m map[K]E, limit int) {
+	for len(m) >= limit {
+		var victim K
+		minUse := uint64(math.MaxUint64)
+		for k, e := range m {
+			if u := e.lastUsed(); u <= minUse {
+				minUse, victim = u, k
+			}
+		}
+		delete(m, victim)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Param is one integer dimension of the search space.
@@ -128,6 +129,13 @@ type Options struct {
 	Xi float64
 	// Acquisition selects the acquisition function (default EI).
 	Acquisition Acquisition
+	// Parallelism bounds a worker pool that evaluates the random initial
+	// design concurrently; the initial points are independent of each
+	// other, unlike the surrogate-guided iterations, which stay strictly
+	// sequential. Values <= 1 evaluate sequentially. The objective must be
+	// safe for concurrent calls when Parallelism > 1. Results (history
+	// order, best, evaluation count) are identical at any setting.
+	Parallelism int
 }
 
 // Acquisition selects how the surrogate scores unevaluated cells.
@@ -177,31 +185,60 @@ func Maximize(f Objective, space Space, opts Options) (Result, error) {
 	grid := space.enumerate()
 	cache := make(map[string]float64, len(grid))
 	var res Result
-	eval := func(x []int) float64 {
-		k := key(x)
-		if y, ok := cache[k]; ok {
-			return y
-		}
-		y := f(x)
-		cache[k] = y
+	// record stores an objective value without re-invoking f; eval is the
+	// memoized sequential path built on it.
+	record := func(x []int, y float64) {
+		cache[key(x)] = y
 		res.Evaluations++
 		res.History = append(res.History, Sample{X: append([]int(nil), x...), Y: y})
 		if res.Best == nil || y > res.BestValue {
 			res.Best = append([]int(nil), x...)
 			res.BestValue = y
 		}
+	}
+	eval := func(x []int) float64 {
+		if y, ok := cache[key(x)]; ok {
+			return y
+		}
+		y := f(x)
+		record(x, y)
 		return y
 	}
 
 	// Initial design: random distinct cells (or the whole grid if it is
-	// smaller than the requested design).
+	// smaller than the requested design). The cells are distinct and
+	// mutually independent, so with Parallelism > 1 they fan out over a
+	// bounded worker pool; results are recorded in design order either
+	// way, keeping the run bit-identical to a sequential one.
 	perm := rng.Perm(len(grid))
 	init := opts.InitPoints
 	if init > len(grid) {
 		init = len(grid)
 	}
-	for i := 0; i < init; i++ {
-		eval(grid[perm[i]])
+	if workers := opts.Parallelism; workers > 1 && init > 1 {
+		if workers > init {
+			workers = init
+		}
+		ys := make([]float64, init)
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i := 0; i < init; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				ys[i] = f(grid[perm[i]])
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < init; i++ {
+			record(grid[perm[i]], ys[i])
+		}
+	} else {
+		for i := 0; i < init; i++ {
+			eval(grid[perm[i]])
+		}
 	}
 
 	budget := opts.Iterations

@@ -135,8 +135,8 @@ func matchSubsequence(needle, haystack []pattern.Label) bool {
 // length, then lexicographic label order) so tree induction is
 // reproducible.
 func enumerateCompositions(obs []Observation, maxLen int) []Composition {
-	seen := make(map[string]Composition)
-	var keys []string
+	seen := make(map[string]struct{})
+	var out []Composition
 	for i := range obs {
 		if obs[i].Class != Anomaly {
 			continue
@@ -151,29 +151,36 @@ func enumerateCompositions(obs []Observation, maxLen int) []Composition {
 				c := Composition{Labels: labels[start : start+n]}
 				k := c.Key()
 				if _, ok := seen[k]; !ok {
-					seen[k] = c
-					keys = append(keys, k)
+					seen[k] = struct{}{}
+					out = append(out, c)
 				}
 			}
 		}
 	}
-	sortCandidateKeys(keys)
-	out := make([]Composition, len(keys))
-	for i, k := range keys {
-		out[i] = seen[k]
-	}
+	sort.Slice(out, func(i, j int) bool { return compareCompositions(out[i], out[j]) < 0 })
 	return out
 }
 
-// sortCandidateKeys orders keys by length (shorter compositions first, so
-// ties in information gain resolve toward simpler, more interpretable
-// splits) and then lexicographically.
-func sortCandidateKeys(keys []string) {
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if len(a) != len(b) {
-			return len(a) < len(b)
+// compareCompositions orders candidates by length (shorter compositions
+// first, so ties in information gain resolve toward simpler, more
+// interpretable splits) and then by the unsigned byte order of their
+// Key() encodings — compared label by label, without materializing the
+// key strings.
+func compareCompositions(a, b Composition) int {
+	if len(a.Labels) != len(b.Labels) {
+		return len(a.Labels) - len(b.Labels)
+	}
+	for i := range a.Labels {
+		la, lb := a.Labels[i], b.Labels[i]
+		if la.Var != lb.Var {
+			return int(byte(la.Var)) - int(byte(lb.Var))
 		}
-		return a < b
-	})
+		if la.Alpha != lb.Alpha {
+			return int(byte(la.Alpha)) - int(byte(lb.Alpha))
+		}
+		if la.Beta != lb.Beta {
+			return int(byte(la.Beta)) - int(byte(lb.Beta))
+		}
+	}
+	return 0
 }

@@ -526,6 +526,103 @@ func TestFastSupportCountingMatchesNaive(t *testing.T) {
 	}
 }
 
+// The sliding-run fast path (series-space occurrence counting over
+// consecutive windows of one backing array — the shape Windows produces)
+// must agree exactly with direct per-candidate matching, including for
+// mixed inputs where sliding runs and isolated windows interleave.
+func TestSlidingRunSupportCountingMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	alphabet := cfg2.Alphabet()
+	seq := make([]pattern.Label, 120)
+	for j := range seq {
+		seq[j] = alphabet[rng.Intn(6)]
+	}
+	anoms := make([]bool, len(seq)+2)
+	for j := range anoms {
+		if rng.Intn(9) == 0 {
+			anoms[j] = true
+		}
+	}
+	for _, omega := range []int{2, 5, 9} {
+		sliding, err := Windows(seq, anoms, omega)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mixed input: a sliding run, then isolated copies (fresh backing
+		// arrays break adjacency), then the tail of the run.
+		mixed := append([]Observation(nil), sliding[:40]...)
+		for i := 40; i < 50; i++ {
+			mixed = append(mixed, Observation{
+				Labels: append([]pattern.Label(nil), sliding[i].Labels...),
+				Class:  sliding[i].Class,
+			})
+		}
+		mixed = append(mixed, sliding[50:]...)
+		for _, obs := range [][]Observation{sliding, mixed} {
+			for _, maxLen := range []int{0, 1, 3} {
+				candidates := enumerateCompositions(obs, maxLen)
+				if len(candidates) == 0 {
+					t.Fatal("no candidates")
+				}
+				opts := Options{MaxCompositionLen: maxLen}
+				fast := countContiguousSupports(obs, candidates, opts)
+				slow := countSupportsNaive(obs, candidates, opts)
+				for i := range candidates {
+					if fast[i] != slow[i] {
+						t.Fatalf("omega=%d maxLen=%d candidate %v: fast %+v, slow %+v",
+							omega, maxLen, candidates[i], fast[i], slow[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// The sliding-run partition marker must agree with per-window MatchedBy
+// on every candidate, over pure sliding input and mixed (run + isolated
+// copies) input alike.
+func TestMarkMatchesMatchesMatchedBy(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	alphabet := cfg2.Alphabet()
+	seq := make([]pattern.Label, 110)
+	for j := range seq {
+		seq[j] = alphabet[rng.Intn(5)]
+	}
+	anoms := make([]bool, len(seq)+2)
+	for j := range anoms {
+		if rng.Intn(8) == 0 {
+			anoms[j] = true
+		}
+	}
+	for _, omega := range []int{2, 4, 7} {
+		sliding, err := Windows(seq, anoms, omega)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mixed := append([]Observation(nil), sliding[:30]...)
+		for i := 30; i < 38; i++ {
+			mixed = append(mixed, Observation{
+				Labels: append([]pattern.Label(nil), sliding[i].Labels...),
+				Class:  sliding[i].Class,
+			})
+		}
+		mixed = append(mixed, sliding[38:]...)
+		for _, obs := range [][]Observation{sliding, mixed} {
+			for _, candidate := range enumerateCompositions(obs, 3) {
+				marks := make([]bool, len(obs))
+				markMatches(obs, &candidate, MatchContiguous, marks)
+				for j := range obs {
+					want := candidate.MatchedBy(obs[j].Labels, MatchContiguous)
+					if marks[j] != want {
+						t.Fatalf("omega=%d candidate %v window %d: marked %v, MatchedBy %v",
+							omega, candidate, j, marks[j], want)
+					}
+				}
+			}
+		}
+	}
+}
+
 // Subsequence-mode trees must also fit separable training data.
 func TestBuildSubsequenceMode(t *testing.T) {
 	tree, obs := buildTestTree(t, 5, Options{Match: MatchSubsequence})

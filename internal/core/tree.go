@@ -88,40 +88,143 @@ func Build(obs []Observation, opts Options) (*Tree, error) {
 	}
 	t := &Tree{Omega: omega, Opts: opts}
 	t.Root = &Node{Counts: Count(obs)}
-	// Algorithm 1 processes a FIFO queue of (node, observations) pairs.
+	// The whole induction works over one private copy of the observation
+	// pool (the input — often a shared Corpus cache entry — is never
+	// mutated). Each node owns a contiguous range of work; splitting
+	// stably partitions the range in place via one scratch buffer, so
+	// tree growth allocates no per-node observation slices.
+	work := make([]Observation, len(obs))
+	copy(work, obs)
+	scratch := make([]Observation, len(obs))
+	marks := make([]bool, len(obs))
+	// Algorithm 1 processes a FIFO queue of (node, range) pairs.
 	type item struct {
-		node *Node
-		obs  []Observation
+		node   *Node
+		lo, hi int
 	}
-	queue := []item{{t.Root, obs}}
+	queue := []item{{t.Root, 0, len(obs)}}
 	for len(queue) > 0 {
 		it := queue[0]
 		queue = queue[1:]
-		node, data := it.node, it.obs
+		node, data := it.node, work[it.lo:it.hi]
 		if node.Pure() {
 			continue
 		}
 		if opts.MaxDepth > 0 && node.Depth >= opts.MaxDepth {
 			continue
 		}
-		best, gain := bestComposition(data, opts)
+		best, gain, inCounts := bestComposition(data, opts)
 		if best == nil || gain <= opts.MinGain {
 			continue
 		}
-		var in, out []Observation
-		for i := range data {
-			if best.MatchedBy(data[i].Labels, opts.Match) {
-				in = append(in, data[i])
+		// The split scoring already counted the in-side, so the child
+		// class counts are known without re-scanning.
+		outCounts := ClassCounts{
+			Normal:  node.Counts.Normal - inCounts.Normal,
+			Anomaly: node.Counts.Anomaly - inCounts.Anomaly,
+		}
+		nIn := inCounts.Normal + inCounts.Anomaly
+		m := marks[it.lo:it.hi]
+		clear(m)
+		markMatches(data, best, opts.Match, m)
+		dst := scratch[it.lo:it.hi]
+		i, o := 0, nIn
+		for idx := range data {
+			if m[idx] {
+				dst[i] = data[idx]
+				i++
 			} else {
-				out = append(out, data[i])
+				dst[o] = data[idx]
+				o++
 			}
 		}
+		copy(data, dst)
 		node.Composition = best
-		node.ChildTrue = &Node{Counts: Count(in), Depth: node.Depth + 1}
-		node.ChildFalse = &Node{Counts: Count(out), Depth: node.Depth + 1}
-		queue = append(queue, item{node.ChildTrue, in}, item{node.ChildFalse, out})
+		node.ChildTrue = &Node{Counts: inCounts, Depth: node.Depth + 1}
+		node.ChildFalse = &Node{Counts: outCounts, Depth: node.Depth + 1}
+		queue = append(queue, item{node.ChildTrue, it.lo, it.lo + nIn}, item{node.ChildFalse, it.lo + nIn, it.hi})
 	}
 	return t, nil
+}
+
+// markMatches sets marks[j] for every observation obs[j] the composition
+// matches. For contiguous matching, maximal sliding runs are scanned in
+// series space like countSlidingRun — each occurrence found once and
+// credited to its containing window range — instead of re-searching every
+// ω-window; isolated windows and subsequence mode fall back to MatchedBy.
+func markMatches(obs []Observation, comp *Composition, mode MatchMode, marks []bool) {
+	if mode != MatchContiguous {
+		for j := range obs {
+			marks[j] = comp.MatchedBy(obs[j].Labels, mode)
+		}
+		return
+	}
+	pat := comp.Labels
+	for lo := 0; lo < len(obs); {
+		hi := lo + 1
+		for hi < len(obs) && slidingAdjacent(obs[hi-1].Labels, obs[hi].Labels) {
+			hi++
+		}
+		if hi-lo == 1 {
+			marks[lo] = comp.MatchedBy(obs[lo].Labels, mode)
+			lo = hi
+			continue
+		}
+		markSlidingRun(obs[lo:hi], pat, marks[lo:hi])
+		lo = hi
+	}
+}
+
+// markSlidingRun marks the windows of one maximal sliding run containing
+// an occurrence of pat. The run's windows cover a label sequence of
+// length numWin+ω-1 whose position i lives in run[0] for i < ω and as the
+// last label of run[i-ω+1] otherwise; an occurrence at position p spans
+// windows [p+len(pat)-ω, p], and a last-marked cursor keeps the total
+// marking work linear even when occurrences overlap densely.
+func markSlidingRun(run []Observation, pat []pattern.Label, marks []bool) {
+	omega := len(run[0].Labels)
+	numWin := len(run)
+	if len(pat) == 0 {
+		for j := range marks {
+			marks[j] = true
+		}
+		return
+	}
+	if len(pat) > omega {
+		return
+	}
+	seqLen := numWin + omega - 1
+	last := -1
+	for p := 0; p+len(pat) <= seqLen; p++ {
+		hit := true
+		for k := range pat {
+			i := p + k
+			var l pattern.Label
+			if i < omega {
+				l = run[0].Labels[i]
+			} else {
+				l = run[i-omega+1].Labels[omega-1]
+			}
+			if l != pat[k] {
+				hit = false
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		winLo := max(p+len(pat)-omega, 0)
+		winHi := min(p, numWin-1)
+		if winLo <= last {
+			winLo = last + 1
+		}
+		for j := winLo; j <= winHi; j++ {
+			marks[j] = true
+		}
+		if winHi > last {
+			last = winHi
+		}
+	}
 }
 
 // bestComposition scores every candidate composition (all distinct
@@ -135,10 +238,10 @@ func Build(obs []Observation, opts Options) (*Tree, error) {
 // them up in the candidate index — O(Σ windows · ω · maxLen) instead of
 // O(candidates · windows · ω · maxLen). Subsequence matching falls back
 // to direct per-candidate scoring.
-func bestComposition(obs []Observation, opts Options) (*Composition, float64) {
+func bestComposition(obs []Observation, opts Options) (*Composition, float64, ClassCounts) {
 	candidates := enumerateCompositions(obs, opts.MaxCompositionLen)
 	if len(candidates) == 0 {
-		return nil, 0
+		return nil, 0, ClassCounts{}
 	}
 	parent := Count(obs)
 	var counts []ClassCounts
@@ -156,58 +259,274 @@ func bestComposition(obs []Observation, opts Options) (*Composition, float64) {
 		}
 	}
 	if bestIdx < 0 {
-		return nil, 0
+		return nil, 0, ClassCounts{}
 	}
 	c := candidates[bestIdx]
-	return &c, bestGain
+	return &c, bestGain, counts[bestIdx]
+}
+
+// labelInterner maps pattern labels to dense ids through a flat lookup
+// table over the bounding box of the candidate labels (a handful of small
+// integers each way). Labels outside the box — or inside it but unused by
+// any candidate — get id -1: they can never extend a match.
+type labelInterner struct {
+	minVar, minAlpha, minBeta int
+	nv, na, nb                int
+	table                     []int32
+	n                         int32
+}
+
+func newLabelInterner(candidates []Composition) *labelInterner {
+	in := &labelInterner{}
+	first := true
+	maxVar, maxAlpha, maxBeta := 0, 0, 0
+	for _, c := range candidates {
+		for _, l := range c.Labels {
+			v, a, b := int(l.Var), int(l.Alpha), int(l.Beta)
+			if first {
+				in.minVar, maxVar = v, v
+				in.minAlpha, maxAlpha = a, a
+				in.minBeta, maxBeta = b, b
+				first = false
+				continue
+			}
+			in.minVar, maxVar = min(in.minVar, v), max(maxVar, v)
+			in.minAlpha, maxAlpha = min(in.minAlpha, a), max(maxAlpha, a)
+			in.minBeta, maxBeta = min(in.minBeta, b), max(maxBeta, b)
+		}
+	}
+	in.nv = maxVar - in.minVar + 1
+	in.na = maxAlpha - in.minAlpha + 1
+	in.nb = maxBeta - in.minBeta + 1
+	in.table = make([]int32, in.nv*in.na*in.nb)
+	for i := range in.table {
+		in.table[i] = -1
+	}
+	for _, c := range candidates {
+		for _, l := range c.Labels {
+			if slot := in.slot(l); in.table[slot] < 0 {
+				in.table[slot] = in.n
+				in.n++
+			}
+		}
+	}
+	return in
+}
+
+func (in *labelInterner) slot(l pattern.Label) int {
+	return ((int(l.Var)-in.minVar)*in.na+int(l.Alpha)-in.minAlpha)*in.nb + int(l.Beta) - in.minBeta
+}
+
+func (in *labelInterner) id(l pattern.Label) int32 {
+	v := int(l.Var) - in.minVar
+	a := int(l.Alpha) - in.minAlpha
+	b := int(l.Beta) - in.minBeta
+	if v < 0 || v >= in.nv || a < 0 || a >= in.na || b < 0 || b >= in.nb {
+		return -1
+	}
+	return in.table[(v*in.na+a)*in.nb+b]
+}
+
+// candidateTrie indexes candidate compositions for contiguous matching:
+// a flat node×labelID transition table over dense label ids (node 0 is
+// the root), with term[node] naming the candidate ending at that node
+// (-1 if none).
+type candidateTrie struct {
+	in       *labelInterner
+	width    int
+	children []int32
+	term     []int32
+	maxLen   int
+}
+
+func newCandidateTrie(candidates []Composition) *candidateTrie {
+	in := newLabelInterner(candidates)
+	t := &candidateTrie{in: in, width: int(in.n)}
+	t.children = make([]int32, t.width)
+	for i := range t.children {
+		t.children[i] = -1
+	}
+	t.term = []int32{-1}
+	for ci, c := range candidates {
+		node := int32(0)
+		for _, l := range c.Labels {
+			id := in.id(l)
+			next := t.children[int(node)*t.width+int(id)]
+			if next < 0 {
+				next = int32(len(t.term))
+				t.children[int(node)*t.width+int(id)] = next
+				for i := 0; i < t.width; i++ {
+					t.children = append(t.children, -1)
+				}
+				t.term = append(t.term, -1)
+			}
+			node = next
+		}
+		t.term[node] = int32(ci)
+		if c.Len() > t.maxLen {
+			t.maxLen = c.Len()
+		}
+	}
+	return t
 }
 
 // countContiguousSupports returns, per candidate, the class counts of the
-// observations containing it as a substring. Each observation enumerates
-// its substrings once; a per-candidate last-seen marker deduplicates
-// repeated occurrences inside one observation. Map lookups use the
-// zero-allocation string(buf) form.
+// observations containing it as a substring. Candidates live in a flat
+// trie over dense label ids, so the inner loops are pure array walking.
+// This is the training hot path — it runs once per tree node per fit,
+// over every pooled window.
+//
+// Observations that are consecutive sliding windows over one backing
+// label array (the shape the Corpus pooling produces at the root node)
+// take a series-space fast path: each substring occurrence is discovered
+// once in the underlying sequence and credited to the whole range of
+// windows containing it, O(positions · maxLen) instead of
+// O(windows · ω · maxLen). Partitioned child nodes, whose observations
+// are no longer adjacent, fall back to the per-window scan. Both paths
+// count each (candidate, window) pair at most once.
 func countContiguousSupports(obs []Observation, candidates []Composition, opts Options) []ClassCounts {
-	index := make(map[string]int, len(candidates))
-	maxCandLen := 0
-	for i, c := range candidates {
-		index[c.Key()] = i
-		if c.Len() > maxCandLen {
-			maxCandLen = c.Len()
-		}
-	}
 	counts := make([]ClassCounts, len(candidates))
-	lastSeen := make([]int, len(candidates))
-	for i := range lastSeen {
-		lastSeen[i] = -1
+	if len(candidates) == 0 {
+		return counts
 	}
-	var buf []byte
-	for wi := range obs {
-		labels := obs[wi].Labels
-		anom := obs[wi].Class == Anomaly
-		for start := 0; start < len(labels); start++ {
-			limit := len(labels) - start
-			if maxCandLen < limit {
-				limit = maxCandLen
-			}
-			buf = buf[:0]
-			for n := 1; n <= limit; n++ {
-				l := labels[start+n-1]
-				buf = append(buf, byte(l.Var), byte(l.Alpha), byte(l.Beta))
-				idx, ok := index[string(buf)]
-				if !ok || lastSeen[idx] == wi {
-					continue
-				}
-				lastSeen[idx] = wi
-				if anom {
-					counts[idx].Anomaly++
-				} else {
-					counts[idx].Normal++
-				}
-			}
+	trie := newCandidateTrie(candidates)
+
+	// coveredUntil[c] is the last window index (run-local, offset by one)
+	// already credited to candidate c within the current sliding run;
+	// runStamp invalidates it lazily between runs.
+	coveredUntil := make([]int64, len(candidates))
+	var runStamp int64
+	var ids []int32
+	var anomPrefix []int32
+
+	for lo := 0; lo < len(obs); {
+		hi := lo + 1
+		for hi < len(obs) && slidingAdjacent(obs[hi-1].Labels, obs[hi].Labels) {
+			hi++
 		}
+		if hi-lo > 1 {
+			ids, anomPrefix = trie.countSlidingRun(obs[lo:hi], counts, coveredUntil, runStamp, ids, anomPrefix)
+			runStamp += int64(hi-lo) + 1
+		} else {
+			ids = trie.countWindow(obs[lo], counts, coveredUntil, runStamp, ids)
+			runStamp++
+		}
+		lo = hi
 	}
 	return counts
+}
+
+// slidingAdjacent reports whether b is a's window slid one position right
+// over the same backing array.
+func slidingAdjacent(a, b []pattern.Label) bool {
+	return len(a) == len(b) && len(a) > 1 && &a[1] == &b[0]
+}
+
+// countSlidingRun counts supports over a maximal run of consecutive
+// sliding windows. The run spans the label sequence seq of length
+// numWindows+ω-1; window j is seq[j : j+ω]. A candidate occurrence at
+// seq position p with length l is contained in windows
+// j ∈ [p+l-ω, p] ∩ [0, numWindows-1]; per candidate, those ranges arrive
+// with non-decreasing endpoints, so a covered-until cursor unions them,
+// and a prefix sum over window classes converts each fresh range to
+// class counts in O(1).
+func (t *candidateTrie) countSlidingRun(run []Observation, counts []ClassCounts, coveredUntil []int64, runStamp int64, ids []int32, anomPrefix []int32) ([]int32, []int32) {
+	omega := len(run[0].Labels)
+	numWin := len(run)
+
+	anomPrefix = anomPrefix[:0]
+	anomPrefix = append(anomPrefix, 0)
+	for j := 0; j < numWin; j++ {
+		a := anomPrefix[j]
+		if run[j].Class == Anomaly {
+			a++
+		}
+		anomPrefix = append(anomPrefix, a)
+	}
+
+	ids = ids[:0]
+	first := run[0].Labels
+	for _, l := range first {
+		ids = append(ids, t.in.id(l))
+	}
+	for j := 1; j < numWin; j++ {
+		ids = append(ids, t.in.id(run[j].Labels[omega-1]))
+	}
+
+	for p := 0; p < len(ids); p++ {
+		node := int32(0)
+		for k := p; k < len(ids) && k-p < t.maxLen; k++ {
+			id := ids[k]
+			if id < 0 {
+				break
+			}
+			node = t.children[int(node)*t.width+int(id)]
+			if node < 0 {
+				break
+			}
+			ci := t.term[node]
+			if ci < 0 {
+				continue
+			}
+			l := k - p + 1
+			winLo := p + l - omega
+			if winLo < 0 {
+				winLo = 0
+			}
+			winHi := p
+			if winHi > numWin-1 {
+				winHi = numWin - 1
+			}
+			if winLo > winHi {
+				continue
+			}
+			// Union with the windows already credited in this run.
+			if seen := coveredUntil[ci] - runStamp - 1; seen >= int64(winLo) {
+				winLo = int(seen) + 1
+			}
+			if winLo > winHi {
+				continue
+			}
+			coveredUntil[ci] = runStamp + 1 + int64(winHi)
+			anom := int(anomPrefix[winHi+1] - anomPrefix[winLo])
+			counts[ci].Anomaly += anom
+			counts[ci].Normal += winHi - winLo + 1 - anom
+		}
+	}
+	return ids, anomPrefix
+}
+
+// countWindow counts supports within one isolated observation.
+func (t *candidateTrie) countWindow(o Observation, counts []ClassCounts, coveredUntil []int64, runStamp int64, ids []int32) []int32 {
+	ids = ids[:0]
+	for _, l := range o.Labels {
+		ids = append(ids, t.in.id(l))
+	}
+	anom := o.Class == Anomaly
+	for p := 0; p < len(ids); p++ {
+		node := int32(0)
+		for k := p; k < len(ids) && k-p < t.maxLen; k++ {
+			id := ids[k]
+			if id < 0 {
+				break
+			}
+			node = t.children[int(node)*t.width+int(id)]
+			if node < 0 {
+				break
+			}
+			ci := t.term[node]
+			if ci < 0 || coveredUntil[ci] > runStamp {
+				continue
+			}
+			coveredUntil[ci] = runStamp + 1
+			if anom {
+				counts[ci].Anomaly++
+			} else {
+				counts[ci].Normal++
+			}
+		}
+	}
+	return ids
 }
 
 // countSupportsNaive scores candidates by direct matching, parallelized

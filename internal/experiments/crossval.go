@@ -37,7 +37,11 @@ func (s *Suite) RuleLearnersCV(name string, folds int) ([]CVResult, error) {
 		return nil, err
 	}
 	opts := res.Best
-	full, _, err := nominalDataset(p.Series, opts)
+	fullCorpus, err := p.FullCorpus()
+	if err != nil {
+		return nil, err
+	}
+	full, _, err := nominalDataset(fullCorpus, opts)
 	if err != nil {
 		return nil, err
 	}

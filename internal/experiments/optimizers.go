@@ -34,13 +34,24 @@ func (s *Suite) CompareOptimizers(name string, budget int) ([]OptimizerCompariso
 		{Name: "omega", Min: 3, Max: 15},
 		{Name: "delta", Min: 1, Max: 6},
 	}
+	// All three strategies drive one corpus-backed objective, so the
+	// comparison measures search strategy, not preprocessing overlap:
+	// whichever strategy runs first warms the caches for the rest.
+	trainCorpus, err := p.TrainCorpus()
+	if err != nil {
+		return nil, err
+	}
+	valCorpus, err := p.ValidationCorpus()
+	if err != nil {
+		return nil, err
+	}
 	objective := func(x []int) float64 {
 		opts := cdt.Options{Omega: x[0], Delta: x[1], MaxCompositionLen: 4}
-		model, err := cdt.Fit(p.Train, opts)
+		model, err := trainCorpus.Fit(opts)
 		if err != nil {
 			return 0
 		}
-		rep, err := model.Evaluate(p.Validation)
+		rep, err := model.EvaluateCorpus(valCorpus)
 		if err != nil {
 			return 0
 		}

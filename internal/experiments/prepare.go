@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	cdt "cdt"
 	"cdt/internal/datasets"
@@ -58,6 +59,58 @@ type Prepared struct {
 	// Series are the full normalized series (the unsupervised baselines
 	// of §4.2 build their models on the full data).
 	Series []*timeseries.Series
+
+	// corpora lazily caches one cdt.Corpus per split so every consumer —
+	// tuning under both objectives, the final refits, the rule-learner
+	// feature builders, cross-validation — shares the same labeling and
+	// window caches for this dataset.
+	corporaMu sync.Mutex
+	corpora   map[string]*cdt.Corpus
+}
+
+// corpusFor returns (building on first use) the shared corpus over one
+// split of the dataset.
+func (p *Prepared) corpusFor(kind string, series []*timeseries.Series) (*cdt.Corpus, error) {
+	p.corporaMu.Lock()
+	defer p.corporaMu.Unlock()
+	if c, ok := p.corpora[kind]; ok {
+		return c, nil
+	}
+	c, err := cdt.NewCorpus(series)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s %s corpus: %w", p.Name, kind, err)
+	}
+	if p.corpora == nil {
+		p.corpora = make(map[string]*cdt.Corpus)
+	}
+	p.corpora[kind] = c
+	return c, nil
+}
+
+// TrainCorpus returns the shared corpus over the training split.
+func (p *Prepared) TrainCorpus() (*cdt.Corpus, error) {
+	return p.corpusFor("train", p.Train)
+}
+
+// ValidationCorpus returns the shared corpus over the validation split.
+func (p *Prepared) ValidationCorpus() (*cdt.Corpus, error) {
+	return p.corpusFor("validation", p.Validation)
+}
+
+// TestCorpus returns the shared corpus over the held-out test split.
+func (p *Prepared) TestCorpus() (*cdt.Corpus, error) {
+	return p.corpusFor("test", p.Test)
+}
+
+// TrainValCorpus returns the shared corpus over the pooled
+// train+validation refit data.
+func (p *Prepared) TrainValCorpus() (*cdt.Corpus, error) {
+	return p.corpusFor("trainval", p.TrainVal())
+}
+
+// FullCorpus returns the shared corpus over the full normalized series.
+func (p *Prepared) FullCorpus() (*cdt.Corpus, error) {
+	return p.corpusFor("full", p.Series)
 }
 
 // Contamination returns the point-level anomaly rate of the full data,

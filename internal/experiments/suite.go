@@ -64,7 +64,18 @@ func (s *Suite) Tuned(name string, obj cdt.Objective) (cdt.OptimizeResult, error
 	if err != nil {
 		return cdt.OptimizeResult{}, err
 	}
-	res, err := cdt.Optimize(p.Train, p.Validation, obj, cdt.OptimizeOptions{
+	// Both objectives tune over the same splits, so the searches go through
+	// the dataset's shared corpora: the F(h) search re-uses every labeling
+	// and window set the F1 search already computed.
+	trainCorpus, err := p.TrainCorpus()
+	if err != nil {
+		return cdt.OptimizeResult{}, err
+	}
+	valCorpus, err := p.ValidationCorpus()
+	if err != nil {
+		return cdt.OptimizeResult{}, err
+	}
+	res, err := cdt.OptimizeCorpus(trainCorpus, valCorpus, obj, cdt.OptimizeOptions{
 		InitPoints: s.Config.BOInit,
 		Iterations: s.Config.BOIters,
 		Seed:       s.Config.Seed + int64(obj) + int64(len(name)),
@@ -94,7 +105,13 @@ func (s *Suite) FitTuned(name string, obj cdt.Objective) (*cdt.Model, *Prepared,
 	if err != nil {
 		return nil, nil, err
 	}
-	model, err := cdt.Fit(p.TrainVal(), res.Best)
+	// Refit over the shared train+validation corpus: both objectives refit
+	// the same pool, so the second refit's preprocessing is fully cached.
+	tv, err := p.TrainValCorpus()
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := tv.Fit(res.Best)
 	if err != nil {
 		return nil, nil, err
 	}

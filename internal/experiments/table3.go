@@ -49,7 +49,11 @@ func (s *Suite) Table3() ([]Table3Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := model.Evaluate(prep.Test)
+		testCorpus, err := prep.TestCorpus()
+		if err != nil {
+			return nil, err
+		}
+		rep, err := model.EvaluateCorpus(testCorpus)
 		if err != nil {
 			return nil, err
 		}

@@ -54,7 +54,11 @@ func (s *Suite) Table4() ([]Table4Row, error) {
 			row.PaperF1, row.PaperQ, row.PaperFH = p.F1, p.Q, p.FH
 		}
 
-		rep, err := model.Evaluate(prep.Test)
+		testCorpus, err := prep.TestCorpus()
+		if err != nil {
+			return nil, err
+		}
+		rep, err := model.EvaluateCorpus(testCorpus)
 		if err != nil {
 			return nil, err
 		}
@@ -62,11 +66,15 @@ func (s *Suite) Table4() ([]Table4Row, error) {
 		row.NumRules[0] = model.NumRules()
 
 		opts := model.Opts
-		trainDS, _, err := nominalDataset(prep.TrainVal(), opts)
+		tvCorpus, err := prep.TrainValCorpus()
 		if err != nil {
 			return nil, err
 		}
-		testDS, _, err := nominalDataset(prep.Test, opts)
+		trainDS, _, err := nominalDataset(tvCorpus, opts)
+		if err != nil {
+			return nil, err
+		}
+		testDS, _, err := nominalDataset(testCorpus, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -96,10 +104,12 @@ func (s *Suite) Table4() ([]Table4Row, error) {
 	return rows, nil
 }
 
-// nominalDataset converts series into the nominal-attribute form the
+// nominalDataset converts a corpus into the nominal-attribute form the
 // rule learners consume: one instance per ω-window, attribute j = the
-// alphabet id of the label at position j, class 1 = anomaly.
-func nominalDataset(series []*cdt.Series, opts cdt.Options) (*c45.Dataset, []core.Observation, error) {
+// alphabet id of the label at position j, class 1 = anomaly. The windows
+// come from the corpus cache, so learners sharing (ω, δ) with the CDT
+// reuse its preprocessing.
+func nominalDataset(c *cdt.Corpus, opts cdt.Options) (*c45.Dataset, []core.Observation, error) {
 	pcfg := pattern.Config{Delta: opts.Delta, Epsilon: opts.Epsilon}
 	if pcfg.Epsilon == 0 {
 		pcfg.Epsilon = pattern.DefaultEpsilon
@@ -114,24 +124,20 @@ func nominalDataset(series []*cdt.Series, opts cdt.Options) (*c45.Dataset, []cor
 		ds.AttrNames = append(ds.AttrNames, fmt.Sprintf("pos%d", j))
 		ds.AttrCard = append(ds.AttrCard, len(alphabet))
 	}
-	var pooled []core.Observation
-	for _, s := range series {
-		obs, err := cdt.ObservationsOf(s, opts)
-		if err != nil {
-			return nil, nil, err
+	pooled, err := c.Observations(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, o := range pooled {
+		attrs := make([]int, len(o.Labels))
+		for j, l := range o.Labels {
+			attrs[j] = ids[l]
 		}
-		pooled = append(pooled, obs...)
-		for _, o := range obs {
-			attrs := make([]int, len(o.Labels))
-			for j, l := range o.Labels {
-				attrs[j] = ids[l]
-			}
-			class := 0
-			if o.Class == core.Anomaly {
-				class = 1
-			}
-			ds.Instances = append(ds.Instances, c45.Instance{Attrs: attrs, Class: class})
+		class := 0
+		if o.Class == core.Anomaly {
+			class = 1
 		}
+		ds.Instances = append(ds.Instances, c45.Instance{Attrs: attrs, Class: class})
 	}
 	if err := ds.Validate(); err != nil {
 		return nil, nil, err
@@ -261,6 +267,10 @@ func FormatTable4(rows []Table4Row) string {
 // NominalDatasetForDebug exposes nominalDataset for ad-hoc diagnostics
 // from cmd binaries; it builds the train+validation nominal dataset.
 func NominalDatasetForDebug(p *Prepared, opts cdt.Options) (*c45.Dataset, int, error) {
-	ds, obs, err := nominalDataset(p.TrainVal(), opts)
+	tv, err := p.TrainValCorpus()
+	if err != nil {
+		return nil, 0, err
+	}
+	ds, obs, err := nominalDataset(tv, opts)
 	return ds, len(obs), err
 }

@@ -221,17 +221,34 @@ func (c Config) LabelPoint(prev, mid, next float64) Label {
 // j+1 of the input. It returns an error if the series has fewer than
 // three points.
 func (c Config) LabelSeries(values []float64) ([]Label, error) {
-	if err := c.Validate(); err != nil {
+	var capacity int
+	if len(values) > 2 {
+		capacity = len(values) - 2
+	}
+	out, err := c.LabelSeriesInto(make([]Label, 0, capacity), values)
+	if err != nil {
 		return nil, err
 	}
-	if len(values) < 3 {
-		return nil, fmt.Errorf("pattern: series of length %d, want >= 3", len(values))
-	}
-	out := make([]Label, len(values)-2)
-	for i := 1; i < len(values)-1; i++ {
-		out[i-1] = c.LabelPoint(values[i-1], values[i], values[i+1])
-	}
 	return out, nil
+}
+
+// LabelSeriesInto appends the labels of every interior point of values to
+// dst and returns the extended slice, allocating only when dst lacks
+// capacity. Callers that relabel repeatedly — cache refills, pooled
+// multi-series labelings — supply one pre-sized backing array and label
+// many series into it without per-series garbage. On error dst is
+// returned unchanged.
+func (c Config) LabelSeriesInto(dst []Label, values []float64) ([]Label, error) {
+	if err := c.Validate(); err != nil {
+		return dst, err
+	}
+	if len(values) < 3 {
+		return dst, fmt.Errorf("pattern: series of length %d, want >= 3", len(values))
+	}
+	for i := 1; i < len(values)-1; i++ {
+		dst = append(dst, c.LabelPoint(values[i-1], values[i], values[i+1]))
+	}
+	return dst, nil
 }
 
 // LabelName renders a label with δ-aware interval names, e.g. "PP[L,H]"

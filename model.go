@@ -34,6 +34,11 @@ type Model struct {
 // (Algorithm 1); rules are then extracted and Boolean-simplified (§3.4).
 // At least one series must contain an anomaly, otherwise there is
 // nothing to learn rules for.
+//
+// Fit is a thin wrapper over the Corpus pipeline; callers training
+// repeatedly on the same series (hyper-parameter sweeps, cross-validation)
+// should build one Corpus and use Corpus.Fit so the preprocessing stages
+// are shared across fits.
 func Fit(train []*Series, opts Options) (*Model, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -41,23 +46,11 @@ func Fit(train []*Series, opts Options) (*Model, error) {
 	if len(train) == 0 {
 		return nil, fmt.Errorf("cdt: no training series")
 	}
-	pcfg := opts.patternConfig()
-	var pooled []core.Observation
-	for _, s := range train {
-		obs, err := observations(s, pcfg, opts.Omega)
-		if err != nil {
-			return nil, err
-		}
-		pooled = append(pooled, obs...)
-	}
-	tree, err := core.Build(pooled, opts.coreOptions())
+	c, err := NewCorpus(train)
 	if err != nil {
 		return nil, err
 	}
-	m := &Model{Opts: opts, tree: tree, pcfg: pcfg}
-	m.raw = rules.FromTree(tree, opts.LeafPolicy)
-	m.finalizeRules()
-	return m, nil
+	return c.Fit(opts)
 }
 
 // Rule returns the simplified rule set.
@@ -141,18 +134,28 @@ type Report struct {
 
 // Evaluate measures the model on labeled series, pooling their windows
 // (the protocol of §4.1: window-level classification scored by F1, rule
-// quality by Equation 3).
+// quality by Equation 3). For repeated evaluations over the same series
+// (e.g. scoring many candidate models against one validation split),
+// build a Corpus once and use EvaluateCorpus.
 func (m *Model) Evaluate(eval []*Series) (Report, error) {
 	if len(eval) == 0 {
 		return Report{}, fmt.Errorf("cdt: no evaluation series")
 	}
-	var pooled []core.Observation
-	for _, s := range eval {
-		obs, err := observations(s, m.pcfg, m.Opts.Omega)
-		if err != nil {
-			return Report{}, err
-		}
-		pooled = append(pooled, obs...)
+	c, err := NewCorpus(eval)
+	if err != nil {
+		return Report{}, err
+	}
+	return m.EvaluateCorpus(c)
+}
+
+// EvaluateCorpus is Evaluate against a pre-built Corpus: the evaluation
+// windows for this model's (ω, δ) are pulled from the corpus cache, so
+// scoring many models that share hyper-parameter candidates against one
+// validation corpus re-labels and re-windows nothing.
+func (m *Model) EvaluateCorpus(c *Corpus) (Report, error) {
+	pooled, err := c.Observations(m.Opts)
+	if err != nil {
+		return Report{}, err
 	}
 	qrep := quality.Evaluate(m.rule, pooled, m.Opts.Omega, m.pcfg.AlphabetSize())
 	return Report{
@@ -203,20 +206,18 @@ func (m *Model) Generalize(reference []*Series) (GeneralRule, error) {
 // δ-aware label names.
 func (m *Model) GeneralRuleText(g GeneralRule) string { return g.Format(m.pcfg) }
 
-// pooledObservations labels and windows a set of series into one pool.
+// pooledObservations labels and windows a set of series into one pool,
+// through a throwaway corpus so every trainer-side consumer shares one
+// pipeline implementation.
 func (m *Model) pooledObservations(series []*Series) ([]core.Observation, error) {
 	if len(series) == 0 {
 		return nil, fmt.Errorf("cdt: no reference series")
 	}
-	var pooled []core.Observation
-	for _, s := range series {
-		obs, err := observations(s, m.pcfg, m.Opts.Omega)
-		if err != nil {
-			return nil, err
-		}
-		pooled = append(pooled, obs...)
+	c, err := NewCorpus(series)
+	if err != nil {
+		return nil, err
 	}
-	return pooled, nil
+	return c.Observations(m.Opts)
 }
 
 // RuleStat summarizes one rule predicate's behaviour on an evaluation

@@ -116,7 +116,13 @@ func FitMulti(train []*MultiSeries, opts Options, policy CombinePolicy) (*MultiM
 			// Attach the shared annotation to this dimension's values.
 			perDim = append(perDim, NewLabeledSeries(ms.Dims[d].Name, ms.Dims[d].Values, ms.Anomalies))
 		}
-		model, err := Fit(perDim, opts)
+		// Per-variable training rides the shared Corpus pipeline like the
+		// univariate trainers do.
+		c, err := NewCorpus(perDim)
+		if err != nil {
+			return nil, fmt.Errorf("cdt: dimension %d: %w", d, err)
+		}
+		model, err := c.Fit(opts)
 		if err != nil {
 			return nil, fmt.Errorf("cdt: dimension %d: %w", d, err)
 		}

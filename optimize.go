@@ -2,6 +2,7 @@ package cdt
 
 import (
 	"fmt"
+	"runtime"
 
 	"cdt/internal/bayesopt"
 )
@@ -43,6 +44,13 @@ type OptimizeOptions struct {
 	// automatically per refit by log marginal likelihood (less stable at
 	// the small sample counts typical of hyper-parameter budgets).
 	LengthScale float64
+	// Parallelism bounds the worker pool that evaluates the optimizer's
+	// random initial design concurrently (init-point candidates are
+	// independent CDT trainings against the shared corpus cache; the
+	// surrogate-guided iterations that follow are inherently sequential).
+	// 0 uses GOMAXPROCS; negative forces sequential evaluation. Results
+	// are identical at any setting — only wall-clock changes.
+	Parallelism int
 	// Base carries the non-optimized options (criterion, matching,
 	// epsilon, ...); its Omega/Delta are ignored.
 	Base Options
@@ -89,10 +97,38 @@ type OptimizeSample struct {
 // surrogate with expected improvement picks the next candidate.
 // Configurations that fail to train (e.g. ω larger than a series allows)
 // score zero rather than aborting the search.
+//
+// Optimize is a wrapper over OptimizeCorpus with corpora built for this
+// call; callers running several searches over the same splits (two
+// objectives, repeated budgets) should build the corpora once and call
+// OptimizeCorpus so candidate evaluations share the pipeline cache across
+// searches.
 func Optimize(train, validation []*Series, obj Objective, opts OptimizeOptions) (OptimizeResult, error) {
-	opts = opts.withDefaults()
 	if len(train) == 0 || len(validation) == 0 {
 		return OptimizeResult{}, fmt.Errorf("cdt: optimize needs training and validation series")
+	}
+	trainCorpus, err := NewCorpus(train)
+	if err != nil {
+		return OptimizeResult{}, err
+	}
+	valCorpus, err := NewCorpus(validation)
+	if err != nil {
+		return OptimizeResult{}, err
+	}
+	return OptimizeCorpus(trainCorpus, valCorpus, obj, opts)
+}
+
+// OptimizeCorpus runs the Bayesian hyper-parameter search against
+// pre-built corpora. Every candidate (ω, δ) trains via train.Fit and is
+// scored via Model.EvaluateCorpus, so candidates sharing a δ share one
+// labeling, repeated (ω, δ) candidates (within a search via the
+// optimizer's own memo, and across searches via the corpus) share their
+// windows, and the random init points fan out over a bounded worker pool
+// (OptimizeOptions.Parallelism).
+func OptimizeCorpus(train, validation *Corpus, obj Objective, opts OptimizeOptions) (OptimizeResult, error) {
+	opts = opts.withDefaults()
+	if train == nil || validation == nil {
+		return OptimizeResult{}, fmt.Errorf("cdt: optimize needs training and validation corpora")
 	}
 	if opts.OmegaMax < opts.OmegaMin || opts.DeltaMax < opts.DeltaMin {
 		return OptimizeResult{}, fmt.Errorf("cdt: inverted hyper-parameter bounds")
@@ -104,11 +140,11 @@ func Optimize(train, validation []*Series, obj Objective, opts OptimizeOptions) 
 	objective := func(x []int) float64 {
 		cfg := opts.Base
 		cfg.Omega, cfg.Delta = x[0], x[1]
-		model, err := Fit(train, cfg)
+		model, err := train.Fit(cfg)
 		if err != nil {
 			return 0
 		}
-		rep, err := model.Evaluate(validation)
+		rep, err := model.EvaluateCorpus(validation)
 		if err != nil {
 			return 0
 		}
@@ -124,11 +160,19 @@ func Optimize(train, validation []*Series, obj Objective, opts OptimizeOptions) 
 	case ls < 0:
 		ls = 0 // bayesopt interprets 0 as automatic selection
 	}
+	workers := opts.Parallelism
+	switch {
+	case workers == 0:
+		workers = runtime.GOMAXPROCS(0)
+	case workers < 0:
+		workers = 1
+	}
 	res, err := bayesopt.Maximize(objective, space, bayesopt.Options{
 		InitPoints:  opts.InitPoints,
 		Iterations:  opts.Iterations,
 		Seed:        opts.Seed,
 		LengthScale: ls,
+		Parallelism: workers,
 	})
 	if err != nil {
 		return OptimizeResult{}, err
