@@ -1,0 +1,55 @@
+# Developer entry points. CI runs the same commands; see
+# .github/workflows/ci.yml.
+
+GO ?= go
+
+# Every Fuzz* target in the repo, as "package:FuzzName" pairs. Go runs
+# one fuzz target per invocation, so the smoke loop iterates.
+FUZZ_TARGETS := \
+	.:FuzzLoad \
+	./internal/pattern:FuzzParseLabel \
+	./internal/pattern:FuzzClassify \
+	./internal/pattern:FuzzLabelSeries \
+	./internal/datasets:FuzzReadCSV
+FUZZTIME ?= 10s
+
+.PHONY: all lint test bench fuzz-smoke fmt-check tidy-check vuln
+
+all: lint test
+
+# lint: the project-specific analyzers (both modules), vet, and gofmt.
+lint: fmt-check
+	$(GO) vet ./...
+	cd tools && $(GO) vet ./...
+	$(GO) run ./tools/cmd/cdtlint ./... ./tools/...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+tidy-check:
+	$(GO) mod tidy -diff
+	cd tools && $(GO) mod tidy -diff
+
+test:
+	$(GO) test -race ./...
+	$(GO) test ./tools/...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+fuzz-smoke:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; fn=$${t##*:}; \
+		echo "fuzz $$pkg $$fn"; \
+		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME) $$pkg; \
+	done
+
+# vuln: advisory scan; requires network to fetch govulncheck and the
+# vulnerability database, so it is gated on availability.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...; \
+	fi

@@ -74,10 +74,14 @@ type windowKey struct {
 // labelEntry is one cached labeling of every corpus series. once
 // guarantees a single computation per resident entry even under
 // concurrent misses; lastUse drives LRU eviction and is atomic so cache
-// hits can bump it under the read lock.
+// hits can bump it under the read lock. seq is the entry's insertion
+// number (assigned and read under the write lock): evictLRU uses it to
+// break last-use ties deterministically instead of by map iteration
+// order.
 type labelEntry struct {
 	once    sync.Once
 	lastUse atomic.Uint64
+	seq     uint64
 
 	perSeries [][]pattern.Label
 	err       error
@@ -87,6 +91,7 @@ type labelEntry struct {
 type windowEntry struct {
 	once    sync.Once
 	lastUse atomic.Uint64
+	seq     uint64
 
 	obs []core.Observation
 	err error
@@ -142,7 +147,7 @@ func (c *Corpus) labelsFor(pcfg pattern.Config) ([][]pattern.Label, error) {
 		c.mu.Lock()
 		if e, ok = c.labels[k]; !ok {
 			evictLRU(c.labels, c.limit)
-			e = &labelEntry{}
+			e = &labelEntry{seq: c.tick.Add(1)}
 			c.labels[k] = e
 		}
 		c.mu.Unlock()
@@ -190,7 +195,7 @@ func (c *Corpus) Observations(opts Options) ([]Observation, error) {
 		c.mu.Lock()
 		if e, ok = c.windows[k]; !ok {
 			evictLRU(c.windows, c.limit)
-			e = &windowEntry{}
+			e = &windowEntry{seq: c.tick.Add(1)}
 			c.windows[k] = e
 		}
 		c.mu.Unlock()
@@ -253,22 +258,29 @@ func (c *Corpus) Fit(opts Options) (*Model, error) {
 // LRU eviction routine serve both maps.
 type lastUser interface {
 	lastUsed() uint64
+	insertedAt() uint64
 }
 
-func (e *labelEntry) lastUsed() uint64  { return e.lastUse.Load() }
-func (e *windowEntry) lastUsed() uint64 { return e.lastUse.Load() }
+func (e *labelEntry) lastUsed() uint64    { return e.lastUse.Load() }
+func (e *labelEntry) insertedAt() uint64  { return e.seq }
+func (e *windowEntry) lastUsed() uint64   { return e.lastUse.Load() }
+func (e *windowEntry) insertedAt() uint64 { return e.seq }
 
 // evictLRU removes least-recently-used entries until the map has room for
 // one more under limit. Called with the corpus write lock held. Evicted
 // slices stay valid for any goroutine that already holds them; they are
-// simply recomputed on the next request.
+// simply recomputed on the next request. Last-use ties (e.g. entries
+// that were inserted but never re-used) are broken by insertion order —
+// a strict comparison on map iteration alone would leave the victim to
+// the randomized iteration order (caught by cdtlint's detfloat).
 func evictLRU[K comparable, E lastUser](m map[K]E, limit int) {
 	for len(m) >= limit {
 		var victim K
-		minUse := uint64(math.MaxUint64)
+		minUse, minSeq := uint64(math.MaxUint64), uint64(math.MaxUint64)
 		for k, e := range m {
-			if u := e.lastUsed(); u <= minUse {
-				minUse, victim = u, k
+			u, s := e.lastUsed(), e.insertedAt()
+			if u < minUse || (u == minUse && s < minSeq) {
+				minUse, minSeq, victim = u, s, k
 			}
 		}
 		delete(m, victim)

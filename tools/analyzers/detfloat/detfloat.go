@@ -1,0 +1,301 @@
+// Package detfloat guards the training pipeline's determinism contract:
+// OptimizeCorpus promises bit-identical results at any Parallelism
+// (corpus.go, optimize.go), and the experiment suite reproduces the
+// paper's tables from fixed seeds. Floating-point addition is not
+// associative and Go's map iteration order is deliberately randomized,
+// so any map-ordered accumulation, wall-clock read, or global
+// math/rand call in the hot path silently breaks that guarantee.
+//
+// Reported patterns:
+//
+//   - time.Now in analyzed packages (wall-clock dependence)
+//   - package-level math/rand and math/rand/v2 functions (the global,
+//     unseeded source); rand.New(rand.NewSource(seed)) is the sanctioned
+//     deterministic form and is not reported
+//   - `for ... range m` over a map whose body accumulates into an outer
+//     float variable (x += v and friends): the sum depends on iteration
+//     order
+//   - `for ... range m` over a map whose body appends to an outer slice
+//     ("candidate collection") with no later sort of that slice in the
+//     same function: the slice order depends on iteration order. A
+//     following sort.*/slices.Sort* of the slice dominates the loop and
+//     suppresses the report
+//   - extremum selection over a map with a non-strict comparison
+//     (`<=`/`>=` guarding an assignment of the iteration variables to
+//     outer state): ties resolve to the last-iterated key, i.e. by map
+//     order — exactly the corpus.go LRU-eviction bug class
+//
+// The analyzer is intentionally scoped by the cdtlint driver to the
+// training hot path (cdt, internal/core, internal/pattern,
+// internal/quality, internal/bayesopt); elsewhere wall clocks and global
+// randomness are legitimate.
+package detfloat
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cdt/tools/analysis"
+)
+
+// Analyzer is the detfloat check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detfloat",
+	Doc:  "flags nondeterminism in the training hot path: map-ordered accumulation, time.Now, global math/rand",
+	Run:  run,
+}
+
+// deterministicRand lists math/rand package functions that are
+// constructors rather than draws from the global source.
+var deterministicRand = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapLoops(pass, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags wall-clock reads and draws from the global math/rand
+// source.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := callee(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.FullName() {
+	case "time.Now":
+		pass.Reportf(call.Pos(), "time.Now in the training hot path breaks bit-identical reproducibility; thread explicit inputs instead")
+		return
+	}
+	pkg := fn.Pkg().Path()
+	if (pkg == "math/rand" || pkg == "math/rand/v2") && fn.Type().(*types.Signature).Recv() == nil && !deterministicRand[fn.Name()] {
+		pass.Reportf(call.Pos(), "global %s.%s draws from a shared unseeded source; use rand.New(rand.NewSource(seed)) and thread it through", pkg, fn.Name())
+	}
+}
+
+// checkMapLoops inspects every range-over-map in fn's body. Nested
+// function literals are walked as part of the enclosing body: an
+// accumulation into captured state is order-dependent no matter which
+// body performs it.
+func checkMapLoops(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.TypesInfo.TypeOf(rng.X); t == nil || !isMapType(t) {
+			return true
+		}
+		checkMapBody(pass, body, rng)
+		return true
+	})
+}
+
+func checkMapBody(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	loopVars := rangeVars(pass, rng)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range n.Lhs {
+					if isFloat(pass.TypesInfo.TypeOf(lhs)) && declaredOutside(pass, lhs, rng) {
+						pass.Reportf(n.Pos(), "float accumulation across map iteration is order-dependent; iterate sorted keys instead")
+					}
+				}
+			case token.ASSIGN, token.DEFINE:
+				checkAppend(pass, fnBody, rng, n)
+			}
+		case *ast.IfStmt:
+			// Non-strict extremum guard: `if v <= best { best, k = v, key }`.
+			if cmp, ok := n.Cond.(*ast.BinaryExpr); ok && (cmp.Op == token.LEQ || cmp.Op == token.GEQ) {
+				ast.Inspect(n.Body, func(m ast.Node) bool {
+					if as, ok := m.(*ast.AssignStmt); ok {
+						checkSelectionAssign(pass, rng, as, loopVars)
+					}
+					return true
+				})
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// checkAppend reports `outer = append(outer, ...)` under map iteration
+// unless outer is sorted later in the same function.
+func checkAppend(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		target, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok || !declaredOutside(pass, target, rng) {
+			continue
+		}
+		if sortedAfter(pass, fnBody, rng, target) {
+			continue
+		}
+		pass.Reportf(as.Pos(), "append to %s under map iteration collects in map order; sort %s afterwards or iterate sorted keys", target.Name, target.Name)
+	}
+}
+
+// checkSelectionAssign reports assignments of the loop variables to outer
+// state under a non-strict comparison: ties then resolve to whichever key
+// the map yields last.
+func checkSelectionAssign(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt, loopVars map[types.Object]bool) {
+	usesLoopVar := false
+	for _, rhs := range as.Rhs {
+		ast.Inspect(rhs, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && loopVars[pass.TypesInfo.Uses[id]] {
+				usesLoopVar = true
+			}
+			return true
+		})
+	}
+	if !usesLoopVar {
+		return
+	}
+	for _, lhs := range as.Lhs {
+		if declaredOutside(pass, lhs, rng) {
+			pass.Reportf(as.Pos(), "extremum selection over a map with a non-strict comparison ties by iteration order; use a strict comparison plus a deterministic tie-break")
+			return
+		}
+	}
+}
+
+// sortedAfter reports whether target is passed to a sort function after
+// the range loop, anywhere later in the function body.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, target *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[target]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[target]
+	}
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := callee(pass, call)
+		if fn == nil || !sorters[fn.FullName()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+var sorters = map[string]bool{
+	"sort.Slice":            true,
+	"sort.SliceStable":      true,
+	"sort.Sort":             true,
+	"sort.Stable":           true,
+	"sort.Ints":             true,
+	"sort.Float64s":         true,
+	"sort.Strings":          true,
+	"slices.Sort":           true,
+	"slices.SortFunc":       true,
+	"slices.SortStableFunc": true,
+}
+
+func rangeVars(pass *analysis.Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				vars[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// declaredOutside reports whether the expression's root object is
+// declared before the loop (accumulating into it across iterations is
+// therefore order-dependent). Selector targets (s.total) always count as
+// outside.
+func declaredOutside(pass *analysis.Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[e]
+		}
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rng.Pos()
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		return declaredOutside(pass, e.X, rng)
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

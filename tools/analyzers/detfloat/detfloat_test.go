@@ -1,0 +1,12 @@
+package detfloat_test
+
+import (
+	"testing"
+
+	"cdt/tools/analysistest"
+	"cdt/tools/analyzers/detfloat"
+)
+
+func TestDetFloat(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detfloat.Analyzer, "det")
+}

@@ -1,0 +1,106 @@
+// Package det exercises detfloat: map-order-dependent accumulation,
+// wall-clock reads, and global math/rand in deterministic code.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock reads the wall clock.
+func wallClock() int64 {
+	return time.Now().Unix() // want `time.Now in the training hot path`
+}
+
+// globalRand draws from the shared global source.
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand.Shuffle draws from a shared unseeded source`
+	return rand.Intn(10)               // want `global math/rand.Intn draws from a shared unseeded source`
+}
+
+// seededRand is the sanctioned deterministic form.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// floatAccum sums map values in iteration order.
+func floatAccum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation across map iteration is order-dependent`
+	}
+	return total
+}
+
+// sortedKeys is the deterministic rewrite: collect keys, sort, then
+// accumulate in key order. The append is dominated by the sort.
+func sortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// unsortedCandidates collects candidates in map order and never
+// restores determinism.
+func unsortedCandidates(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `append to out under map iteration collects in map order`
+	}
+	return out
+}
+
+// localAccum accumulates into a variable scoped inside the loop body:
+// each iteration starts fresh, so order cannot matter.
+func localAccum(m map[string][]float64) {
+	for _, vs := range m {
+		var rowSum float64
+		for _, v := range vs {
+			rowSum += v
+		}
+		_ = rowSum
+	}
+}
+
+// sliceAccum iterates a slice, which has a fixed order.
+func sliceAccum(vs []float64) float64 {
+	var total float64
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}
+
+// looseSelection breaks extremum ties by whatever key the map yields
+// last — the LRU-eviction bug class.
+func looseSelection(m map[string]uint64) string {
+	var victim string
+	best := ^uint64(0)
+	for k, u := range m {
+		if u <= best { // non-strict: ties depend on iteration order
+			best, victim = u, k // want `extremum selection over a map with a non-strict comparison`
+		}
+	}
+	return victim
+}
+
+// strictSelection ties deterministically on the key itself.
+func strictSelection(m map[string]uint64) string {
+	var victim string
+	best := ^uint64(0)
+	for k, u := range m {
+		if u < best || (u == best && k < victim) {
+			best, victim = u, k
+		}
+	}
+	return victim
+}

@@ -1,0 +1,300 @@
+// Package immutview flags writes through the shared, immutable slice
+// views the cdt training pipeline hands out. The Corpus cache (corpus.go)
+// returns cached labelings and pooled observation windows to every
+// trainer; its contract — "callers must not mutate returned observation
+// slices or their labels" — is what makes the cache safe under
+// concurrency, and until this analyzer it was enforced only by a comment.
+//
+// A "view" is the result of one of the functions in Views (Corpus
+// accessors and pattern.LabelSeries). The analyzer tracks views
+// intra-procedurally through assignments, sub-slicing, element access and
+// slice-typed field/element loads, and reports:
+//
+//   - element or field stores through a view (v[i] = x, v[i].F = x)
+//   - append with a view as the first argument (may write the shared
+//     backing array when capacity allows)
+//   - copy with a view as the destination
+//   - sort.*, slices.Sort*, slices.Reverse, slices.Delete/Insert/Compact
+//     applied to a view
+//
+// Mutating a clone (slices.Clone, append([]T(nil), v...), explicit
+// make+copy) is deliberately not reported: cloning is the sanctioned way
+// to obtain an owned copy. Known limits, accepted for a heuristic lint:
+// views passed to other functions are not followed, and a struct value
+// copied out of a view element (o := v[0]) drops tracking.
+package immutview
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cdt/tools/analysis"
+)
+
+// Analyzer is the immutview check.
+var Analyzer = &analysis.Analyzer{
+	Name: "immutview",
+	Doc:  "flags mutations of shared immutable slice views (Corpus accessors, pattern.LabelSeries)",
+	Run:  run,
+}
+
+// Views lists the fully-qualified functions and methods (in the
+// types.Func.FullName form) whose returned slices are shared immutable
+// views. Tests may extend this set to cover testdata-local fixtures.
+var Views = map[string]bool{
+	"(*cdt.Corpus).Observations":                true,
+	"(*cdt.Corpus).labelsFor":                   true,
+	"(cdt/internal/pattern.Config).LabelSeries": true,
+}
+
+// mutators maps in-place mutating functions to the index of the argument
+// they mutate.
+var mutators = map[string]int{
+	"sort.Slice":            0,
+	"sort.SliceStable":      0,
+	"sort.Ints":             0,
+	"sort.Float64s":         0,
+	"sort.Strings":          0,
+	"slices.Sort":           0,
+	"slices.SortFunc":       0,
+	"slices.SortStableFunc": 0,
+	"slices.Reverse":        0,
+	"slices.Delete":         0,
+	"slices.Insert":         0,
+	"slices.Compact":        0,
+	"slices.CompactFunc":    0,
+}
+
+// assignEvent records that a variable was (re)assigned at pos, and
+// whether the assigned value was a view.
+type assignEvent struct {
+	pos  token.Pos
+	view bool
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	events map[types.Object][]assignEvent
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, events: make(map[types.Object][]assignEvent)}
+	// Pass 1: collect view assignments in source order. Objects are
+	// unique per declaration, so one package-wide table is safe.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				c.recordAssign(n)
+			case *ast.ValueSpec:
+				c.recordValueSpec(n)
+			case *ast.RangeStmt:
+				c.recordRange(n)
+			}
+			return true
+		})
+	}
+	// Pass 2: report mutations through views.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					c.checkStore(lhs)
+				}
+			case *ast.IncDecStmt:
+				c.checkStore(n.X)
+			case *ast.CallExpr:
+				c.checkCall(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// recordAssign tracks ident := / = rhs for view-ness. The event takes
+// effect at the end of the statement: in `v = append(v, x)` the RHS
+// still sees v's previous state.
+func (c *checker) recordAssign(n *ast.AssignStmt) {
+	if len(n.Lhs) == len(n.Rhs) {
+		for i, lhs := range n.Lhs {
+			c.track(lhs, n.Rhs[i], n.End())
+		}
+		return
+	}
+	// Multi-value assignment from a single call: our view APIs return the
+	// view first (view, err), so only the first variable can be a view.
+	if len(n.Rhs) == 1 {
+		for i, lhs := range n.Lhs {
+			if i == 0 {
+				c.track(lhs, n.Rhs[0], n.End())
+			} else {
+				c.track(lhs, nil, n.End())
+			}
+		}
+	}
+}
+
+func (c *checker) recordValueSpec(n *ast.ValueSpec) {
+	if len(n.Values) == len(n.Names) {
+		for i, name := range n.Names {
+			c.track(name, n.Values[i], n.End())
+		}
+	} else if len(n.Values) == 1 {
+		for i, name := range n.Names {
+			if i == 0 {
+				c.track(name, n.Values[0], n.End())
+			} else {
+				c.track(name, nil, n.End())
+			}
+		}
+	}
+}
+
+// recordRange tracks `for _, v := range view`: the value variable shares
+// backing storage when the element type is itself a slice.
+func (c *checker) recordRange(n *ast.RangeStmt) {
+	v, ok := n.Value.(*ast.Ident)
+	if !ok || !c.isView(n.X) {
+		return
+	}
+	if !isSliceType(c.pass.TypesInfo.TypeOf(v)) {
+		return
+	}
+	if obj := c.objOf(v); obj != nil {
+		c.events[obj] = append(c.events[obj], assignEvent{pos: v.Pos(), view: true})
+	}
+}
+
+// track records one assignment of rhs to lhs (rhs nil means "definitely
+// not a view"). Only slice-typed variables can carry a view: a struct
+// copied out of a view element owns its scalar fields (its slice fields
+// are a documented tracking gap).
+func (c *checker) track(lhs ast.Expr, rhs ast.Expr, at token.Pos) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := c.objOf(id)
+	if obj == nil {
+		return
+	}
+	view := rhs != nil && c.isView(rhs) && isSliceType(c.pass.TypesInfo.TypeOf(id))
+	c.events[obj] = append(c.events[obj], assignEvent{pos: at, view: view})
+}
+
+func (c *checker) objOf(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+// isView reports whether e denotes shared view storage.
+func (c *checker) isView(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.isView(e.X)
+	case *ast.CallExpr:
+		if fn := c.callee(e); fn != nil && Views[fn.FullName()] {
+			return true
+		}
+		return false
+	case *ast.IndexExpr:
+		return c.isView(e.X)
+	case *ast.SliceExpr:
+		return c.isView(e.X)
+	case *ast.SelectorExpr:
+		// A field of a shared element (v[0].Labels) shares storage; a
+		// plain selection rooted at an untracked variable does not.
+		return c.isView(e.X)
+	case *ast.Ident:
+		obj := c.objOf(e)
+		if obj == nil {
+			return false
+		}
+		events := c.events[obj]
+		if len(events) == 0 {
+			return false
+		}
+		// The view-ness at a use site is decided by the latest assignment
+		// before it: reassigning a clone to the same variable cleanses it.
+		latest := events[0]
+		for _, ev := range events {
+			if ev.pos <= e.Pos() && ev.pos >= latest.pos {
+				latest = ev
+			}
+		}
+		return latest.view
+	}
+	return false
+}
+
+func (c *checker) callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := c.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// checkStore flags element and field stores whose base is a view.
+func (c *checker) checkStore(lhs ast.Expr) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		if c.isView(lhs.X) {
+			c.pass.Reportf(lhs.Pos(), "write through shared %s view; clone it before mutating (immutability contract, corpus.go)", c.describe(lhs.X))
+		}
+	case *ast.SelectorExpr:
+		if c.isView(lhs.X) {
+			c.pass.Reportf(lhs.Pos(), "field store into shared %s view element; clone the view before mutating", c.describe(lhs.X))
+		}
+	}
+}
+
+// checkCall flags append/copy/sorting applied to a view.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok && len(call.Args) > 0 {
+			switch b.Name() {
+			case "append":
+				if c.isView(call.Args[0]) {
+					c.pass.Reportf(call.Pos(), "append into shared %s view may write its backing array; clone it first", c.describe(call.Args[0]))
+				}
+			case "copy":
+				if c.isView(call.Args[0]) {
+					c.pass.Reportf(call.Pos(), "copy into shared %s view overwrites cached data; clone it first", c.describe(call.Args[0]))
+				}
+			}
+			return
+		}
+	}
+	fn := c.callee(call)
+	if fn == nil {
+		return
+	}
+	if idx, ok := mutators[fn.FullName()]; ok && idx < len(call.Args) && c.isView(call.Args[idx]) {
+		c.pass.Reportf(call.Pos(), "%s reorders shared %s view in place; clone it first", fn.FullName(), c.describe(call.Args[idx]))
+	}
+}
+
+// describe names the view expression for diagnostics.
+func (c *checker) describe(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+func isSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}

@@ -1,0 +1,24 @@
+package immutview_test
+
+import (
+	"testing"
+
+	"cdt/tools/analysistest"
+	"cdt/tools/analyzers/immutview"
+)
+
+// TestRealAPI checks the analyzer against the real cdt Corpus API using
+// the default Views set.
+func TestRealAPI(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), immutview.Analyzer, "immut")
+}
+
+// TestLocalFixtures registers testdata-local accessors and exercises the
+// tracking machinery (tuple returns, nesting, ranging, cleansing).
+func TestLocalFixtures(t *testing.T) {
+	for _, name := range []string{"(*immutlocal.Box).View", "immutlocal.MakeView"} {
+		immutview.Views[name] = true
+		defer delete(immutview.Views, name)
+	}
+	analysistest.Run(t, analysistest.TestData(), immutview.Analyzer, "immutlocal")
+}

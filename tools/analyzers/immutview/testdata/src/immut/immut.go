@@ -1,0 +1,66 @@
+// Package immut exercises immutview against the real cdt API: views
+// handed out by Corpus.Observations are shared cache entries and must
+// not be written through; clones are owned and may be mutated freely.
+package immut
+
+import (
+	"slices"
+	"sort"
+
+	"cdt"
+)
+
+func direct(c *cdt.Corpus, opts cdt.Options) {
+	v, _ := c.Observations(opts)
+	v[0] = cdt.Observation{}         // want `write through shared v view`
+	v[1].Start = 9                   // want `field store into shared`
+	v = append(v, cdt.Observation{}) // want `append into shared v view`
+	_ = v
+}
+
+func throughSubslice(c *cdt.Corpus, opts cdt.Options) {
+	v, _ := c.Observations(opts)
+	w := v[1:]
+	w[0] = cdt.Observation{} // want `write through shared w view`
+}
+
+func sorted(c *cdt.Corpus, opts cdt.Options) {
+	v, _ := c.Observations(opts)
+	sort.Slice(v, func(i, j int) bool { return v[i].Start < v[j].Start }) // want `sort.Slice reorders shared v view`
+	slices.Reverse(v)                                                     // want `slices.Reverse reorders shared v view`
+}
+
+func copied(c *cdt.Corpus, opts cdt.Options) {
+	v, _ := c.Observations(opts)
+	copy(v, make([]cdt.Observation, 1)) // want `copy into shared v view`
+}
+
+// cloneFirst is the sanctioned pattern: mutating an owned copy of a view
+// must not be reported.
+func cloneFirst(c *cdt.Corpus, opts cdt.Options) {
+	v, _ := c.Observations(opts)
+	own := slices.Clone(v)
+	own[0] = cdt.Observation{}
+	sort.Slice(own, func(i, j int) bool { return own[i].Start < own[j].Start })
+	own = append(own, cdt.Observation{})
+
+	legacy := append([]cdt.Observation(nil), v...)
+	legacy[0] = cdt.Observation{}
+	_ = legacy
+}
+
+// reassigned shows cleansing: once the variable holds a clone, later
+// writes are fine.
+func reassigned(c *cdt.Corpus, opts cdt.Options) {
+	v, _ := c.Observations(opts)
+	v = slices.Clone(v)
+	v[0] = cdt.Observation{}
+}
+
+// unrelated slices are never reported.
+func unrelated() {
+	s := make([]int, 4)
+	s[0] = 1
+	s = append(s, 2)
+	sort.Ints(s)
+}

@@ -1,0 +1,46 @@
+// Package immutlocal exercises immutview's tracking machinery against
+// local fixtures registered into Views by the test: tuple returns,
+// nested element propagation, and range-value propagation.
+package immutlocal
+
+type Box struct{}
+
+// View is registered as a view accessor by the test.
+func (b *Box) View() []int { return nil }
+
+// MakeView mimics the (view, error) shape of pattern.Config.LabelSeries.
+func MakeView() ([][]float64, error) { return nil, nil }
+
+func tupleReturn() {
+	ls, err := MakeView()
+	_ = err
+	ls[0] = nil // want `write through shared ls view`
+}
+
+func nested() {
+	ls, _ := MakeView()
+	row := ls[0]
+	row[0] = 1 // want `write through shared row view`
+}
+
+func rangeValue() {
+	ls, _ := MakeView()
+	for _, row := range ls {
+		row[0] = 1 // want `write through shared row view`
+	}
+}
+
+func direct(b *Box) {
+	b.View()[0] = 1 // want `write through shared`
+	v := b.View()
+	v[2]++ // want `write through shared v view`
+}
+
+// structCopyGap documents the accepted limitation: copying a struct
+// element out of a view drops tracking, so no diagnostic here.
+func ownCopies(b *Box) {
+	v := b.View()
+	own := make([]int, len(v))
+	copy(own, v)
+	own[0] = 1
+}

@@ -1,0 +1,360 @@
+// Package locksafe checks the locking discipline the concurrent parts of
+// this repository rely on: the Corpus cache (corpus.go) and the serving
+// registry/sessions (internal/server) both guard shared state with
+// sync.Mutex/RWMutex, and every critical section must be provably
+// released on every path.
+//
+// Three rules, each per function body (function literals are analyzed as
+// their own bodies):
+//
+//  1. Release: every mu.Lock()/mu.RLock() must be matched by either a
+//     `defer mu.Unlock()`/`defer mu.RUnlock()` in the same function, or
+//     an explicit unlock of the same flavor later in the same block (the
+//     double-checked-locking idiom corpus.go uses). A lock whose release
+//     lives in another block, another function, or nowhere is reported.
+//
+//  2. No upgrades: taking mu.Lock() while mu.RLock() is still held
+//     (sync.RWMutex deadlocks on upgrade) is reported. The check is a
+//     linear scan in source order: an RLock followed by a Lock on the
+//     same receiver with no intervening RUnlock.
+//
+//  3. No blocking while locked: inside a critical section, channel
+//     sends/receives, selects without a default case, time.Sleep, and
+//     calls into net or net/http are reported — holding the registry or
+//     cache lock across I/O turns one slow peer into a global stall.
+//
+// Receivers are compared textually (types.ExprString), the standard
+// heuristic for lock checkers; lock helpers that release in a callee are
+// out of scope and will be reported — in this codebase that is the point.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cdt/tools/analysis"
+)
+
+// Analyzer is the locksafe check.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "flags unreleased locks, RWMutex upgrades, and blocking calls inside critical sections",
+	Run:  run,
+}
+
+// flavor distinguishes write locks from read locks.
+type flavor int
+
+const (
+	write flavor = iota
+	read
+)
+
+func (f flavor) lockName() string {
+	if f == read {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+func (f flavor) unlockName() string {
+	if f == read {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// methodInfo classifies one sync locking method.
+type methodInfo struct {
+	fl   flavor
+	lock bool
+}
+
+// lockMethods maps sync (R)Lock/(R)Unlock methods to their classification.
+var lockMethods = map[string]methodInfo{
+	"(*sync.Mutex).Lock":      {write, true},
+	"(*sync.Mutex).Unlock":    {write, false},
+	"(*sync.RWMutex).Lock":    {write, true},
+	"(*sync.RWMutex).Unlock":  {write, false},
+	"(*sync.RWMutex).RLock":   {read, true},
+	"(*sync.RWMutex).RUnlock": {read, false},
+}
+
+// event is one lock or unlock statement.
+type event struct {
+	recv     string
+	fl       flavor
+	lock     bool
+	deferred bool
+	pos      token.Pos
+	end      token.Pos
+	block    *ast.BlockStmt
+	index    int // statement index within block
+}
+
+// blocking is one potentially blocking operation.
+type blocking struct {
+	pos  token.Pos
+	what string
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type bodyChecker struct {
+	pass     *analysis.Pass
+	events   []event
+	blockers []blocking
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	c := &bodyChecker{pass: pass}
+	c.walkBlock(body)
+
+	// Rule 1: every lock needs a deferred or same-block release.
+	for _, e := range c.events {
+		if !e.lock || e.deferred {
+			continue
+		}
+		release := c.release(e)
+		if release == nil {
+			pass.Reportf(e.pos, "%s.%s() is released neither by defer nor later in the same block; a panic or early return leaks the lock",
+				e.recv, e.fl.lockName())
+		}
+	}
+
+	// Rule 2: RLock → Lock upgrade without an intervening RUnlock.
+	for i, e := range c.events {
+		if !e.lock || e.fl != read || e.deferred {
+			continue
+		}
+		for _, later := range c.events[i+1:] {
+			if later.recv != e.recv {
+				continue
+			}
+			if !later.lock && later.fl == read && !later.deferred {
+				break // released before any upgrade
+			}
+			if later.lock && later.fl == write {
+				c.pass.Reportf(later.pos, "%s.Lock() while %s.RLock() is still held: RWMutex upgrade deadlocks", e.recv, e.recv)
+				break
+			}
+		}
+	}
+
+	// Rule 3: no blocking operations inside a critical section.
+	for _, e := range c.events {
+		if !e.lock {
+			continue
+		}
+		start, end := e.end, token.Pos(-1)
+		if rel := c.release(e); rel != nil {
+			if rel.deferred {
+				end = body.End()
+			} else {
+				end = rel.pos
+			}
+		}
+		if end < 0 {
+			continue // unreleased: already reported by rule 1
+		}
+		for _, b := range c.blockers {
+			if b.pos > start && b.pos < end {
+				c.pass.Reportf(b.pos, "%s while holding %s.%s(): blocking inside a critical section stalls every other holder",
+					b.what, e.recv, e.fl.lockName())
+			}
+		}
+	}
+}
+
+// release finds the event that releases e: a deferred unlock anywhere in
+// the body, or an explicit unlock of the same receiver and flavor later
+// in e's own block.
+func (c *bodyChecker) release(e event) *event {
+	for i := range c.events {
+		r := &c.events[i]
+		if r.lock || r.recv != e.recv || r.fl != e.fl {
+			continue
+		}
+		if r.deferred {
+			return r
+		}
+		if r.block == e.block && r.index > e.index {
+			return r
+		}
+	}
+	return nil
+}
+
+// walkBlock records lock events (with their enclosing block and index)
+// and blocking operations, in source order. Function literals are
+// skipped: they are separate bodies with their own discipline.
+func (c *bodyChecker) walkBlock(b *ast.BlockStmt) {
+	for i, stmt := range b.List {
+		c.walkStmt(stmt, b, i)
+	}
+}
+
+func (c *bodyChecker) walkStmt(stmt ast.Stmt, block *ast.BlockStmt, index int) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if recv, info, ok := c.lockCall(call); ok {
+				c.events = append(c.events, event{
+					recv: recv, fl: info.fl, lock: info.lock,
+					pos: s.Pos(), end: s.End(), block: block, index: index,
+				})
+				return
+			}
+		}
+	case *ast.DeferStmt:
+		if recv, info, ok := c.lockCall(s.Call); ok {
+			c.events = append(c.events, event{
+				recv: recv, fl: info.fl, lock: info.lock, deferred: true,
+				pos: s.Pos(), end: s.End(), block: block, index: index,
+			})
+			return
+		}
+	case *ast.BlockStmt:
+		c.walkBlock(s)
+		return
+	case *ast.IfStmt:
+		c.scanExpr(s.Cond)
+		c.walkBlock(s.Body)
+		if s.Else != nil {
+			c.walkStmt(s.Else, block, index)
+		}
+		return
+	case *ast.ForStmt:
+		c.walkBlock(s.Body)
+		return
+	case *ast.RangeStmt:
+		c.scanExpr(s.X)
+		c.walkBlock(s.Body)
+		return
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if cc, ok := n.(*ast.CaseClause); ok {
+				c.walkBlock(&ast.BlockStmt{List: cc.Body})
+				return false
+			}
+			return true
+		})
+		return
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			c.blockers = append(c.blockers, blocking{pos: s.Pos(), what: "select without default"})
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				c.walkBlock(&ast.BlockStmt{List: cc.Body})
+			}
+		}
+		return
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, block, index)
+		return
+	case *ast.GoStmt:
+		// The goroutine body runs elsewhere; its discipline is its own.
+		return
+	}
+	c.scanStmtExprs(stmt)
+}
+
+// scanStmtExprs records blocking operations in a statement's expressions.
+func (c *bodyChecker) scanStmtExprs(stmt ast.Stmt) {
+	if send, ok := stmt.(*ast.SendStmt); ok {
+		c.blockers = append(c.blockers, blocking{pos: send.Pos(), what: "channel send"})
+		c.scanExpr(send.Value)
+		return
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		return c.scanNode(n)
+	})
+}
+
+func (c *bodyChecker) scanExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		return c.scanNode(n)
+	})
+}
+
+// scanNode records one potentially blocking node; it prunes function
+// literals and returns whether inspection should descend.
+func (c *bodyChecker) scanNode(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		return false
+	case *ast.SendStmt:
+		c.blockers = append(c.blockers, blocking{pos: n.Pos(), what: "channel send"})
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			c.blockers = append(c.blockers, blocking{pos: n.Pos(), what: "channel receive"})
+		}
+	case *ast.CallExpr:
+		if fn := callee(c.pass, n); fn != nil {
+			if fn.FullName() == "time.Sleep" {
+				c.blockers = append(c.blockers, blocking{pos: n.Pos(), what: "time.Sleep"})
+			} else if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "net" || pkg.Path() == "net/http") {
+				c.blockers = append(c.blockers, blocking{pos: n.Pos(), what: "call into " + pkg.Path()})
+			}
+		}
+	}
+	return true
+}
+
+// lockCall decodes a call as a sync lock/unlock method invocation,
+// returning the textual receiver and the method's classification.
+func (c *bodyChecker) lockCall(call *ast.CallExpr) (string, methodInfo, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", methodInfo{}, false
+	}
+	fn, _ := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return "", methodInfo{}, false
+	}
+	info, ok := lockMethods[fn.FullName()]
+	if !ok {
+		return "", methodInfo{}, false
+	}
+	return types.ExprString(sel.X), info, true
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"cdt/tools/analysistest"
+	"cdt/tools/analyzers/locksafe"
+)
+
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), locksafe.Analyzer, "locks")
+}

@@ -1,0 +1,155 @@
+// Package locks exercises locksafe: release discipline, RWMutex
+// upgrades, and blocking operations inside critical sections.
+package locks
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.RWMutex
+	n  int
+	ch chan int
+}
+
+// leak never releases the lock.
+func (g *guarded) leak() {
+	g.mu.Lock() // want `g.mu.Lock\(\) is released neither by defer nor later in the same block`
+	g.n++
+}
+
+// branchOnly releases on one path only: the release is in a nested
+// block, not g.mu.Lock's own, so an early fallthrough leaks it.
+func (g *guarded) branchOnly(cond bool) {
+	g.mu.Lock() // want `g.mu.Lock\(\) is released neither by defer`
+	if cond {
+		g.n++
+		g.mu.Unlock()
+	}
+}
+
+// deferred is the canonical form.
+func (g *guarded) deferred() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+// sameBlock is the double-checked-locking idiom corpus.go uses: an
+// explicit unlock later in the same block is fine, even with an
+// early-return branch that unlocks on its own path first.
+func (g *guarded) sameBlock(cond bool) int {
+	g.mu.Lock()
+	if cond {
+		n := g.n
+		g.mu.Unlock()
+		return n
+	}
+	g.n++
+	g.mu.Unlock()
+	return g.n
+}
+
+// upgrade deadlocks: Lock while RLock is held.
+func (g *guarded) upgrade() {
+	g.mu.RLock()
+	if g.n > 0 { // the read lock is still held here
+		g.mu.Lock() // want `g.mu.Lock\(\) while g.mu.RLock\(\) is still held`
+		g.n++
+		g.mu.Unlock()
+	}
+	g.mu.RUnlock()
+}
+
+// downgradeThenWrite is the correct sequence: release the read lock
+// before taking the write lock.
+func (g *guarded) downgradeThenWrite() {
+	g.mu.RLock()
+	n := g.n
+	g.mu.RUnlock()
+	if n > 0 {
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}
+}
+
+// blockingSend holds the lock across a channel send.
+func (g *guarded) blockingSend(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ch <- v // want `channel send while holding g.mu.Lock\(\)`
+}
+
+// blockingRecvExplicit holds an explicitly released lock across a
+// receive and a sleep.
+func (g *guarded) blockingRecvExplicit() int {
+	g.mu.Lock()
+	v := <-g.ch             // want `channel receive while holding g.mu.Lock\(\)`
+	time.Sleep(time.Second) // want `time.Sleep while holding g.mu.Lock\(\)`
+	g.mu.Unlock()
+	return v
+}
+
+// blockingHTTP holds the read lock across network I/O.
+func (g *guarded) blockingHTTP(url string) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	http.Get(url) // want `call into net/http while holding g.mu.RLock\(\)`
+}
+
+// blockingSelect: a select with no default blocks under the lock; one
+// with a default does not.
+func (g *guarded) blockingSelect() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want `select without default while holding g.mu.Lock\(\)`
+	case v := <-g.ch:
+		g.n = v
+	case g.ch <- g.n:
+	}
+}
+
+func (g *guarded) nonBlockingSelect() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case v := <-g.ch:
+		g.n = v
+	default:
+	}
+}
+
+// afterRelease: blocking after the explicit unlock is fine.
+func (g *guarded) afterRelease(v int) {
+	g.mu.Lock()
+	g.n = v
+	g.mu.Unlock()
+	g.ch <- v
+}
+
+// goroutineOwnDiscipline: a function literal is its own body — the
+// goroutine's lock/defer pair is complete and the outer function holds
+// nothing across the send inside it.
+func (g *guarded) goroutineOwnDiscipline() {
+	go func() {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		g.n++
+	}()
+}
+
+// twoMutexes: receivers are matched textually, so releasing the right
+// lock satisfies only that lock.
+type pair struct {
+	a, b sync.Mutex
+	n    int
+}
+
+func (p *pair) crossed() {
+	p.a.Lock() // want `p.a.Lock\(\) is released neither by defer`
+	defer p.b.Unlock()
+	p.n++
+}

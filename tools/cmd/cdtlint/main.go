@@ -1,0 +1,102 @@
+// Command cdtlint is the project's static-analysis gate: it type-checks
+// every package matching the given patterns (./... by default) and
+// applies the repository-specific analyzers that machine-check the
+// contracts the concurrent pipeline depends on:
+//
+//	immutview  mutations of shared Corpus/labeling views
+//	locksafe   unreleased locks, RWMutex upgrades, blocking under a lock
+//	detfloat   nondeterminism in the training hot path
+//
+// Test files are analyzed too — a test that corrupts a cached view
+// poisons every later test sharing the corpus. detfloat is scoped to the
+// training hot path (cdt, internal/core, internal/pattern,
+// internal/quality, internal/bayesopt) and to library code: wall clocks
+// and global randomness are legitimate in servers, example binaries, and
+// tests.
+//
+// Usage, from the repository root:
+//
+//	go run ./tools/cmd/cdtlint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cdt/tools/analysis"
+	"cdt/tools/analyzers/detfloat"
+	"cdt/tools/analyzers/immutview"
+	"cdt/tools/analyzers/locksafe"
+)
+
+var analyzers = []*analysis.Analyzer{
+	immutview.Analyzer,
+	locksafe.Analyzer,
+	detfloat.Analyzer,
+}
+
+// detfloatScope is the training hot path: the packages whose results the
+// bit-identical-parallelism guarantee covers.
+var detfloatScope = map[string]bool{
+	"cdt":                   true,
+	"cdt/internal/core":     true,
+	"cdt/internal/pattern":  true,
+	"cdt/internal/quality":  true,
+	"cdt/internal/bayesopt": true,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cdtlint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset, units, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdtlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(fset, units, analyzers, func(a *analysis.Analyzer, u *analysis.Unit) bool {
+		if a == detfloat.Analyzer {
+			return u.Kind == analysis.Lib && detfloatScope[u.ImportPath]
+		}
+		return true
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdtlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		name := f.Position.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, f.Position.Line, f.Position.Column, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "cdtlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module cdt/tools
+
+go 1.23
