@@ -10,7 +10,8 @@ FUZZ_TARGETS := \
 	./internal/pattern:FuzzParseLabel \
 	./internal/pattern:FuzzClassify \
 	./internal/pattern:FuzzLabelSeries \
-	./internal/datasets:FuzzReadCSV
+	./internal/datasets:FuzzReadCSV \
+	./internal/engine:FuzzEngineMatch
 FUZZTIME ?= 10s
 
 .PHONY: all lint test bench fuzz-smoke fmt-check tidy-check vuln

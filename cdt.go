@@ -136,20 +136,32 @@ func ensureNormalized(s *Series) (*Series, error) {
 	return c, nil
 }
 
-// observations labels a series and cuts it into classed windows.
-func observations(s *Series, pcfg pattern.Config, omega int) ([]core.Observation, error) {
+// labeledSeries normalizes and labels a series and validates ω against
+// its label count — the shared front half of observations (training,
+// truth pooling) and of the engine sweep (detection), so both paths
+// reject the same inputs with the same errors.
+func labeledSeries(s *Series, pcfg pattern.Config, omega int) ([]pattern.Label, []bool, error) {
 	ns, err := ensureNormalized(s)
 	if err != nil {
-		return nil, fmt.Errorf("cdt: series %q: %w", s.Name, err)
+		return nil, nil, fmt.Errorf("cdt: series %q: %w", s.Name, err)
 	}
 	labels, err := pcfg.LabelSeries(ns.Values)
 	if err != nil {
-		return nil, fmt.Errorf("cdt: series %q: %w", s.Name, err)
+		return nil, nil, fmt.Errorf("cdt: series %q: %w", s.Name, err)
 	}
 	if omega > len(labels) {
-		return nil, fmt.Errorf("cdt: series %q: omega %d exceeds %d labels", s.Name, omega, len(labels))
+		return nil, nil, fmt.Errorf("cdt: series %q: omega %d exceeds %d labels", s.Name, omega, len(labels))
 	}
-	obs, err := core.Windows(labels, ns.Anomalies, omega)
+	return labels, ns.Anomalies, nil
+}
+
+// observations labels a series and cuts it into classed windows.
+func observations(s *Series, pcfg pattern.Config, omega int) ([]core.Observation, error) {
+	labels, anomalies, err := labeledSeries(s, pcfg, omega)
+	if err != nil {
+		return nil, err
+	}
+	obs, err := core.Windows(labels, anomalies, omega)
 	if err != nil {
 		return nil, fmt.Errorf("cdt: series %q: %w", s.Name, err)
 	}

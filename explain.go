@@ -9,6 +9,7 @@ package cdt
 import (
 	"strings"
 
+	"cdt/internal/engine"
 	"cdt/internal/rules"
 )
 
@@ -38,12 +39,15 @@ type WindowDetection struct {
 	Fired []FiredPredicate
 }
 
-// finalizeRules derives the simplified rule from the raw extraction and
-// caches the per-predicate renderings so hot detection paths (streams,
-// batch serving) do not re-format rule text per window. Fit and Load
-// both call it exactly once; a Model is immutable afterwards.
+// finalizeRules derives the simplified rule from the raw extraction,
+// compiles it into the model's shared matching engine, and caches the
+// per-predicate renderings so hot detection paths (streams, batch
+// serving) neither re-match compositions nor re-format rule text per
+// window. Fit and Load both call it exactly once; a Model is immutable
+// afterwards.
 func (m *Model) finalizeRules() {
 	m.rule = rules.Simplify(m.raw)
+	m.eng = engine.Compile(m.rule, m.Opts.Omega)
 	m.predTexts = make([]string, len(m.rule.Predicates))
 	m.predDescs = make([]string, len(m.rule.Predicates))
 	for i, p := range m.rule.Predicates {
@@ -64,18 +68,25 @@ func describePredicate(p rules.Predicate) string {
 
 // FiredPredicates evaluates every rule predicate against one window of
 // labels and returns those that matched, in rule order. It returns nil
-// when the window is normal.
+// when the window is normal. The window may have any length (it need
+// not be ω); whole-window ⊆o semantics apply.
 func (m *Model) FiredPredicates(labels []Label) []FiredPredicate {
-	var out []FiredPredicate
-	for i, p := range m.rule.Predicates {
-		if !p.Matches(labels, m.rule.Mode) {
-			continue
+	return m.firedFromIndices(m.eng.EvalWindow(labels, nil))
+}
+
+// firedFromIndices renders engine predicate indices (0-based) into the
+// cached human-readable FiredPredicate views (1-based, rule order).
+func (m *Model) firedFromIndices(idxs []int) []FiredPredicate {
+	if len(idxs) == 0 {
+		return nil
+	}
+	out := make([]FiredPredicate, len(idxs))
+	for k, pi := range idxs {
+		out[k] = FiredPredicate{
+			Index:       pi + 1,
+			Text:        m.predTexts[pi],
+			Description: m.predDescs[pi],
 		}
-		out = append(out, FiredPredicate{
-			Index:       i + 1,
-			Text:        m.predTexts[i],
-			Description: m.predDescs[i],
-		})
 	}
 	return out
 }
@@ -85,21 +96,22 @@ func (m *Model) FiredPredicates(labels []Label) []FiredPredicate {
 // batch-scoring analogue of DetectWindows for callers who need the
 // explanation, not just the flag.
 func (m *Model) DetectExplained(s *Series) ([]WindowDetection, error) {
-	obs, err := observations(s, m.pcfg, m.Opts.Omega)
+	marks, err := m.detectMarks(s)
 	if err != nil {
 		return nil, err
 	}
 	var out []WindowDetection
-	for i := range obs {
-		fired := m.FiredPredicates(obs[i].Labels)
-		if len(fired) == 0 {
+	var idxs []int
+	for w := 0; w < marks.NumWindows(); w++ {
+		if !marks.Fired(w) {
 			continue
 		}
+		idxs = marks.AppendFired(idxs[:0], w)
 		out = append(out, WindowDetection{
-			Window: i,
-			Start:  i + 1,
-			End:    i + m.Opts.Omega,
-			Fired:  fired,
+			Window: w,
+			Start:  w + 1,
+			End:    w + m.Opts.Omega,
+			Fired:  m.firedFromIndices(idxs),
 		})
 	}
 	return out, nil

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"iter"
+
+	"cdt/internal/pattern"
+)
+
+// Interner maps pattern labels to dense ids through a flat lookup table
+// over the bounding box of the interned labels (a handful of small
+// integers each way). Labels outside the box — or inside it but never
+// interned — get id -1: they can never extend a match. Dense ids are
+// what let the candidate trie, the Aho–Corasick automaton of
+// internal/engine, and the subsequence NFA index flat transition tables
+// instead of hashing labels.
+type Interner struct {
+	minVar, minAlpha, minBeta int
+	nv, na, nb                int
+	table                     []int32
+	n                         int32
+}
+
+// NewInterner builds an interner over every label yielded by seqs. Ids
+// are assigned in yield order, so the result is deterministic for a
+// deterministic sequence. seqs is iterated twice (bounds, then id
+// assignment) and therefore must be re-iterable.
+func NewInterner(seqs iter.Seq[[]pattern.Label]) *Interner {
+	in := &Interner{}
+	first := true
+	maxVar, maxAlpha, maxBeta := 0, 0, 0
+	for labels := range seqs {
+		for _, l := range labels {
+			v, a, b := int(l.Var), int(l.Alpha), int(l.Beta)
+			if first {
+				in.minVar, maxVar = v, v
+				in.minAlpha, maxAlpha = a, a
+				in.minBeta, maxBeta = b, b
+				first = false
+				continue
+			}
+			in.minVar, maxVar = min(in.minVar, v), max(maxVar, v)
+			in.minAlpha, maxAlpha = min(in.minAlpha, a), max(maxAlpha, a)
+			in.minBeta, maxBeta = min(in.minBeta, b), max(maxBeta, b)
+		}
+	}
+	if first {
+		// No labels at all: nv/na/nb stay 0 and every ID lookup misses.
+		return in
+	}
+	in.nv = maxVar - in.minVar + 1
+	in.na = maxAlpha - in.minAlpha + 1
+	in.nb = maxBeta - in.minBeta + 1
+	in.table = make([]int32, in.nv*in.na*in.nb)
+	for i := range in.table {
+		in.table[i] = -1
+	}
+	for labels := range seqs {
+		for _, l := range labels {
+			if slot := in.slot(l); in.table[slot] < 0 {
+				in.table[slot] = in.n
+				in.n++
+			}
+		}
+	}
+	return in
+}
+
+// N returns the number of distinct interned labels.
+func (in *Interner) N() int { return int(in.n) }
+
+func (in *Interner) slot(l pattern.Label) int {
+	return ((int(l.Var)-in.minVar)*in.na+int(l.Alpha)-in.minAlpha)*in.nb + int(l.Beta) - in.minBeta
+}
+
+// ID returns the dense id of l, or -1 when l was never interned. It sits
+// on the per-label hot path of every automaton step, so the bounding-box
+// test folds each signed pair of bounds checks into one unsigned compare
+// (a negative offset wraps above any in-range extent).
+func (in *Interner) ID(l pattern.Label) int32 {
+	v := uint64(int(l.Var) - in.minVar)
+	a := uint64(int(l.Alpha) - in.minAlpha)
+	b := uint64(int(l.Beta) - in.minBeta)
+	if v >= uint64(in.nv) || a >= uint64(in.na) || b >= uint64(in.nb) {
+		return -1
+	}
+	return in.table[(v*uint64(in.na)+a)*uint64(in.nb)+b]
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"iter"
 	"runtime"
 	"strings"
 	"sync"
@@ -162,7 +163,7 @@ func markMatches(obs []Observation, comp *Composition, mode MatchMode, marks []b
 	pat := comp.Labels
 	for lo := 0; lo < len(obs); {
 		hi := lo + 1
-		for hi < len(obs) && slidingAdjacent(obs[hi-1].Labels, obs[hi].Labels) {
+		for hi < len(obs) && SlidingAdjacent(obs[hi-1].Labels, obs[hi].Labels) {
 			hi++
 		}
 		if hi-lo == 1 {
@@ -236,8 +237,8 @@ func markSlidingRun(run []Observation, pat []pattern.Label, marks []bool) {
 // For the default contiguous ⊆o, candidate supports are counted in one
 // pass that enumerates each observation's distinct substrings and looks
 // them up in the candidate index — O(Σ windows · ω · maxLen) instead of
-// O(candidates · windows · ω · maxLen). Subsequence matching falls back
-// to direct per-candidate scoring.
+// O(candidates · windows · ω · maxLen). Subsequence matching runs each
+// candidate chunk through one SubseqNFA pass (countSubsequenceSupports).
 func bestComposition(obs []Observation, opts Options) (*Composition, float64, ClassCounts) {
 	candidates := enumerateCompositions(obs, opts.MaxCompositionLen)
 	if len(candidates) == 0 {
@@ -248,7 +249,7 @@ func bestComposition(obs []Observation, opts Options) (*Composition, float64, Cl
 	if opts.Match == MatchContiguous {
 		counts = countContiguousSupports(obs, candidates, opts)
 	} else {
-		counts = countSupportsNaive(obs, candidates, opts)
+		counts = countSubsequenceSupports(obs, candidates, opts)
 	}
 	bestIdx, bestGain := -1, 0.0
 	for i, in := range counts {
@@ -265,66 +266,16 @@ func bestComposition(obs []Observation, opts Options) (*Composition, float64, Cl
 	return &c, bestGain, counts[bestIdx]
 }
 
-// labelInterner maps pattern labels to dense ids through a flat lookup
-// table over the bounding box of the candidate labels (a handful of small
-// integers each way). Labels outside the box — or inside it but unused by
-// any candidate — get id -1: they can never extend a match.
-type labelInterner struct {
-	minVar, minAlpha, minBeta int
-	nv, na, nb                int
-	table                     []int32
-	n                         int32
-}
-
-func newLabelInterner(candidates []Composition) *labelInterner {
-	in := &labelInterner{}
-	first := true
-	maxVar, maxAlpha, maxBeta := 0, 0, 0
-	for _, c := range candidates {
-		for _, l := range c.Labels {
-			v, a, b := int(l.Var), int(l.Alpha), int(l.Beta)
-			if first {
-				in.minVar, maxVar = v, v
-				in.minAlpha, maxAlpha = a, a
-				in.minBeta, maxBeta = b, b
-				first = false
-				continue
-			}
-			in.minVar, maxVar = min(in.minVar, v), max(maxVar, v)
-			in.minAlpha, maxAlpha = min(in.minAlpha, a), max(maxAlpha, a)
-			in.minBeta, maxBeta = min(in.minBeta, b), max(maxBeta, b)
-		}
-	}
-	in.nv = maxVar - in.minVar + 1
-	in.na = maxAlpha - in.minAlpha + 1
-	in.nb = maxBeta - in.minBeta + 1
-	in.table = make([]int32, in.nv*in.na*in.nb)
-	for i := range in.table {
-		in.table[i] = -1
-	}
-	for _, c := range candidates {
-		for _, l := range c.Labels {
-			if slot := in.slot(l); in.table[slot] < 0 {
-				in.table[slot] = in.n
-				in.n++
+// compositionLabels adapts a candidate slice to the label-sequence view
+// NewInterner consumes, without materializing a [][]pattern.Label.
+func compositionLabels(candidates []Composition) iter.Seq[[]pattern.Label] {
+	return func(yield func([]pattern.Label) bool) {
+		for i := range candidates {
+			if !yield(candidates[i].Labels) {
+				return
 			}
 		}
 	}
-	return in
-}
-
-func (in *labelInterner) slot(l pattern.Label) int {
-	return ((int(l.Var)-in.minVar)*in.na+int(l.Alpha)-in.minAlpha)*in.nb + int(l.Beta) - in.minBeta
-}
-
-func (in *labelInterner) id(l pattern.Label) int32 {
-	v := int(l.Var) - in.minVar
-	a := int(l.Alpha) - in.minAlpha
-	b := int(l.Beta) - in.minBeta
-	if v < 0 || v >= in.nv || a < 0 || a >= in.na || b < 0 || b >= in.nb {
-		return -1
-	}
-	return in.table[(v*in.na+a)*in.nb+b]
 }
 
 // candidateTrie indexes candidate compositions for contiguous matching:
@@ -332,7 +283,7 @@ func (in *labelInterner) id(l pattern.Label) int32 {
 // the root), with term[node] naming the candidate ending at that node
 // (-1 if none).
 type candidateTrie struct {
-	in       *labelInterner
+	in       *Interner
 	width    int
 	children []int32
 	term     []int32
@@ -340,8 +291,8 @@ type candidateTrie struct {
 }
 
 func newCandidateTrie(candidates []Composition) *candidateTrie {
-	in := newLabelInterner(candidates)
-	t := &candidateTrie{in: in, width: int(in.n)}
+	in := NewInterner(compositionLabels(candidates))
+	t := &candidateTrie{in: in, width: in.N()}
 	t.children = make([]int32, t.width)
 	for i := range t.children {
 		t.children[i] = -1
@@ -350,7 +301,7 @@ func newCandidateTrie(candidates []Composition) *candidateTrie {
 	for ci, c := range candidates {
 		node := int32(0)
 		for _, l := range c.Labels {
-			id := in.id(l)
+			id := in.ID(l)
 			next := t.children[int(node)*t.width+int(id)]
 			if next < 0 {
 				next = int32(len(t.term))
@@ -401,7 +352,7 @@ func countContiguousSupports(obs []Observation, candidates []Composition, opts O
 
 	for lo := 0; lo < len(obs); {
 		hi := lo + 1
-		for hi < len(obs) && slidingAdjacent(obs[hi-1].Labels, obs[hi].Labels) {
+		for hi < len(obs) && SlidingAdjacent(obs[hi-1].Labels, obs[hi].Labels) {
 			hi++
 		}
 		if hi-lo > 1 {
@@ -416,9 +367,11 @@ func countContiguousSupports(obs []Observation, candidates []Composition, opts O
 	return counts
 }
 
-// slidingAdjacent reports whether b is a's window slid one position right
-// over the same backing array.
-func slidingAdjacent(a, b []pattern.Label) bool {
+// SlidingAdjacent reports whether b is a's window slid one position
+// right over the same backing array — the shape Corpus window pooling
+// produces. Exported so internal/engine can walk pooled observation
+// sets run by run.
+func SlidingAdjacent(a, b []pattern.Label) bool {
 	return len(a) == len(b) && len(a) > 1 && &a[1] == &b[0]
 }
 
@@ -447,10 +400,10 @@ func (t *candidateTrie) countSlidingRun(run []Observation, counts []ClassCounts,
 	ids = ids[:0]
 	first := run[0].Labels
 	for _, l := range first {
-		ids = append(ids, t.in.id(l))
+		ids = append(ids, t.in.ID(l))
 	}
 	for j := 1; j < numWin; j++ {
-		ids = append(ids, t.in.id(run[j].Labels[omega-1]))
+		ids = append(ids, t.in.ID(run[j].Labels[omega-1]))
 	}
 
 	for p := 0; p < len(ids); p++ {
@@ -500,7 +453,7 @@ func (t *candidateTrie) countSlidingRun(run []Observation, counts []ClassCounts,
 func (t *candidateTrie) countWindow(o Observation, counts []ClassCounts, coveredUntil []int64, runStamp int64, ids []int32) []int32 {
 	ids = ids[:0]
 	for _, l := range o.Labels {
-		ids = append(ids, t.in.id(l))
+		ids = append(ids, t.in.ID(l))
 	}
 	anom := o.Class == Anomaly
 	for p := 0; p < len(ids); p++ {

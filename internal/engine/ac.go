@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"slices"
+
+	"cdt/internal/core"
+	"cdt/internal/pattern"
+)
+
+// acAutomaton is a dense-table Aho–Corasick automaton over interned
+// label ids, matching every compiled composition simultaneously.
+// Failure transitions are pre-resolved into the goto table (a full DFA),
+// so stepping is one array load per label; out[s] lists the compositions
+// with an occurrence ending at state s — the state's own terminals plus,
+// via the failure chain, every terminal suffix.
+type acAutomaton struct {
+	in    *core.Interner
+	sigma int
+	next  []int32 // numStates × sigma transition table
+	out   [][]int32
+}
+
+// newAC builds the automaton; comps must be non-empty, deduplicated,
+// and free of empty patterns (Compile guarantees all three).
+func newAC(comps [][]pattern.Label) *acAutomaton {
+	a := &acAutomaton{in: core.NewInterner(slices.Values(comps))}
+	a.sigma = a.in.N()
+	// Trie of the patterns; -1 marks a missing transition until the BFS
+	// below fills it from the failure function.
+	a.next = make([]int32, a.sigma)
+	for i := range a.next {
+		a.next[i] = -1
+	}
+	a.out = [][]int32{nil}
+	for ci, c := range comps {
+		st := int32(0)
+		for _, l := range c {
+			id := int(a.in.ID(l))
+			nx := a.next[int(st)*a.sigma+id]
+			if nx < 0 {
+				nx = int32(len(a.out))
+				a.next[int(st)*a.sigma+id] = nx
+				row := len(a.next)
+				a.next = append(a.next, make([]int32, a.sigma)...)
+				for i := row; i < len(a.next); i++ {
+					a.next[i] = -1
+				}
+				a.out = append(a.out, nil)
+			}
+			st = nx
+		}
+		a.out[st] = append(a.out[st], int32(ci))
+	}
+	// BFS over the trie: compute failure links, resolve missing
+	// transitions through them (turning the trie into a DFA), and merge
+	// each state's suffix outputs. A state's failure target is strictly
+	// shallower, so its outputs are already merged when dequeued.
+	fail := make([]int32, len(a.out))
+	queue := make([]int32, 0, len(a.out))
+	for id := 0; id < a.sigma; id++ {
+		if nx := a.next[id]; nx >= 0 {
+			queue = append(queue, nx)
+		} else {
+			a.next[id] = 0
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		st := queue[qi]
+		f := fail[st]
+		if len(a.out[f]) > 0 {
+			a.out[st] = append(a.out[st], a.out[f]...)
+		}
+		for id := 0; id < a.sigma; id++ {
+			nx := a.next[int(st)*a.sigma+id]
+			if nx >= 0 {
+				fail[nx] = a.next[int(f)*a.sigma+id]
+				queue = append(queue, nx)
+			} else {
+				a.next[int(st)*a.sigma+id] = a.next[int(f)*a.sigma+id]
+			}
+		}
+	}
+	return a
+}
+
+// step advances from state st over label l. Labels outside the rule's
+// alphabet cannot appear inside any pattern, so they drop to the root.
+func (a *acAutomaton) step(st int32, l pattern.Label) int32 {
+	id := a.in.ID(l)
+	if id < 0 {
+		return 0
+	}
+	return a.next[int(st)*a.sigma+int(id)]
+}

@@ -1,0 +1,255 @@
+package engine_test
+
+// Differential tests: the compiled engine must be bit-identical to the
+// reference semantics — rules.Predicate.Matches, i.e. per-window
+// Composition.MatchedBy — in both match modes, across every view
+// (Sweep, SweepObservations, Cursor, EvalWindow).
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"cdt/internal/core"
+	"cdt/internal/engine"
+	"cdt/internal/pattern"
+	"cdt/internal/rules"
+)
+
+var cfg2 = pattern.NewConfig(2)
+
+// oracleFired evaluates the rule the reference way: every predicate via
+// Predicate.Matches on the whole window.
+func oracleFired(r rules.Rule, window []pattern.Label) []int {
+	var out []int
+	for pi, p := range r.Predicates {
+		if p.Matches(window, r.Mode) {
+			out = append(out, pi)
+		}
+	}
+	return out
+}
+
+// randomRule builds a rule with compositions drawn from the alphabet,
+// including empty compositions, negations, empty predicates (TRUE), and
+// compositions longer than typical windows.
+func randomRule(rng *rand.Rand, alphabet []pattern.Label, mode core.MatchMode) rules.Rule {
+	r := rules.Rule{Mode: mode}
+	nPred := 1 + rng.Intn(5)
+	for p := 0; p < nPred; p++ {
+		var pred rules.Predicate
+		for l, nLit := 0, rng.Intn(4); l < nLit; l++ {
+			n := rng.Intn(6) // 0 => empty composition
+			comp := make([]pattern.Label, n)
+			for j := range comp {
+				comp[j] = alphabet[rng.Intn(5)]
+			}
+			pred.Literals = append(pred.Literals, rules.Literal{
+				Comp: core.Composition{Labels: comp},
+				Neg:  rng.Intn(3) == 0,
+			})
+		}
+		r.Predicates = append(r.Predicates, pred)
+	}
+	return r
+}
+
+func randomLabels(rng *rand.Rand, alphabet []pattern.Label, n int) []pattern.Label {
+	out := make([]pattern.Label, n)
+	for i := range out {
+		out[i] = alphabet[rng.Intn(5)]
+	}
+	return out
+}
+
+func checkWindow(t *testing.T, ctx string, got, want []int) {
+	t.Helper()
+	if len(got) == 0 && len(want) == 0 {
+		return
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("%s: engine fired %v, oracle %v", ctx, got, want)
+	}
+}
+
+func TestSweepMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	alphabet := cfg2.Alphabet()
+	for _, mode := range []core.MatchMode{core.MatchContiguous, core.MatchSubsequence} {
+		for trial := 0; trial < 40; trial++ {
+			r := randomRule(rng, alphabet, mode)
+			omega := 1 + rng.Intn(8)
+			labels := randomLabels(rng, alphabet, rng.Intn(40))
+			e := engine.Compile(r, omega)
+			marks := e.Sweep(labels)
+			wantWindows := max(len(labels)-omega+1, 0)
+			if marks.NumWindows() != wantWindows {
+				t.Fatalf("mode=%v omega=%d len=%d: %d windows, want %d",
+					mode, omega, len(labels), marks.NumWindows(), wantWindows)
+			}
+			var got []int
+			for w := 0; w < marks.NumWindows(); w++ {
+				want := oracleFired(r, labels[w:w+omega])
+				got = marks.AppendFired(got[:0], w)
+				checkWindow(t, mode.String(), got, want)
+				if marks.Fired(w) != (len(want) > 0) {
+					t.Fatalf("Fired(%d) = %v, oracle %v", w, marks.Fired(w), want)
+				}
+				wantFirst := -1
+				if len(want) > 0 {
+					wantFirst = want[0]
+				}
+				if marks.First(w) != wantFirst {
+					t.Fatalf("First(%d) = %d, want %d", w, marks.First(w), wantFirst)
+				}
+			}
+		}
+	}
+}
+
+func TestCursorResetIsolatesRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	alphabet := cfg2.Alphabet()
+	for _, mode := range []core.MatchMode{core.MatchContiguous, core.MatchSubsequence} {
+		for trial := 0; trial < 25; trial++ {
+			r := randomRule(rng, alphabet, mode)
+			omega := 1 + rng.Intn(6)
+			e := engine.Compile(r, omega)
+			cur := e.NewCursor()
+			for run := 0; run < 4; run++ {
+				labels := randomLabels(rng, alphabet, rng.Intn(3*omega))
+				for i, l := range labels {
+					fired, complete := cur.Step(l)
+					if complete != (i+1 >= omega) {
+						t.Fatalf("mode=%v run=%d step=%d: complete=%v", mode, run, i, complete)
+					}
+					if !complete {
+						continue
+					}
+					want := oracleFired(r, labels[i+1-omega:i+1])
+					checkWindow(t, "cursor "+mode.String(), fired, want)
+				}
+				cur.Reset()
+				if cur.RunLen() != 0 {
+					t.Fatal("RunLen after Reset")
+				}
+			}
+		}
+	}
+}
+
+func TestSweepObservationsMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	alphabet := cfg2.Alphabet()
+	for _, mode := range []core.MatchMode{core.MatchContiguous, core.MatchSubsequence} {
+		for trial := 0; trial < 25; trial++ {
+			r := randomRule(rng, alphabet, mode)
+			omega := 1 + rng.Intn(5)
+			seq := randomLabels(rng, alphabet, omega+20)
+			sliding, err := core.Windows(seq, nil, omega)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Mixed pool: run, isolated copies (fresh backing arrays), an
+			// off-ω observation, then the tail of the run.
+			obs := append([]core.Observation(nil), sliding[:8]...)
+			for i := 8; i < 12; i++ {
+				obs = append(obs, core.Observation{
+					Labels: append([]pattern.Label(nil), sliding[i].Labels...),
+				})
+			}
+			obs = append(obs, core.Observation{Labels: randomLabels(rng, alphabet, omega+3)})
+			obs = append(obs, sliding[12:]...)
+
+			e := engine.Compile(r, omega)
+			marks := e.SweepObservations(obs)
+			var got []int
+			for i := range obs {
+				want := oracleFired(r, obs[i].Labels)
+				got = marks.AppendFired(got[:0], i)
+				checkWindow(t, "obs "+mode.String(), got, want)
+			}
+		}
+	}
+}
+
+func TestEvalWindowMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	alphabet := cfg2.Alphabet()
+	for _, mode := range []core.MatchMode{core.MatchContiguous, core.MatchSubsequence} {
+		for trial := 0; trial < 40; trial++ {
+			r := randomRule(rng, alphabet, mode)
+			omega := 1 + rng.Intn(5)
+			e := engine.Compile(r, omega)
+			// Arbitrary lengths: shorter than ω, ω, and longer — longer
+			// windows may satisfy compositions longer than ω.
+			for _, n := range []int{0, omega - 1, omega, omega + 4, omega + 9} {
+				if n < 0 {
+					continue
+				}
+				window := randomLabels(rng, alphabet, n)
+				got := e.EvalWindow(window, nil)
+				checkWindow(t, "evalwindow "+mode.String(), got, oracleFired(r, window))
+			}
+		}
+	}
+}
+
+func TestEmptyAndDegenerateRules(t *testing.T) {
+	alphabet := cfg2.Alphabet()
+	win := alphabet[:3]
+
+	// No predicates: nothing ever fires.
+	e := engine.Compile(rules.Rule{}, 3)
+	if got := e.EvalWindow(win, nil); len(got) != 0 {
+		t.Fatalf("empty rule fired %v", got)
+	}
+	if m := e.Sweep(alphabet[:6]); m.NumWindows() != 4 || m.Fired(0) {
+		t.Fatal("empty rule sweep fired")
+	}
+
+	// TRUE predicate (no literals) fires on every window; a predicate
+	// with a negated empty composition never fires.
+	r := rules.Rule{Predicates: []rules.Predicate{
+		{},
+		{Literals: []rules.Literal{{Comp: core.Composition{}, Neg: true}}},
+		{Literals: []rules.Literal{{Comp: core.Composition{}}}},
+	}}
+	e = engine.Compile(r, 3)
+	want := []int{0, 2}
+	if got := e.EvalWindow(win, nil); !slices.Equal(got, want) {
+		t.Fatalf("degenerate rule fired %v, want %v", got, want)
+	}
+	m := e.Sweep(alphabet[:6])
+	for w := 0; w < m.NumWindows(); w++ {
+		if got := m.AppendFired(nil, w); !slices.Equal(got, want) {
+			t.Fatalf("window %d fired %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestEngineSharedAcrossGoroutines(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	alphabet := cfg2.Alphabet()
+	r := randomRule(rng, alphabet, core.MatchContiguous)
+	e := engine.Compile(r, 4)
+	labels := randomLabels(rng, alphabet, 200)
+	wantMarks := e.Sweep(labels)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			m := e.Sweep(labels)
+			for w := 0; w < m.NumWindows(); w++ {
+				if m.First(w) != wantMarks.First(w) {
+					t.Errorf("concurrent sweep diverged at window %d", w)
+					return
+				}
+			}
+			_ = e.EvalWindow(labels[:10], nil)
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,64 @@
+package engine
+
+import "math/bits"
+
+// Marks is the batch result of a sweep: per window, the bitset of fired
+// predicates plus the first (lowest-index) firing predicate — the value
+// ordered rule-list evaluation (quality attribution) needs without
+// re-deriving it. Immutable once returned.
+type Marks struct {
+	words int
+	rows  []uint64
+	first []int32
+}
+
+func newMarks(numPreds, n int) *Marks {
+	m := &Marks{words: (numPreds + 63) / 64}
+	m.first = make([]int32, n)
+	for i := range m.first {
+		m.first[i] = -1
+	}
+	// rows is allocated lazily on the first firing window: a sweep over a
+	// normal series pays for the flag vector only, never the bitsets.
+	return m
+}
+
+func (m *Marks) set(w int, fired []int) {
+	if len(fired) == 0 {
+		return
+	}
+	m.first[w] = int32(fired[0])
+	if m.rows == nil {
+		m.rows = make([]uint64, m.words*len(m.first))
+	}
+	row := m.rows[w*m.words:]
+	for _, pi := range fired {
+		row[pi>>6] |= 1 << uint(pi&63)
+	}
+}
+
+// NumWindows returns the number of windows swept.
+func (m *Marks) NumWindows() int { return len(m.first) }
+
+// Fired reports whether any predicate fired on window w.
+func (m *Marks) Fired(w int) bool { return m.first[w] >= 0 }
+
+// First returns the 0-based index of the first predicate firing on
+// window w, or -1 when the window is normal.
+func (m *Marks) First(w int) int { return int(m.first[w]) }
+
+// AppendFired appends the 0-based indices of the predicates fired on
+// window w to dst, in rule order.
+func (m *Marks) AppendFired(dst []int, w int) []int {
+	if m.rows == nil {
+		return dst
+	}
+	for wi, word := range m.rows[w*m.words : (w+1)*m.words] {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			dst = append(dst, wi<<6+b)
+		}
+	}
+	return dst
+}

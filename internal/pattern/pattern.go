@@ -12,6 +12,7 @@ package pattern
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -167,12 +168,14 @@ func (c Config) Classify(diff float64) Interval {
 	if neg {
 		diff = -diff
 	}
-	// k-th sub-interval of ]0,1]: ]((k-1)/δ, k/δ].
-	k := int(diff*float64(c.Delta)) + 1
-	if f := diff * float64(c.Delta); f == float64(int(f)) {
-		// Exact boundary such as 0.5 with δ=2 belongs to the lower
-		// interval (]0,0.5] per the paper's L = ]0,0.5]).
-		k = int(f)
+	// k-th sub-interval of ]0,1]: ]((k-1)/δ, k/δ], i.e. k = ⌈diff·δ⌉.
+	// An exact boundary such as 0.5 with δ=2 belongs to the lower
+	// interval (]0,0.5] per the paper's L = ]0,0.5]), which is what the
+	// ceiling gives.
+	f := diff * float64(c.Delta)
+	k := int(f)
+	if float64(k) != f {
+		k++
 	}
 	if k < 1 {
 		k = 1
@@ -192,28 +195,31 @@ func (c Config) Classify(diff float64) Interval {
 func (c Config) LabelPoint(prev, mid, next float64) Label {
 	alpha := c.Classify(mid - prev)
 	beta := c.Classify(mid - next)
-	var v Variation
+	return Label{Var: variationOf(alpha, beta), Alpha: alpha, Beta: beta}
+}
+
+// variationOf selects the variation type from the signs of α and β.
+func variationOf(alpha, beta Interval) Variation {
 	switch {
 	case alpha > 0 && beta > 0:
-		v = PP
+		return PP
 	case alpha < 0 && beta < 0:
-		v = PN
+		return PN
 	case alpha > 0 && beta == 0:
-		v = SCP
+		return SCP
 	case alpha < 0 && beta == 0:
-		v = SCN
+		return SCN
 	case alpha == 0 && beta < 0:
-		v = ECP
+		return ECP
 	case alpha == 0 && beta > 0:
-		v = ECN
+		return ECN
 	case alpha == 0 && beta == 0:
-		v = CST
+		return CST
 	case alpha > 0 && beta < 0:
-		v = VP
+		return VP
 	default: // alpha < 0 && beta > 0
-		v = VN
+		return VN
 	}
-	return Label{Var: v, Alpha: alpha, Beta: beta}
 }
 
 // LabelSeries labels every interior point of values (Definition 3): the
@@ -245,8 +251,16 @@ func (c Config) LabelSeriesInto(dst []Label, values []float64) ([]Label, error) 
 	if len(values) < 3 {
 		return dst, fmt.Errorf("pattern: series of length %d, want >= 3", len(values))
 	}
+	// Point i's β is Classify(vᵢ−vᵢ₊₁) = −Classify(vᵢ₊₁−vᵢ) — Classify is
+	// odd, and negating an (exact) IEEE difference is exact — so each
+	// consecutive pair is classified once and serves as point i+1's α and
+	// point i's −β, halving the classifier work of the batch labeler.
+	alpha := c.Classify(values[1] - values[0])
 	for i := 1; i < len(values)-1; i++ {
-		dst = append(dst, c.LabelPoint(values[i-1], values[i], values[i+1]))
+		next := c.Classify(values[i+1] - values[i])
+		beta := -next
+		dst = append(dst, Label{Var: variationOf(alpha, beta), Alpha: alpha, Beta: beta})
+		alpha = next
 	}
 	return dst, nil
 }
@@ -298,13 +312,17 @@ func parseInterval(s string) (Interval, error) {
 	}
 	if len(s) >= 2 {
 		var k int
+		// k is bounded to math.MaxInt8 so both Interval(k) and
+		// Interval(-k) stay representable; beyond that the int8
+		// conversion would wrap and the label could not round-trip
+		// through Name.
 		switch s[0] {
 		case 'P':
-			if _, err := fmt.Sscanf(s[1:], "%d", &k); err == nil && k >= 1 {
+			if _, err := fmt.Sscanf(s[1:], "%d", &k); err == nil && k >= 1 && k <= math.MaxInt8 {
 				return Interval(k), nil
 			}
 		case 'N':
-			if _, err := fmt.Sscanf(s[1:], "%d", &k); err == nil && k >= 1 {
+			if _, err := fmt.Sscanf(s[1:], "%d", &k); err == nil && k >= 1 && k <= math.MaxInt8 {
 				return Interval(-k), nil
 			}
 		}

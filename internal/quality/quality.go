@@ -7,6 +7,7 @@ package quality
 
 import (
 	"cdt/internal/core"
+	"cdt/internal/engine"
 	"cdt/internal/metrics"
 	"cdt/internal/rules"
 )
@@ -78,7 +79,13 @@ func (r Report) Objective() float64 { return r.F1() * r.Q }
 // evaluation; attribution does not change Q's numerator because each true
 // positive counts once either way. omega and maxLabels parameterize the
 // interpretability terms.
-func Evaluate(r rules.Rule, obs []core.Observation, omega, maxLabels int) Report {
+//
+// marks carries the per-observation match results — r's compiled engine
+// swept over obs (engine.Compile(r, ω).SweepObservations(obs)); marks
+// index i must correspond to obs[i]. Evaluate itself re-matches nothing:
+// the engine's bit-identity contract guarantees marks agree with
+// per-window Predicate.Matches.
+func Evaluate(r rules.Rule, obs []core.Observation, marks *engine.Marks, omega, maxLabels int) Report {
 	rep := Report{
 		PredicateSupports:       make([]int, len(r.Predicates)),
 		PredicateFalsePositives: make([]int, len(r.Predicates)),
@@ -89,13 +96,7 @@ func Evaluate(r rules.Rule, obs []core.Observation, omega, maxLabels int) Report
 	}
 	for i := range obs {
 		actual := obs[i].Class == core.Anomaly
-		matched := -1
-		for pi, p := range r.Predicates {
-			if p.Matches(obs[i].Labels, r.Mode) {
-				matched = pi
-				break
-			}
-		}
+		matched := marks.First(i)
 		predicted := matched >= 0
 		rep.Confusion.Add(predicted, actual)
 		if predicted {

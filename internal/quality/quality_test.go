@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"cdt/internal/core"
+	"cdt/internal/engine"
 	"cdt/internal/pattern"
 	"cdt/internal/rules"
 )
@@ -102,6 +103,12 @@ func makeObs(labels [][]pattern.Label, classes []core.Class) []core.Observation 
 	return obs
 }
 
+// sweep compiles the rule's engine and matches the observations — the
+// marks every Evaluate caller provides.
+func sweep(r rules.Rule, obs []core.Observation, omega int) *engine.Marks {
+	return engine.Compile(r, omega).SweepObservations(obs)
+}
+
 func TestEvaluatePerfectRule(t *testing.T) {
 	// Rule: [la] → anomaly. Obs: two anomalous with la, two normal without.
 	r := rules.Rule{Predicates: []rules.Predicate{
@@ -111,7 +118,7 @@ func TestEvaluatePerfectRule(t *testing.T) {
 		[][]pattern.Label{{la, lb}, {lc, la}, {lb, lc}, {lc, lb}},
 		[]core.Class{core.Anomaly, core.Anomaly, core.Normal, core.Normal},
 	)
-	rep := Evaluate(r, obs, 2, 25)
+	rep := Evaluate(r, obs, sweep(r, obs, 2), 2, 25)
 	if rep.F1() != 1 {
 		t.Errorf("F1 = %v, want 1", rep.F1())
 	}
@@ -138,7 +145,7 @@ func TestEvaluateAttributesToFirstMatch(t *testing.T) {
 		[][]pattern.Label{{la, lb}},
 		[]core.Class{core.Anomaly},
 	)
-	rep := Evaluate(r, obs, 2, 25)
+	rep := Evaluate(r, obs, sweep(r, obs, 2), 2, 25)
 	if rep.PredicateSupports[0] != 1 || rep.PredicateSupports[1] != 0 {
 		t.Errorf("supports = %v, want [1 0]", rep.PredicateSupports)
 	}
@@ -153,7 +160,7 @@ func TestEvaluateNoCorrectClassifications(t *testing.T) {
 		[][]pattern.Label{{la}, {lb}},
 		[]core.Class{core.Normal, core.Anomaly},
 	)
-	rep := Evaluate(r, obs, 1, 25)
+	rep := Evaluate(r, obs, sweep(r, obs, 1), 1, 25)
 	if rep.Q != 0 {
 		t.Errorf("Q = %v, want 0", rep.Q)
 	}
@@ -173,7 +180,7 @@ func TestEvaluateQBounds(t *testing.T) {
 		[][]pattern.Label{{la, lb}, {lb, lc}, {lc, la}, {lb, la}},
 		[]core.Class{core.Anomaly, core.Anomaly, core.Normal, core.Anomaly},
 	)
-	rep := Evaluate(r, obs, 2, 25)
+	rep := Evaluate(r, obs, sweep(r, obs, 2), 2, 25)
 	if rep.Q < 0 || rep.Q > 1 {
 		t.Errorf("Q = %v out of [0,1]", rep.Q)
 	}

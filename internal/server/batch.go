@@ -8,6 +8,7 @@ package server
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"sync"
 
@@ -48,8 +49,17 @@ func (s *Server) handleBatchDetect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown model %q", name)
 		return
 	}
-	var req batchRequest
-	if !readJSON(w, r, &req) {
+	// Request and response ride the hand-rolled hot-path codec
+	// (fastjson.go): payloads here carry thousands of numbers, and
+	// encoding/json would cost more than the scoring itself.
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	req, err := parseBatchRequest(body)
+	if err != nil {
+		writeBodyError(w, err)
 		return
 	}
 	if len(req.Series) == 0 {
@@ -57,7 +67,11 @@ func (s *Server) handleBatchDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	results := s.scoreBatch(r.Context(), model, req.Series)
-	writeJSON(w, http.StatusOK, batchResponse{Model: name, Results: results})
+	bp := respBufPool.Get().(*[]byte)
+	buf := appendBatchResponse((*bp)[:0], batchResponse{Model: name, Results: results})
+	writeRawJSON(w, http.StatusOK, buf)
+	*bp = buf[:0]
+	respBufPool.Put(bp)
 }
 
 // scoreBatch fans the series across the worker pool, preserving input

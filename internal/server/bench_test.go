@@ -47,3 +47,56 @@ func BenchmarkServerBatchDetect(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(b.N*seriesPerRequest)/b.Elapsed().Seconds(), "series/sec")
 }
+
+// BenchmarkServerSessionPush measures streaming-session throughput
+// (points scored per second) through the real HTTP handler: one live
+// session whose stream rides the model's shared compiled engine, fed
+// chunked points. Steady-state cost per point is the engine cursor's
+// O(1) incremental step plus the HTTP/JSON overhead.
+func BenchmarkServerSessionPush(b *testing.B) {
+	_, ts, _ := newTestServer(b, Config{})
+
+	var created createStreamResponse
+	cBody, err := json.Marshal(createStreamRequest{Model: "spikes", Min: 60, Max: 420})
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/streams", "application/json", bytes.NewReader(cBody))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if created.ID == "" {
+		b.Fatal("no session id")
+	}
+
+	const pointsPerPush = 256
+	feed := spiky("live", pointsPerPush, []int{60, 180}, 7)
+	body, err := json.Marshal(pushPointsRequest{Points: feed.Values})
+	if err != nil {
+		b.Fatal(err)
+	}
+	url := ts.URL + "/streams/" + created.ID + "/points"
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out pushPointsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 || !out.Ready {
+			b.Fatalf("status %d, ready %v", resp.StatusCode, out.Ready)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*pointsPerPush)/b.Elapsed().Seconds(), "points/sec")
+}

@@ -17,7 +17,10 @@ import (
 // model set off to the side and swaps it in atomically under the write
 // lock, so in-flight requests keep the *cdt.Model pointer they already
 // resolved — models are immutable after load, which makes hot-reload
-// safe without draining traffic.
+// safe without draining traffic. Immutability includes each model's
+// compiled rule engine (internal/engine): Load compiles it once, and
+// every request against the model — batch detects and stream sessions
+// alike — matches through that one shared read-only engine.
 type Registry struct {
 	dir string
 

@@ -244,8 +244,16 @@ func (s *Server) handlePushPoints(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown stream %q", r.PathValue("id"))
 		return
 	}
-	var req pushPointsRequest
-	if !readJSON(w, r, &req) {
+	// Like batch detect, point pushes use the hand-rolled hot-path codec
+	// (fastjson.go): live feeds push numeric payloads at high rates.
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	req, err := parsePushPoints(body)
+	if err != nil {
+		writeBodyError(w, err)
 		return
 	}
 	if len(req.Points) == 0 {
@@ -266,7 +274,11 @@ func (s *Server) handlePushPoints(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	stats.Add("detections", int64(len(dets)))
-	writeJSON(w, http.StatusOK, resp)
+	bp := respBufPool.Get().(*[]byte)
+	buf := appendPushPointsResponse((*bp)[:0], resp)
+	writeRawJSON(w, http.StatusOK, buf)
+	*bp = buf[:0]
+	respBufPool.Put(bp)
 }
 
 func (s *Server) handleResetStream(w http.ResponseWriter, r *http.Request) {

@@ -11,10 +11,11 @@ import (
 )
 
 // Sessions manages live streaming-detection sessions. cdt.Stream is not
-// safe for concurrent use, so each session wraps its stream in a mutex;
-// the manager itself guards the id→session map and evicts sessions that
-// have been idle longer than the TTL (a monitor that silently went away
-// must not leak its window state forever).
+// safe for concurrent use (it owns an incremental cursor over its
+// model's shared read-only rule engine), so each session wraps its
+// stream in a mutex; the manager itself guards the id→session map and
+// evicts sessions that have been idle longer than the TTL (a monitor
+// that silently went away must not leak its cursor state forever).
 type Sessions struct {
 	ttl time.Duration
 

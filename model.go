@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"cdt/internal/core"
+	"cdt/internal/engine"
 	"cdt/internal/metrics"
 	"cdt/internal/pattern"
 	"cdt/internal/quality"
@@ -21,6 +22,13 @@ type Model struct {
 	rule rules.Rule
 	raw  rules.Rule
 	pcfg pattern.Config
+
+	// eng is the rule set compiled into one immutable matcher
+	// (internal/engine); every detection surface — DetectWindows,
+	// DetectExplained, FiredPredicates, EvaluateCorpus, Stream, and the
+	// serving layer — evaluates through it. Compiled once in
+	// finalizeRules, read-only afterwards.
+	eng *engine.Engine
 
 	// predTexts and predDescs cache the per-predicate renderings of
 	// rule, indexed like rule.Predicates (see finalizeRules).
@@ -86,14 +94,29 @@ func (m *Model) TreeText() string { return m.tree.Render(m.pcfg) }
 // TreeStats summarizes the tree's shape.
 func (m *Model) TreeStats() core.Stats { return m.tree.Stats() }
 
-// DetectWindows runs the rule over a series and returns one flag per
-// sliding window (window i covers points [i+1, i+ω] of the series).
-func (m *Model) DetectWindows(s *Series) ([]bool, error) {
-	obs, err := observations(s, m.pcfg, m.Opts.Omega)
+// detectMarks labels a series and sweeps the compiled engine over it in
+// one pass, returning per-window match marks — the shared back end of
+// every batch detection surface.
+func (m *Model) detectMarks(s *Series) (*engine.Marks, error) {
+	labels, _, err := labeledSeries(s, m.pcfg, m.Opts.Omega)
 	if err != nil {
 		return nil, err
 	}
-	return m.rule.DetectAll(obs), nil
+	return m.eng.Sweep(labels), nil
+}
+
+// DetectWindows runs the rule over a series and returns one flag per
+// sliding window (window i covers points [i+1, i+ω] of the series).
+func (m *Model) DetectWindows(s *Series) ([]bool, error) {
+	marks, err := m.detectMarks(s)
+	if err != nil {
+		return nil, err
+	}
+	flags := make([]bool, marks.NumWindows())
+	for w := range flags {
+		flags[w] = marks.Fired(w)
+	}
+	return flags, nil
 }
 
 // PointFlags projects window detections to per-point anomaly flags: a
@@ -157,7 +180,8 @@ func (m *Model) EvaluateCorpus(c *Corpus) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	qrep := quality.Evaluate(m.rule, pooled, m.Opts.Omega, m.pcfg.AlphabetSize())
+	marks := m.eng.SweepObservations(pooled)
+	qrep := quality.Evaluate(m.rule, pooled, marks, m.Opts.Omega, m.pcfg.AlphabetSize())
 	return Report{
 		Confusion: qrep.Confusion,
 		F1:        qrep.F1(),
@@ -252,7 +276,7 @@ func (m *Model) Audit(eval []*Series) ([]RuleStat, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := quality.Evaluate(m.rule, obs, m.Opts.Omega, m.pcfg.AlphabetSize())
+	rep := quality.Evaluate(m.rule, obs, m.eng.SweepObservations(obs), m.Opts.Omega, m.pcfg.AlphabetSize())
 	stats := make([]RuleStat, len(m.rule.Predicates))
 	for i, p := range m.rule.Predicates {
 		stats[i] = RuleStat{

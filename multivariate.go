@@ -146,27 +146,34 @@ func (mm *MultiModel) DetectWindows(ms *MultiSeries) ([]bool, error) {
 	if len(ms.Dims) != len(mm.models) {
 		return nil, fmt.Errorf("cdt: feed has %d dimensions, model expects %d", len(ms.Dims), len(mm.models))
 	}
-	var votes [][]bool
+	// One engine sweep per dimension, accumulated into per-window vote
+	// counts — no per-dimension []bool materialization.
+	var counts []int
 	for d, model := range mm.models {
-		w, err := model.DetectWindows(ms.Dims[d])
+		marks, err := model.detectMarks(ms.Dims[d])
 		if err != nil {
 			return nil, fmt.Errorf("cdt: dimension %d: %w", d, err)
 		}
-		votes = append(votes, w)
-	}
-	out := make([]bool, len(votes[0]))
-	for wi := range out {
-		fired := 0
-		for d := range votes {
-			if votes[d][wi] {
-				fired++
+		if counts == nil {
+			counts = make([]int, marks.NumWindows())
+		}
+		if marks.NumWindows() != len(counts) {
+			return nil, fmt.Errorf("cdt: dimension %d has %d windows, want %d", d, marks.NumWindows(), len(counts))
+		}
+		for wi := range counts {
+			if marks.Fired(wi) {
+				counts[wi]++
 			}
 		}
+	}
+	dims := len(mm.models)
+	out := make([]bool, len(counts))
+	for wi, fired := range counts {
 		switch mm.Policy {
 		case CombineAll:
-			out[wi] = fired == len(votes)
+			out[wi] = fired == dims
 		case CombineMajority:
-			out[wi] = fired*2 > len(votes)
+			out[wi] = fired*2 > dims
 		default:
 			out[wi] = fired > 0
 		}

@@ -6,11 +6,22 @@ package cdt
 // decidable. A point's pattern label needs its successor, and a window
 // needs ω labels, so detections for point p arrive after point p+1 (at
 // the earliest) and keep arriving while p stays inside a firing window.
+//
+// Latency contract: the stream rides the model's incremental engine
+// cursor (internal/engine), which keeps O(1) amortized state per label
+// instead of re-matching the full ω-window, but the observable timing
+// is exactly the sliding-window definition above — a window's detection
+// is returned by the Push of its last covered point's successor, never
+// earlier and never later, with identical WindowStart/WindowEnd indices
+// and identical fired predicates to a batch DetectExplained over the
+// same values. Reset preserves the contract: the first window of the
+// new run again completes ω+2 pushes in. TestStreamMatchesBatchDetection
+// holds both properties.
 
 import (
 	"fmt"
 
-	"cdt/internal/pattern"
+	"cdt/internal/engine"
 )
 
 // Detection reports one fired window from a stream.
@@ -34,8 +45,10 @@ type Stream struct {
 	lastTwo [2]float64
 	n       int // points consumed
 
-	// window is the ring of the most recent ω labels.
-	window []pattern.Label
+	// cur is this stream's incremental matcher over the model's shared
+	// compiled engine: one label in, the completed window's fired
+	// predicates out.
+	cur *engine.Cursor
 }
 
 // Scale fixes the normalization applied to incoming values. Streaming
@@ -72,9 +85,9 @@ func (m *Model) NewStream(scale Scale) (*Stream, error) {
 			scale.Min, scale.Max)
 	}
 	return &Stream{
-		model:  m,
-		scale:  scale,
-		window: make([]pattern.Label, 0, m.Opts.Omega),
+		model: m,
+		scale: scale,
+		cur:   m.eng.NewCursor(),
 	}, nil
 }
 
@@ -97,25 +110,19 @@ func (s *Stream) Push(value float64) []Detection {
 	label := s.model.pcfg.LabelPoint(s.lastTwo[0], s.lastTwo[1], v)
 	s.lastTwo[0], s.lastTwo[1] = s.lastTwo[1], v
 
-	omega := s.model.Opts.Omega
-	if len(s.window) < omega {
-		s.window = append(s.window, label)
-	} else {
-		copy(s.window, s.window[1:])
-		s.window[omega-1] = label
-	}
-	if len(s.window) < omega {
-		return nil
-	}
-	fired := s.model.FiredPredicates(s.window)
-	if len(fired) == 0 {
+	fired, complete := s.cur.Step(label)
+	if !complete || len(fired) == 0 {
 		return nil
 	}
 	// The ω labels cover original points [first labeled .. last labeled]:
 	// the newest label belongs to 0-based point s.n-2, the oldest in the
 	// window to s.n-2-(omega-1).
 	end := s.n - 2
-	return []Detection{{WindowStart: end - omega + 1, WindowEnd: end, Fired: fired}}
+	return []Detection{{
+		WindowStart: end - s.model.Opts.Omega + 1,
+		WindowEnd:   end,
+		Fired:       s.model.firedFromIndices(fired),
+	}}
 }
 
 // Points returns the number of readings consumed.
@@ -123,10 +130,13 @@ func (s *Stream) Points() int { return s.n }
 
 // Ready reports whether the stream has seen enough points to evaluate
 // full windows.
-func (s *Stream) Ready() bool { return len(s.window) == s.model.Opts.Omega }
+func (s *Stream) Ready() bool { return s.cur.RunLen() >= s.model.Opts.Omega }
 
-// Reset clears the stream state, keeping the model and scale.
+// Reset clears the stream state, keeping the model and scale. The engine
+// cursor starts a new run in O(1): windows never span the boundary, and
+// post-Reset detections arrive with the same latency as from a fresh
+// stream.
 func (s *Stream) Reset() {
 	s.n = 0
-	s.window = s.window[:0]
+	s.cur.Reset()
 }

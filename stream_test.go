@@ -1,6 +1,7 @@
 package cdt
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -101,6 +102,56 @@ func TestStreamReset(t *testing.T) {
 	}
 	if !stream.Ready() {
 		t.Error("stream not ready after refill")
+	}
+}
+
+// TestStreamLatencyAndReset pins the latency contract documented at the
+// top of stream.go: a window's detection is returned by the Push of its
+// last covered point's successor (never earlier, never later, at most
+// one window per Push), and the incremental engine cursor does not
+// change that — including after Reset, where the replayed feed must
+// yield detections identical to a fresh stream's, with the first one
+// again ω+2 pushes in.
+func TestStreamLatencyAndReset(t *testing.T) {
+	model, _ := trainedModel(t, Options{Omega: 5, Delta: 2})
+	feed := spikySeries("live", 160, []int{60, 120}, 91)
+	tmin, tmax, err := feed.MinMax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := model.NewStream(Scale{Min: tmin, Max: tmax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []Detection {
+		var all []Detection
+		for i, v := range feed.Values {
+			dets := stream.Push(v)
+			if len(dets) > 1 {
+				t.Fatalf("push %d returned %d detections, want at most 1", i, len(dets))
+			}
+			for _, d := range dets {
+				// The window's last covered point is the previous push's
+				// point (its label needed this push's value), so the
+				// detection arrives exactly one point after WindowEnd.
+				if d.WindowEnd != i-1 {
+					t.Fatalf("push %d detected window ending at %d, want %d", i, d.WindowEnd, i-1)
+				}
+				if i < model.Opts.Omega+2 {
+					t.Fatalf("detection at push %d, before the first window is decidable", i)
+				}
+				all = append(all, d)
+			}
+		}
+		return all
+	}
+	fresh := run()
+	if len(fresh) == 0 {
+		t.Fatal("no detections over a feed with two spikes")
+	}
+	stream.Reset()
+	if replay := run(); !reflect.DeepEqual(fresh, replay) {
+		t.Fatalf("post-Reset replay diverged:\nfresh:  %+v\nreplay: %+v", fresh, replay)
 	}
 }
 

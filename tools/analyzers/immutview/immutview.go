@@ -17,11 +17,21 @@
 //   - sort.*, slices.Sort*, slices.Reverse, slices.Delete/Insert/Compact
 //     applied to a view
 //
+// Views survive two copies that used to drop tracking:
+//
+//   - struct values copied out of a view element (o := v[0], or a range
+//     value over a view of structs): the copy owns its scalar fields, but
+//     its slice-typed fields still alias the shared backing, so
+//     o.Labels[0] = x is reported while o.Start = 3 is not;
+//   - struct-field stores of a view (h.obs = view): later writes through
+//     h.obs are reported. Field stores are not flow-tracked, so a clone
+//     assigned to the same field later does not cleanse it — the
+//     analyzer stays conservative there.
+//
 // Mutating a clone (slices.Clone, append([]T(nil), v...), explicit
 // make+copy) is deliberately not reported: cloning is the sanctioned way
 // to obtain an owned copy. Known limits, accepted for a heuristic lint:
-// views passed to other functions are not followed, and a struct value
-// copied out of a view element (o := v[0]) drops tracking.
+// views passed to other functions are not followed.
 package immutview
 
 import (
@@ -76,10 +86,19 @@ type assignEvent struct {
 type checker struct {
 	pass   *analysis.Pass
 	events map[types.Object][]assignEvent
+	// fieldViews records struct fields ever assigned a view (x.F = view),
+	// keyed by the root variable and then the field object. Field stores
+	// are not flow-tracked, so a later clone assigned to the same field
+	// does not cleanse it — conservative by design.
+	fieldViews map[types.Object]map[types.Object]bool
 }
 
 func run(pass *analysis.Pass) error {
-	c := &checker{pass: pass, events: make(map[types.Object][]assignEvent)}
+	c := &checker{
+		pass:       pass,
+		events:     make(map[types.Object][]assignEvent),
+		fieldViews: make(map[types.Object]map[types.Object]bool),
+	}
 	// Pass 1: collect view assignments in source order. Objects are
 	// unique per declaration, so one package-wide table is safe.
 	for _, f := range pass.Files {
@@ -154,13 +173,14 @@ func (c *checker) recordValueSpec(n *ast.ValueSpec) {
 }
 
 // recordRange tracks `for _, v := range view`: the value variable shares
-// backing storage when the element type is itself a slice.
+// backing storage when the element type is itself a slice, or is a
+// struct whose slice fields alias the view's backing.
 func (c *checker) recordRange(n *ast.RangeStmt) {
 	v, ok := n.Value.(*ast.Ident)
 	if !ok || !c.isView(n.X) {
 		return
 	}
-	if !isSliceType(c.pass.TypesInfo.TypeOf(v)) {
+	if !canCarryView(c.pass.TypesInfo.TypeOf(v)) {
 		return
 	}
 	if obj := c.objOf(v); obj != nil {
@@ -169,20 +189,41 @@ func (c *checker) recordRange(n *ast.RangeStmt) {
 }
 
 // track records one assignment of rhs to lhs (rhs nil means "definitely
-// not a view"). Only slice-typed variables can carry a view: a struct
-// copied out of a view element owns its scalar fields (its slice fields
-// are a documented tracking gap).
+// not a view"). Slice-typed variables carry a view directly; struct
+// variables copied out of a view element carry it through their
+// slice-typed fields. A view assigned to a struct field (x.F = view) is
+// recorded in fieldViews so later writes through x.F are seen.
 func (c *checker) track(lhs ast.Expr, rhs ast.Expr, at token.Pos) {
-	id, ok := lhs.(*ast.Ident)
-	if !ok || id.Name == "_" {
-		return
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		obj := c.objOf(lhs)
+		if obj == nil {
+			return
+		}
+		view := rhs != nil && c.isView(rhs) && canCarryView(c.pass.TypesInfo.TypeOf(lhs))
+		c.events[obj] = append(c.events[obj], assignEvent{pos: at, view: view})
+	case *ast.SelectorExpr:
+		if rhs == nil || !c.isView(rhs) || !isSliceType(c.pass.TypesInfo.TypeOf(lhs)) {
+			return
+		}
+		root, ok := ast.Unparen(lhs.X).(*ast.Ident)
+		if !ok {
+			return
+		}
+		rootObj, fieldObj := c.objOf(root), c.objOf(lhs.Sel)
+		if rootObj == nil || fieldObj == nil {
+			return
+		}
+		m := c.fieldViews[rootObj]
+		if m == nil {
+			m = make(map[types.Object]bool)
+			c.fieldViews[rootObj] = m
+		}
+		m[fieldObj] = true
 	}
-	obj := c.objOf(id)
-	if obj == nil {
-		return
-	}
-	view := rhs != nil && c.isView(rhs) && isSliceType(c.pass.TypesInfo.TypeOf(id))
-	c.events[obj] = append(c.events[obj], assignEvent{pos: at, view: view})
 }
 
 func (c *checker) objOf(id *ast.Ident) types.Object {
@@ -207,8 +248,21 @@ func (c *checker) isView(e ast.Expr) bool {
 	case *ast.SliceExpr:
 		return c.isView(e.X)
 	case *ast.SelectorExpr:
-		// A field of a shared element (v[0].Labels) shares storage; a
-		// plain selection rooted at an untracked variable does not.
+		// A field a view was ever stored into (h.obs = view) is a view.
+		if root, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if rootObj := c.objOf(root); rootObj != nil {
+				if fieldObj := c.objOf(e.Sel); fieldObj != nil && c.fieldViews[rootObj][fieldObj] {
+					return true
+				}
+			}
+		}
+		// A slice field of a shared element (v[0].Labels) — or of a struct
+		// value copied out of one (o := v[0]; o.Labels) — shares backing
+		// storage; scalar selections own their copies, and a plain
+		// selection rooted at an untracked variable shares nothing.
+		if !canCarryView(c.pass.TypesInfo.TypeOf(e)) {
+			return false
+		}
 		return c.isView(e.X)
 	case *ast.Ident:
 		obj := c.objOf(e)
@@ -254,9 +308,21 @@ func (c *checker) checkStore(lhs ast.Expr) {
 			c.pass.Reportf(lhs.Pos(), "write through shared %s view; clone it before mutating (immutability contract, corpus.go)", c.describe(lhs.X))
 		}
 	case *ast.SelectorExpr:
-		if c.isView(lhs.X) {
-			c.pass.Reportf(lhs.Pos(), "field store into shared %s view element; clone the view before mutating", c.describe(lhs.X))
+		if !c.isView(lhs.X) {
+			return
 		}
+		// A struct value copied out of a view element owns its direct
+		// fields: o.Start = 3 (and rebinding o.Labels) writes the copy,
+		// not the cache. Only stores whose base is element storage of the
+		// view itself (v[0].F = x) alias shared memory.
+		if id, ok := ast.Unparen(lhs.X).(*ast.Ident); ok {
+			if t := c.pass.TypesInfo.TypeOf(id); t != nil {
+				if _, isStruct := t.Underlying().(*types.Struct); isStruct {
+					return
+				}
+			}
+		}
+		c.pass.Reportf(lhs.Pos(), "field store into shared %s view element; clone the view before mutating", c.describe(lhs.X))
 	}
 }
 
@@ -297,4 +363,18 @@ func isSliceType(t types.Type) bool {
 	}
 	_, ok := t.Underlying().(*types.Slice)
 	return ok
+}
+
+// canCarryView reports whether a variable of type t can alias view
+// backing storage: slices do directly, struct copies through their
+// slice-typed fields.
+func canCarryView(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Struct:
+		return true
+	}
+	return false
 }

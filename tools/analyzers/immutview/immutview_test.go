@@ -16,7 +16,7 @@ func TestRealAPI(t *testing.T) {
 // TestLocalFixtures registers testdata-local accessors and exercises the
 // tracking machinery (tuple returns, nesting, ranging, cleansing).
 func TestLocalFixtures(t *testing.T) {
-	for _, name := range []string{"(*immutlocal.Box).View", "immutlocal.MakeView"} {
+	for _, name := range []string{"(*immutlocal.Box).View", "immutlocal.MakeView", "immutlocal.Rec"} {
 		immutview.Views[name] = true
 		defer delete(immutview.Views, name)
 	}

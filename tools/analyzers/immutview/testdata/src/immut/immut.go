@@ -64,3 +64,40 @@ func unrelated() {
 	s = append(s, 2)
 	sort.Ints(s)
 }
+
+// structCopy: a struct copied out of a view element owns its scalar
+// fields, but its slice fields still alias the shared backing.
+func structCopy(c *cdt.Corpus, opts cdt.Options) {
+	v, _ := c.Observations(opts)
+	o := v[0]
+	o.Start = 9                                               // owned scalar field of the copy
+	o.Labels[0] = cdt.Label{}                                 // want `write through shared o.Labels view`
+	o.Labels = nil                                            // rebinding the field is fine
+	sort.Slice(o.Labels, func(i, j int) bool { return true }) // want `sort.Slice reorders shared o.Labels view`
+}
+
+// rangeStructCopy: the same aliasing applies to range values.
+func rangeStructCopy(c *cdt.Corpus, opts cdt.Options) {
+	v, _ := c.Observations(opts)
+	for _, o := range v {
+		o.Labels[0] = cdt.Label{} // want `write through shared o.Labels view`
+	}
+}
+
+type holder struct {
+	obs    []cdt.Observation
+	labels []cdt.Label
+	n      int
+}
+
+// fieldStore: a view stored into a struct field stays a view when read
+// back through that field.
+func fieldStore(c *cdt.Corpus, opts cdt.Options) {
+	var h holder
+	h.obs, _ = c.Observations(opts)
+	h.n = 3                                  // unrelated field store on our own struct: fine
+	h.obs[0] = cdt.Observation{}             // want `write through shared h.obs view`
+	h.obs = append(h.obs, cdt.Observation{}) // want `append into shared h.obs view`
+	copy(h.labels, []cdt.Label{})            // never assigned a view: fine
+	_ = h
+}

@@ -36,11 +36,44 @@ func direct(b *Box) {
 	v[2]++ // want `write through shared v view`
 }
 
-// structCopyGap documents the accepted limitation: copying a struct
-// element out of a view drops tracking, so no diagnostic here.
+// ownCopies is the sanctioned pattern: an explicit make+copy clone is
+// owned and never reported.
 func ownCopies(b *Box) {
 	v := b.View()
 	own := make([]int, len(v))
 	copy(own, v)
 	own[0] = 1
+}
+
+type rec struct {
+	Rows [][]float64
+	ID   int
+}
+
+// Rec is registered as a view accessor by the test; its struct elements
+// carry slice fields that alias shared storage.
+func Rec() []rec { return nil }
+
+// structElem: element copies keep their slice fields tracked, while
+// scalar fields and field rebinding stay writable.
+func structElem() {
+	rs := Rec()
+	r := rs[0]
+	r.ID = 7
+	r.Rows[0] = nil // want `write through shared r.Rows view`
+	r.Rows = nil
+	for _, e := range rs {
+		e.Rows[1] = nil // want `write through shared e.Rows view`
+	}
+}
+
+type sink struct{ rows [][]float64 }
+
+// fieldStore: views assigned into struct fields are tracked through the
+// field selector, conservatively without cleansing.
+func fieldStore() {
+	var s sink
+	ls, _ := MakeView()
+	s.rows = ls
+	s.rows[0] = nil // want `write through shared s.rows view`
 }
