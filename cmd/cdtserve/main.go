@@ -7,12 +7,19 @@
 // Usage:
 //
 //	cdtserve -models dir [-addr :8080] [-workers 8] [-session-ttl 15m] [-timeout 30s]
+//	         [-log-format text|json] [-log-level info] [-debug-addr 127.0.0.1:6060]
 //
 // The model directory holds one <name>.json per model (written by
 // `cdt train -save` or Model.Save); the basename becomes the model name.
 // SIGHUP or POST /models/reload atomically swaps in the directory's
 // current contents without dropping in-flight requests. SIGINT/SIGTERM
 // drain in-flight requests before exiting.
+//
+// Logs are structured (log/slog): one "request" record per served
+// request carrying the request ID, endpoint, status, and latency, plus
+// lifecycle events (start, reload, shutdown). -log-format json emits
+// machine-parseable lines for log shippers; -log-level debug|info|warn|
+// error gates verbosity (access logs log at info).
 //
 // Endpoints:
 //
@@ -24,7 +31,12 @@
 //	POST   /streams/{id}/points        push readings: {"points":[...]}
 //	POST   /streams/{id}/reset         clear a session's window state
 //	DELETE /streams/{id}               close a session
+//	GET    /metrics                    Prometheus text exposition
 //	GET    /debug/vars                 expvar counters (map "cdtserve")
+//
+// With -debug-addr set, a second listener (keep it private — bind
+// loopback or a management network) additionally serves /debug/pprof/
+// profiles alongside /metrics and /debug/vars.
 package main
 
 import (
@@ -32,7 +44,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,6 +61,24 @@ func main() {
 	}
 }
 
+// newLogger builds the process logger from the flag values. Handlers
+// write to stderr, keeping stdout clean for potential tooling.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
+	}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("cdtserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
@@ -57,17 +87,25 @@ func run(args []string) error {
 	sessionTTL := fs.Duration("session-ttl", 15*time.Minute, "evict streaming sessions idle longer than this")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request handler timeout")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/pprof, /metrics, and /debug/vars on this extra address (empty = disabled; keep it private)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *models == "" {
 		return fmt.Errorf("-models is required")
 	}
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
 
 	s, err := server.New(server.Config{
 		ModelDir:   *models,
 		SessionTTL: *sessionTTL,
 		Workers:    *workers,
+		AccessLog:  logger,
 	})
 	if err != nil {
 		return err
@@ -90,19 +128,35 @@ func run(args []string) error {
 		for range hup {
 			n, err := s.Registry().Reload()
 			if err != nil {
-				log.Printf("SIGHUP reload failed (previous models still serving): %v", err)
+				logger.Error("reload failed, previous models still serving",
+					"trigger", "SIGHUP", "error", err)
 				continue
 			}
-			log.Printf("SIGHUP reload: %d models live", n)
+			logger.Info("models reloaded", "trigger", "SIGHUP", "models", n)
 		}
 	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The debug listener carries the profiling endpoints the public mux
+	// deliberately omits; its lifetime is best-effort — it never blocks
+	// serving and dies with the process.
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: s.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "error", err)
+			}
+		}()
+		defer dbg.Close()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("cdtserve listening on %s (%d models from %s)", *addr, s.Registry().Len(), *models)
+		logger.Info("cdtserve listening",
+			"addr", *addr, "models", s.Registry().Len(), "model_dir", *models)
 		errc <- httpServer.ListenAndServe()
 	}()
 
@@ -111,7 +165,7 @@ func run(args []string) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down, draining in-flight requests (budget %s)", *drain)
+	logger.Info("shutting down, draining in-flight requests", "drain_budget", *drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpServer.Shutdown(drainCtx); err != nil {

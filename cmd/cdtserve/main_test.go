@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestNewLogger(t *testing.T) {
+	for _, tc := range []struct {
+		format, level string
+		ok            bool
+	}{
+		{"text", "info", true},
+		{"json", "debug", true},
+		{"text", "WARN", true}, // slog.Level.UnmarshalText is case-insensitive
+		{"json", "error", true},
+		{"yaml", "info", false},
+		{"text", "loud", false},
+	} {
+		l, err := newLogger(tc.format, tc.level)
+		if tc.ok && (err != nil || l == nil) {
+			t.Errorf("newLogger(%q, %q): unexpected error %v", tc.format, tc.level, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("newLogger(%q, %q): expected error", tc.format, tc.level)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{}, // -models missing
+		{"-models", "x", "-log-format", "yaml"},
+		{"-models", "x", "-log-level", "loud"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

@@ -34,6 +34,7 @@ func run() error {
 	boInit := flag.Int("bo-init", 5, "random initial points for Bayesian optimization")
 	boIters := flag.Int("bo-iters", 12, "surrogate-guided evaluations for Bayesian optimization")
 	mdPath := flag.String("md", "", "also write a Markdown report to this path")
+	progress := flag.Bool("progress", false, "stream per-trial tuning progress to stderr")
 	flag.Parse()
 
 	wanted := map[string]bool{}
@@ -47,12 +48,16 @@ func run() error {
 		}
 	}
 
-	suite := experiments.NewSuite(experiments.Config{
+	cfg := experiments.Config{
 		Seed:    *seed,
 		Full:    *full,
 		BOInit:  *boInit,
 		BOIters: *boIters,
-	})
+	}
+	if *progress {
+		cfg.Progress = os.Stderr
+	}
+	suite := experiments.NewSuite(cfg)
 	start := time.Now()
 
 	if wanted["figure1"] {

@@ -56,7 +56,52 @@ type Corpus struct {
 	tick    atomic.Uint64
 	labels  map[labelKey]*labelEntry
 	windows map[windowKey]*windowEntry
+	stats   corpusCounters
 }
+
+// CorpusStats is a point-in-time snapshot of a corpus's pipeline-cache
+// counters: hits, misses, and evictions per cache map. A "hit" is a
+// lookup that found a resident entry (even one still being computed by
+// another goroutine — the lookup shares that computation); a "miss"
+// inserted a new entry; an "eviction" dropped an LRU victim to make
+// room. Misses minus evictions bounds resident entries; a high eviction
+// rate means the cache bound is below the search's working set.
+type CorpusStats struct {
+	LabelHits, LabelMisses, LabelEvictions    uint64
+	WindowHits, WindowMisses, WindowEvictions uint64
+}
+
+// corpusCounters is the atomic backing store for CorpusStats. Counters
+// are bumped outside the corpus locks; readers see a near-consistent
+// snapshot, which is all an observability surface needs.
+type corpusCounters struct {
+	labelHits, labelMisses, labelEvictions    atomic.Uint64
+	windowHits, windowMisses, windowEvictions atomic.Uint64
+}
+
+func (c *corpusCounters) snapshot() CorpusStats {
+	return CorpusStats{
+		LabelHits:       c.labelHits.Load(),
+		LabelMisses:     c.labelMisses.Load(),
+		LabelEvictions:  c.labelEvictions.Load(),
+		WindowHits:      c.windowHits.Load(),
+		WindowMisses:    c.windowMisses.Load(),
+		WindowEvictions: c.windowEvictions.Load(),
+	}
+}
+
+// globalCorpusStats aggregates cache counters across every Corpus in the
+// process, so a long-lived binary (cdtserve's /metrics, the experiments
+// harness) can expose training-cache behaviour without holding
+// references to short-lived corpora.
+var globalCorpusStats corpusCounters
+
+// CorpusCacheStats returns the process-wide aggregate of every corpus's
+// cache counters since process start.
+func CorpusCacheStats() CorpusStats { return globalCorpusStats.snapshot() }
+
+// Stats returns this corpus's cache counters.
+func (c *Corpus) Stats() CorpusStats { return c.stats.snapshot() }
 
 // labelKey identifies a labeling: labeling depends only on δ and the
 // equality tolerance, not on ω.
@@ -146,11 +191,18 @@ func (c *Corpus) labelsFor(pcfg pattern.Config) ([][]pattern.Label, error) {
 	if !ok {
 		c.mu.Lock()
 		if e, ok = c.labels[k]; !ok {
-			evictLRU(c.labels, c.limit)
+			evictLRU(c.labels, c.limit, &c.stats.labelEvictions, &globalCorpusStats.labelEvictions)
 			e = &labelEntry{seq: c.tick.Add(1)}
 			c.labels[k] = e
 		}
 		c.mu.Unlock()
+	}
+	if ok {
+		c.stats.labelHits.Add(1)
+		globalCorpusStats.labelHits.Add(1)
+	} else {
+		c.stats.labelMisses.Add(1)
+		globalCorpusStats.labelMisses.Add(1)
 	}
 	e.lastUse.Store(c.tick.Add(1))
 	e.once.Do(func() {
@@ -194,11 +246,18 @@ func (c *Corpus) Observations(opts Options) ([]Observation, error) {
 	if !ok {
 		c.mu.Lock()
 		if e, ok = c.windows[k]; !ok {
-			evictLRU(c.windows, c.limit)
+			evictLRU(c.windows, c.limit, &c.stats.windowEvictions, &globalCorpusStats.windowEvictions)
 			e = &windowEntry{seq: c.tick.Add(1)}
 			c.windows[k] = e
 		}
 		c.mu.Unlock()
+	}
+	if ok {
+		c.stats.windowHits.Add(1)
+		globalCorpusStats.windowHits.Add(1)
+	} else {
+		c.stats.windowMisses.Add(1)
+		globalCorpusStats.windowMisses.Add(1)
 	}
 	e.lastUse.Store(c.tick.Add(1))
 	e.once.Do(func() {
@@ -267,13 +326,14 @@ func (e *windowEntry) lastUsed() uint64   { return e.lastUse.Load() }
 func (e *windowEntry) insertedAt() uint64 { return e.seq }
 
 // evictLRU removes least-recently-used entries until the map has room for
-// one more under limit. Called with the corpus write lock held. Evicted
-// slices stay valid for any goroutine that already holds them; they are
-// simply recomputed on the next request. Last-use ties (e.g. entries
-// that were inserted but never re-used) are broken by insertion order —
-// a strict comparison on map iteration alone would leave the victim to
-// the randomized iteration order (caught by cdtlint's detfloat).
-func evictLRU[K comparable, E lastUser](m map[K]E, limit int) {
+// one more under limit, bumping the given eviction counters once per
+// victim. Called with the corpus write lock held. Evicted slices stay
+// valid for any goroutine that already holds them; they are simply
+// recomputed on the next request. Last-use ties (e.g. entries that were
+// inserted but never re-used) are broken by insertion order — a strict
+// comparison on map iteration alone would leave the victim to the
+// randomized iteration order (caught by cdtlint's detfloat).
+func evictLRU[K comparable, E lastUser](m map[K]E, limit int, evicted ...*atomic.Uint64) {
 	for len(m) >= limit {
 		var victim K
 		minUse, minSeq := uint64(math.MaxUint64), uint64(math.MaxUint64)
@@ -284,5 +344,8 @@ func evictLRU[K comparable, E lastUser](m map[K]E, limit int) {
 			}
 		}
 		delete(m, victim)
+		for _, c := range evicted {
+			c.Add(1)
+		}
 	}
 }

@@ -294,6 +294,16 @@ func TestOptimizeCorpusMatchesOptimize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Elapsed is wall-clock observability payload — the only field allowed
+	// to differ between bit-identical runs. Drop it before comparing.
+	dropElapsed := func(r OptimizeResult) OptimizeResult {
+		r.History = append([]OptimizeSample(nil), r.History...)
+		for i := range r.History {
+			r.History[i].Elapsed = 0
+		}
+		return r
+	}
+	ref = dropElapsed(ref)
 
 	trainC, err := NewCorpus(train)
 	if err != nil {
@@ -310,12 +320,115 @@ func TestOptimizeCorpusMatchesOptimize(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parallelism %d: %v", par, err)
 		}
-		if !reflect.DeepEqual(got, ref) {
+		if got = dropElapsed(got); !reflect.DeepEqual(got, ref) {
 			t.Errorf("parallelism %d: result diverged from Optimize wrapper:\ngot  %+v\nwant %+v", par, got, ref)
 		}
 	}
 
 	if _, err := OptimizeCorpus(nil, valC, ObjectiveF1, base); err == nil {
 		t.Error("expected error for nil training corpus")
+	}
+}
+
+// TestCorpusStats pins the cache-counter semantics: a hit is a lookup
+// that found a resident entry, a miss is one that inserted it, and each
+// LRU victim bumps the eviction counter — for both the labeling and the
+// window cache, per corpus and in the process-wide aggregate.
+func TestCorpusStats(t *testing.T) {
+	train := corpusTestSeries()
+	c, err := NewCorpusSize(train, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats() != (CorpusStats{}) {
+		t.Fatalf("fresh corpus stats = %+v, want zero", c.Stats())
+	}
+	before := CorpusCacheStats()
+
+	steps := []struct {
+		opts Options
+		want CorpusStats
+	}{
+		// First (3,1): both caches cold.
+		{Options{Omega: 3, Delta: 1}, CorpusStats{LabelMisses: 1, WindowMisses: 1}},
+		// Repeat (3,1): warm window pool; the labeling isn't even consulted.
+		{Options{Omega: 3, Delta: 1}, CorpusStats{LabelMisses: 1, WindowMisses: 1, WindowHits: 1}},
+		// (4,1): new window pool over the δ=1 labeling already cached.
+		{Options{Omega: 4, Delta: 1}, CorpusStats{LabelHits: 1, LabelMisses: 1, WindowHits: 1, WindowMisses: 2}},
+		// (4,2): new δ; the window cache (limit 2) sheds its LRU entry.
+		{Options{Omega: 4, Delta: 2}, CorpusStats{LabelHits: 1, LabelMisses: 2, WindowHits: 1, WindowMisses: 3, WindowEvictions: 1}},
+		// (5,3): third δ evicts a labeling too.
+		{Options{Omega: 5, Delta: 3}, CorpusStats{LabelHits: 1, LabelMisses: 3, LabelEvictions: 1, WindowHits: 1, WindowMisses: 4, WindowEvictions: 2}},
+	}
+	for i, step := range steps {
+		if _, err := c.Observations(step.opts); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if got := c.Stats(); got != step.want {
+			t.Fatalf("step %d (omega=%d delta=%d): stats = %+v, want %+v",
+				i, step.opts.Omega, step.opts.Delta, got, step.want)
+		}
+	}
+
+	// The process-wide aggregate advanced by at least this corpus's share
+	// (other corpora in the test binary may add to it, never subtract).
+	after := CorpusCacheStats()
+	final := steps[len(steps)-1].want
+	deltas := []struct {
+		name         string
+		got, atLeast uint64
+	}{
+		{"label hits", after.LabelHits - before.LabelHits, final.LabelHits},
+		{"label misses", after.LabelMisses - before.LabelMisses, final.LabelMisses},
+		{"label evictions", after.LabelEvictions - before.LabelEvictions, final.LabelEvictions},
+		{"window hits", after.WindowHits - before.WindowHits, final.WindowHits},
+		{"window misses", after.WindowMisses - before.WindowMisses, final.WindowMisses},
+		{"window evictions", after.WindowEvictions - before.WindowEvictions, final.WindowEvictions},
+	}
+	for _, d := range deltas {
+		if d.got < d.atLeast {
+			t.Errorf("global %s advanced by %d, want >= %d", d.name, d.got, d.atLeast)
+		}
+	}
+}
+
+// TestOptimizeTrace checks the per-trial callback: one event per distinct
+// configuration, in evaluation order, mirroring History exactly — at any
+// Parallelism, since the parallel init design records sequentially.
+func TestOptimizeTrace(t *testing.T) {
+	train := []*Series{spikySeries("train", 300, []int{50, 120, 200}, 1)}
+	val := []*Series{spikySeries("val", 300, []int{80, 170, 240}, 2)}
+	trainC, err := NewCorpus(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valC, err := NewCorpus(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		var trials []OptimizeTrial
+		res, err := OptimizeCorpus(trainC, valC, ObjectiveF1, OptimizeOptions{
+			OmegaMin: 3, OmegaMax: 9,
+			DeltaMin: 1, DeltaMax: 4,
+			InitPoints: 4, Iterations: 4,
+			Seed:        7,
+			Parallelism: par,
+			Trace:       func(tr OptimizeTrial) { trials = append(trials, tr) },
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(trials) != res.Evaluations || len(trials) != len(res.History) {
+			t.Fatalf("parallelism %d: %d trace events, want evaluations=%d history=%d",
+				par, len(trials), res.Evaluations, len(res.History))
+		}
+		for i, tr := range trials {
+			h := res.History[i]
+			if tr.Evaluation != i+1 || tr.Omega != h.Omega || tr.Delta != h.Delta ||
+				tr.Score != h.Score || tr.Elapsed != h.Elapsed {
+				t.Errorf("parallelism %d trial %d: %+v diverges from history %+v", par, i, tr, h)
+			}
+		}
 	}
 }

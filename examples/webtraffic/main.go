@@ -12,8 +12,8 @@ import (
 
 	cdt "cdt"
 	"cdt/internal/datasets/yahoo"
+	"cdt/internal/evalmetrics"
 	"cdt/internal/matrixprofile"
-	"cdt/internal/metrics"
 	"cdt/internal/timeseries"
 )
 
@@ -86,7 +86,7 @@ func main() {
 		}
 	}
 	contamination /= float64(len(truth))
-	mpF1 := metrics.FromBools(metrics.BinarizeTop(scores, contamination), truth).F1()
+	mpF1 := evalmetrics.FromBools(evalmetrics.BinarizeTop(scores, contamination), truth).F1()
 
 	fmt.Printf("\nCDT (supervised, held-out windows):      F1 = %.2f with %d rules\n", cdtRep.F1, model.NumRules())
 	fmt.Printf("Matrix Profile (unsupervised discords):  F1 = %.2f\n\n", mpF1)

@@ -15,6 +15,9 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
+
+	"cdt/internal/telemetry"
 )
 
 // Param is one integer dimension of the search space.
@@ -90,10 +93,15 @@ func (s Space) enumerate() [][]int {
 // Objective evaluates a configuration and returns the value to maximize.
 type Objective func(x []int) float64
 
-// Sample records one evaluated configuration.
+// Sample records one evaluated configuration. Elapsed is the wall-clock
+// cost of the objective call that produced Y — observability payload
+// only, never an input to the search (the run stays bit-identical
+// whatever the clock says). Clock reads go through telemetry.Stopwatch;
+// cdtlint's detfloat analyzer keeps direct time.Now out of this package.
 type Sample struct {
-	X []int
-	Y float64
+	X       []int
+	Y       float64
+	Elapsed time.Duration
 }
 
 // Result reports an optimization run.
@@ -136,6 +144,12 @@ type Options struct {
 	// safe for concurrent calls when Parallelism > 1. Results (history
 	// order, best, evaluation count) are identical at any setting.
 	Parallelism int
+	// Trace, when non-nil, receives each evaluated sample as the search
+	// runs — one call per distinct configuration (memoized repeats do not
+	// re-fire), in history order even when the initial design fans out in
+	// parallel. The callback runs on the optimizer goroutine; a slow
+	// Trace slows the search, not its results.
+	Trace func(Sample)
 }
 
 // Acquisition selects how the surrogate scores unevaluated cells.
@@ -187,21 +201,26 @@ func Maximize(f Objective, space Space, opts Options) (Result, error) {
 	var res Result
 	// record stores an objective value without re-invoking f; eval is the
 	// memoized sequential path built on it.
-	record := func(x []int, y float64) {
+	record := func(x []int, y float64, elapsed time.Duration) {
 		cache[key(x)] = y
 		res.Evaluations++
-		res.History = append(res.History, Sample{X: append([]int(nil), x...), Y: y})
+		s := Sample{X: append([]int(nil), x...), Y: y, Elapsed: elapsed}
+		res.History = append(res.History, s)
 		if res.Best == nil || y > res.BestValue {
 			res.Best = append([]int(nil), x...)
 			res.BestValue = y
+		}
+		if opts.Trace != nil {
+			opts.Trace(s)
 		}
 	}
 	eval := func(x []int) float64 {
 		if y, ok := cache[key(x)]; ok {
 			return y
 		}
+		sw := telemetry.NewStopwatch()
 		y := f(x)
-		record(x, y)
+		record(x, y, sw.Elapsed())
 		return y
 	}
 
@@ -220,6 +239,7 @@ func Maximize(f Objective, space Space, opts Options) (Result, error) {
 			workers = init
 		}
 		ys := make([]float64, init)
+		els := make([]time.Duration, init)
 		sem := make(chan struct{}, workers)
 		var wg sync.WaitGroup
 		for i := 0; i < init; i++ {
@@ -228,12 +248,14 @@ func Maximize(f Objective, space Space, opts Options) (Result, error) {
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-sem }()
+				sw := telemetry.NewStopwatch()
 				ys[i] = f(grid[perm[i]])
+				els[i] = sw.Elapsed()
 			}(i)
 		}
 		wg.Wait()
 		for i := 0; i < init; i++ {
-			record(grid[perm[i]], ys[i])
+			record(grid[perm[i]], ys[i], els[i])
 		}
 	} else {
 		for i := 0; i < init; i++ {

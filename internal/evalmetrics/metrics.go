@@ -1,7 +1,7 @@
-// Package metrics provides the binary-classification metrics the paper
+// Package evalmetrics provides the binary-classification metrics the paper
 // evaluates with (§4.1): precision, recall, the F1 score, plus the
 // average-rank aggregation used in the comparison tables.
-package metrics
+package evalmetrics
 
 import (
 	"math"

@@ -5,8 +5,8 @@ import (
 
 	cdt "cdt"
 	"cdt/internal/c45"
+	"cdt/internal/evalmetrics"
 	"cdt/internal/jrip"
-	"cdt/internal/metrics"
 	"cdt/internal/part"
 	"cdt/internal/pattern"
 )
@@ -49,7 +49,7 @@ func (s *Suite) RuleLearnersCV(name string, folds int) ([]CVResult, error) {
 	for i, inst := range full.Instances {
 		positive[i] = inst.Class == 1
 	}
-	foldIdx, err := metrics.StratifiedKFoldIndices(positive, folds, s.Config.Seed)
+	foldIdx, err := evalmetrics.StratifiedKFoldIndices(positive, folds, s.Config.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +60,7 @@ func (s *Suite) RuleLearnersCV(name string, folds int) ([]CVResult, error) {
 	}
 	sums := map[string]*agg{"PART": {}, "JRip": {}}
 	for holdout := range foldIdx {
-		trainIdx, testIdx := metrics.TrainTestFromFolds(foldIdx, holdout)
+		trainIdx, testIdx := evalmetrics.TrainTestFromFolds(foldIdx, holdout)
 		trainDS := subset(full, trainIdx)
 		testDS := subset(full, testIdx)
 

@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	cdt "cdt"
@@ -37,6 +38,11 @@ type Config struct {
 	// BOInit and BOIters budget the Bayesian optimization per dataset
 	// and objective (defaults 5 and 15).
 	BOInit, BOIters int
+	// Progress, when non-nil, receives optimizer progress as the suite
+	// runs: one line per hyper-parameter trial (ω, δ, score, duration)
+	// and a corpus cache-stats summary after each search. Purely
+	// observational — results are identical with or without it.
+	Progress io.Writer
 }
 
 func (c Config) withDefaults() Config {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	cdt "cdt"
 )
@@ -75,6 +76,16 @@ func (s *Suite) Tuned(name string, obj cdt.Objective) (cdt.OptimizeResult, error
 	if err != nil {
 		return cdt.OptimizeResult{}, err
 	}
+	// With Progress set, stream one line per trial so a paper-scale search
+	// (minutes per dataset) shows where the budget goes, and close with a
+	// cache-stats summary quantifying how much the shared corpus saved.
+	var trace func(cdt.OptimizeTrial)
+	if w := s.Config.Progress; w != nil {
+		trace = func(t cdt.OptimizeTrial) {
+			fmt.Fprintf(w, "tune dataset=%s objective=%s trial=%d omega=%d delta=%d score=%.4f elapsed=%s\n",
+				name, obj, t.Evaluation, t.Omega, t.Delta, t.Score, t.Elapsed.Round(time.Millisecond))
+		}
+	}
 	res, err := cdt.OptimizeCorpus(trainCorpus, valCorpus, obj, cdt.OptimizeOptions{
 		InitPoints: s.Config.BOInit,
 		Iterations: s.Config.BOIters,
@@ -83,10 +94,18 @@ func (s *Suite) Tuned(name string, obj cdt.Objective) (cdt.OptimizeResult, error
 		// the paper's reported rules use compositions of 1-2 labels, and
 		// the cap keeps the full hyper-parameter sweep tractable (the
 		// ablation bench quantifies its effect).
-		Base: cdt.Options{MaxCompositionLen: 4},
+		Base:  cdt.Options{MaxCompositionLen: 4},
+		Trace: trace,
 	})
 	if err != nil {
 		return cdt.OptimizeResult{}, fmt.Errorf("experiments: tuning %s for %s: %w", name, obj, err)
+	}
+	if w := s.Config.Progress; w != nil {
+		st := trainCorpus.Stats()
+		fmt.Fprintf(w, "tune dataset=%s objective=%s done evaluations=%d best_omega=%d best_delta=%d best_score=%.4f "+
+			"cache label_hits=%d label_misses=%d window_hits=%d window_misses=%d\n",
+			name, obj, res.Evaluations, res.Best.Omega, res.Best.Delta, res.BestScore,
+			st.LabelHits, st.LabelMisses, st.WindowHits, st.WindowMisses)
 	}
 	s.mu.Lock()
 	s.tuned[tuneKey{name, obj}] = res

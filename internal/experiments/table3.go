@@ -6,8 +6,8 @@ import (
 	"strings"
 
 	cdt "cdt"
+	"cdt/internal/evalmetrics"
 	"cdt/internal/matrixprofile"
-	"cdt/internal/metrics"
 	"cdt/internal/pav"
 	"cdt/internal/pbad"
 	"cdt/internal/timeseries"
@@ -124,8 +124,8 @@ func (s *Suite) baselineF1(p *Prepared, method string) (float64, error) {
 		return 0, fmt.Errorf("no windows scored")
 	}
 	contamination := rate(truth)
-	predicted := metrics.BinarizeTop(scores, contamination)
-	return metrics.FromBools(predicted, truth).F1(), nil
+	predicted := evalmetrics.BinarizeTop(scores, contamination)
+	return evalmetrics.FromBools(predicted, truth).F1(), nil
 }
 
 // windowStarts enumerates fixed-stride window starts.

@@ -7,8 +7,8 @@ import (
 	cdt "cdt"
 	"cdt/internal/c45"
 	"cdt/internal/core"
+	"cdt/internal/evalmetrics"
 	"cdt/internal/jrip"
-	"cdt/internal/metrics"
 	"cdt/internal/part"
 	"cdt/internal/pattern"
 )
@@ -157,7 +157,7 @@ type genericRule struct {
 // where each anomaly-predicting conjunction is a rule predicate whose
 // interpretability is 1 − (len · uniqueValues)/(ω · MaxL).
 func evaluateRuleList(rules []genericRule, defaultClass int, test *c45.Dataset, omega, maxL int) (f1, q float64) {
-	var conf metrics.Confusion
+	var conf evalmetrics.Confusion
 	supports := make([]int, len(rules))
 	for _, inst := range test.Instances {
 		matched := -1

@@ -8,7 +8,7 @@ package quality
 import (
 	"cdt/internal/core"
 	"cdt/internal/engine"
-	"cdt/internal/metrics"
+	"cdt/internal/evalmetrics"
 	"cdt/internal/rules"
 )
 
@@ -53,7 +53,7 @@ type Report struct {
 	// Q is the rule quality Q(R) (Equation 3).
 	Q float64
 	// Confusion is the rule's detection confusion matrix on the set.
-	Confusion metrics.Confusion
+	Confusion evalmetrics.Confusion
 	// PredicateSupports holds S_Rs per predicate: the number of true
 	// positives attributed to that predicate.
 	PredicateSupports []int

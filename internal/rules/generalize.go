@@ -16,7 +16,7 @@ import (
 	"strings"
 
 	"cdt/internal/core"
-	"cdt/internal/metrics"
+	"cdt/internal/evalmetrics"
 	"cdt/internal/pattern"
 )
 
@@ -202,7 +202,7 @@ func (r GeneralRule) Format(cfg pattern.Config) string {
 
 // F1 scores the rule's window-level detection on labeled observations.
 func (r GeneralRule) F1(obs []core.Observation) float64 {
-	var conf metrics.Confusion
+	var conf evalmetrics.Confusion
 	for i := range obs {
 		conf.Add(r.Detect(obs[i].Labels), obs[i].Class == core.Anomaly)
 	}

@@ -113,6 +113,8 @@ func (s *Server) scoreBatch(ctx context.Context, model *cdt.Model, series []seri
 			}
 			stats.Add("batch_series", 1)
 			stats.Add("detections", int64(len(dets)))
+			s.tel.batchSeries.Inc()
+			s.tel.batchDetections.Add(uint64(len(dets)))
 		}(i)
 	}
 	wg.Wait()

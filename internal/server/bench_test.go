@@ -3,6 +3,8 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"testing"
 )
@@ -13,6 +15,51 @@ import (
 // is the serving-path baseline future perf PRs compare against.
 func BenchmarkServerBatchDetect(b *testing.B) {
 	_, ts, _ := newTestServer(b, Config{})
+
+	const seriesPerRequest = 8
+	req := batchRequest{}
+	for i := 0; i < seriesPerRequest; i++ {
+		req.Series = append(req.Series, seriesPayload{
+			Name:   "s",
+			Values: spiky("s", 300, []int{120, 240}, int64(i)).Values,
+		})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	url := ts.URL + "/models/spikes/detect"
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out batchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 || len(out.Results) != seriesPerRequest {
+			b.Fatalf("status %d, %d results", resp.StatusCode, len(out.Results))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*seriesPerRequest)/b.Elapsed().Seconds(), "series/sec")
+}
+
+// BenchmarkServerBatchDetectTelemetry is BenchmarkServerBatchDetect at
+// the maximum observability setting: metrics (always on) plus structured
+// JSON access logging with request IDs. The delta against
+// BenchmarkServerBatchDetect isolates the access-log cost; the delta of
+// BenchmarkServerBatchDetect itself against its pre-telemetry number
+// (REPORT.md) isolates the always-on metrics cost, which the <3%
+// regression gate bounds.
+func BenchmarkServerBatchDetectTelemetry(b *testing.B) {
+	logger := slog.New(slog.NewJSONHandler(io.Discard, nil))
+	_, ts, _ := newTestServer(b, Config{AccessLog: logger})
 
 	const seriesPerRequest = 8
 	req := batchRequest{}

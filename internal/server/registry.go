@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	cdt "cdt"
+	"cdt/internal/telemetry"
 )
 
 // Registry serves trained models loaded from a directory of versioned
@@ -22,7 +23,8 @@ import (
 // every request against the model — batch detects and stream sessions
 // alike — matches through that one shared read-only engine.
 type Registry struct {
-	dir string
+	dir     string
+	reloads *telemetry.Counter // set by server.New; nil for a bare registry
 
 	mu     sync.RWMutex
 	models map[string]*cdt.Model
@@ -98,6 +100,9 @@ func (r *Registry) Reload() (int, error) {
 	r.models = models
 	r.mu.Unlock()
 	stats.Add("reloads", 1)
+	if r.reloads != nil {
+		r.reloads.Inc()
+	}
 	return len(models), nil
 }
 

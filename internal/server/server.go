@@ -6,15 +6,22 @@
 // detection the server returns carries the fired rule predicates in
 // human-readable form, not just window indices.
 //
-// The package is stdlib-only (net/http, sync, context, expvar).
+// The package is stdlib-only (net/http, sync, context, expvar, log/slog)
+// plus the repo's internal/telemetry metrics core. Observability spans
+// two generations: the legacy expvar map at /debug/vars (kept for
+// back-compat) and the Prometheus registry at /metrics with per-endpoint
+// latency histograms, request IDs, and structured access logs
+// (telemetry.go).
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"time"
@@ -39,6 +46,10 @@ type Config struct {
 	Workers int
 	// MaxBodyBytes caps request bodies (default 32 MiB).
 	MaxBodyBytes int64
+	// AccessLog, when non-nil, receives one structured line per request
+	// (endpoint, status, latency, request ID). Nil disables access
+	// logging; metrics are collected either way.
+	AccessLog *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +74,8 @@ type Server struct {
 	sessions *Sessions
 	sem      chan struct{} // batch worker-pool slots
 	mux      *http.ServeMux
+	tel      *serverMetrics
+	logger   *slog.Logger // access logger; nil disables access logs
 }
 
 // New loads the model directory and assembles the serving stack.
@@ -72,36 +85,61 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	tel := newServerMetrics()
+	reg.reloads = tel.reloads
 	s := &Server{
 		cfg:      cfg,
 		registry: reg,
-		sessions: NewSessions(cfg.SessionTTL),
+		sessions: NewSessions(cfg.SessionTTL, tel),
 		sem:      make(chan struct{}, cfg.Workers),
 		mux:      http.NewServeMux(),
+		tel:      tel,
+		logger:   cfg.AccessLog,
 	}
+	tel.reg.GaugeFunc("cdtserve_models_loaded",
+		"Models currently registered.", func() int64 { return int64(s.registry.Len()) })
+	tel.reg.GaugeFunc("cdtserve_stream_sessions_active",
+		"Live streaming sessions.", func() int64 { return int64(s.sessions.Len()) })
 	s.routes()
 	return s, nil
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /models", s.handleListModels)
-	s.mux.HandleFunc("POST /models/reload", s.handleReload)
-	s.mux.HandleFunc("POST /models/{name}/detect", s.handleBatchDetect)
-	s.mux.HandleFunc("POST /streams", s.handleCreateStream)
-	s.mux.HandleFunc("POST /streams/{id}/points", s.handlePushPoints)
-	s.mux.HandleFunc("POST /streams/{id}/reset", s.handleResetStream)
-	s.mux.HandleFunc("DELETE /streams/{id}", s.handleDeleteStream)
-	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.handle("GET /healthz", "healthz", s.handleHealthz)
+	s.handle("GET /models", "models_list", s.handleListModels)
+	s.handle("POST /models/reload", "models_reload", s.handleReload)
+	s.handle("POST /models/{name}/detect", "batch_detect", s.handleBatchDetect)
+	s.handle("POST /streams", "stream_create", s.handleCreateStream)
+	s.handle("POST /streams/{id}/points", "stream_push", s.handlePushPoints)
+	s.handle("POST /streams/{id}/reset", "stream_reset", s.handleResetStream)
+	s.handle("DELETE /streams/{id}", "stream_delete", s.handleDeleteStream)
+	s.handle("GET /metrics", "metrics", s.handleMetrics)
+	s.handle("GET /debug/vars", "debug_vars", expvar.Handler().ServeHTTP)
 }
 
-// Handler returns the HTTP surface, with body limiting and request
-// counting applied to every route.
+// Handler returns the HTTP surface. The middleware applies, to every
+// route: the legacy expvar request counter, body limiting, request-ID
+// assignment (honoring an inbound X-Request-ID) with context propagation
+// and the X-Request-ID response header, the in-flight gauge, and — when
+// Config.AccessLog is set — one structured access-log line.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		stats.Add("requests", 1)
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		s.mux.ServeHTTP(w, r)
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = nextRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w, endpoint: "other"}
+		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, id))
+		r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
+		s.tel.inFlight.Add(1)
+		start := time.Now()
+		s.mux.ServeHTTP(rec, r)
+		s.tel.inFlight.Add(-1)
+		if s.logger != nil {
+			s.accessLog(r, rec, id, time.Since(start))
+		}
 	})
 }
 
@@ -274,6 +312,7 @@ func (s *Server) handlePushPoints(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	stats.Add("detections", int64(len(dets)))
+	s.tel.streamDetections.Add(uint64(len(dets)))
 	bp := respBufPool.Get().(*[]byte)
 	buf := appendPushPointsResponse((*bp)[:0], resp)
 	writeRawJSON(w, http.StatusOK, buf)

@@ -18,6 +18,7 @@ import (
 // that silently went away must not leak its cursor state forever).
 type Sessions struct {
 	ttl time.Duration
+	tel *serverMetrics // nil in unit tests that build Sessions bare
 
 	mu sync.Mutex
 	m  map[string]*Session
@@ -32,6 +33,7 @@ type Session struct {
 	ID    string
 	Model string // registry name the stream was created from
 	Omega int
+	tel   *serverMetrics // nil in unit tests that build Sessions bare
 
 	mu       sync.Mutex
 	stream   *cdt.Stream
@@ -40,8 +42,9 @@ type Session struct {
 
 // NewSessions starts a session manager; ttl <= 0 disables eviction. The
 // janitor wakes at ttl/4 so an idle session lives at most ~1.25·ttl.
-func NewSessions(ttl time.Duration) *Sessions {
-	s := &Sessions{ttl: ttl, m: make(map[string]*Session), stop: make(chan struct{})}
+// tel (which may be nil) receives eviction counts and Push latencies.
+func NewSessions(ttl time.Duration, tel *serverMetrics) *Sessions {
+	s := &Sessions{ttl: ttl, tel: tel, m: make(map[string]*Session), stop: make(chan struct{})}
 	if ttl > 0 {
 		go s.janitor()
 	}
@@ -77,6 +80,9 @@ func (s *Sessions) evictIdle(now time.Time) {
 			delete(s.m, id)
 			stats.Add("sessions_evicted", 1)
 			stats.Add("active_sessions", -1)
+			if s.tel != nil {
+				s.tel.sessionsEvicted.Inc()
+			}
 		}
 	}
 }
@@ -108,6 +114,7 @@ func (s *Sessions) Create(name string, model *cdt.Model, scale cdt.Scale) (*Sess
 		ID:       newSessionID(),
 		Model:    name,
 		Omega:    model.Opts.Omega,
+		tel:      s.tel,
 		stream:   stream,
 		lastUsed: time.Now(),
 	}
@@ -149,6 +156,7 @@ func (s *Sessions) Len() int {
 // every detection they produced, tagged with the number of points the
 // stream had consumed when the detection fired.
 func (sess *Session) Push(values []float64) ([]cdt.Detection, int, bool) {
+	start := time.Now()
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	var out []cdt.Detection
@@ -156,6 +164,11 @@ func (sess *Session) Push(values []float64) ([]cdt.Detection, int, bool) {
 		out = append(out, sess.stream.Push(v)...)
 	}
 	sess.lastUsed = time.Now()
+	if sess.tel != nil {
+		// Includes any wait on the session mutex: an operator alerting on
+		// push latency cares about time-to-result, not just scoring.
+		sess.tel.pushLatency.Observe(time.Since(start).Seconds())
+	}
 	return out, sess.stream.Points(), sess.stream.Ready()
 }
 

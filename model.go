@@ -6,7 +6,7 @@ import (
 
 	"cdt/internal/core"
 	"cdt/internal/engine"
-	"cdt/internal/metrics"
+	"cdt/internal/evalmetrics"
 	"cdt/internal/pattern"
 	"cdt/internal/quality"
 	"cdt/internal/rules"
@@ -144,7 +144,7 @@ func (m *Model) PointFlags(s *Series) ([]bool, error) {
 // quality (F1) plus the paper's rule-quality measures.
 type Report struct {
 	// Confusion is the window-level confusion matrix.
-	Confusion metrics.Confusion
+	Confusion evalmetrics.Confusion
 	// F1 is the window-level F1 score.
 	F1 float64
 	// Q is the rule quality Q(R) (Equation 3).

@@ -13,7 +13,7 @@ import (
 	"strings"
 
 	"cdt/internal/core"
-	"cdt/internal/metrics"
+	"cdt/internal/evalmetrics"
 )
 
 // MultiSeries is a set of aligned series (equal length, same clock) with
@@ -186,7 +186,7 @@ func (mm *MultiModel) Evaluate(eval []*MultiSeries) (Report, error) {
 	if len(eval) == 0 {
 		return Report{}, fmt.Errorf("cdt: no evaluation feeds")
 	}
-	var conf metrics.Confusion
+	var conf evalmetrics.Confusion
 	for _, ms := range eval {
 		if ms.Anomalies == nil {
 			return Report{}, fmt.Errorf("cdt: feed %q is unlabeled", ms.Name)

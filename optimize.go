@@ -3,6 +3,7 @@ package cdt
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"cdt/internal/bayesopt"
 )
@@ -54,6 +55,30 @@ type OptimizeOptions struct {
 	// Base carries the non-optimized options (criterion, matching,
 	// epsilon, ...); its Omega/Delta are ignored.
 	Base Options
+	// Trace, when non-nil, receives one OptimizeTrial per evaluated
+	// configuration as the search runs — the optimizer-progress feed the
+	// experiments harness prints and a long search can surface to
+	// operators. Trials arrive in evaluation order (deterministic at any
+	// Parallelism); memoized repeats of a configuration do not re-fire.
+	// The callback runs on the optimizer goroutine: keep it cheap, and do
+	// not call back into the search. Durations are observability payload
+	// only — they never influence the search, which stays bit-identical
+	// run to run.
+	Trace func(OptimizeTrial)
+}
+
+// OptimizeTrial reports one hyper-parameter evaluation to
+// OptimizeOptions.Trace.
+type OptimizeTrial struct {
+	// Evaluation is the 1-based index of this trial in evaluation order.
+	Evaluation int
+	// Omega and Delta are the evaluated configuration.
+	Omega, Delta int
+	// Score is the validation objective at (Omega, Delta).
+	Score float64
+	// Elapsed is the wall-clock cost of training and scoring the
+	// configuration.
+	Elapsed time.Duration
 }
 
 func (o OptimizeOptions) withDefaults() OptimizeOptions {
@@ -85,10 +110,13 @@ type OptimizeResult struct {
 	History []OptimizeSample
 }
 
-// OptimizeSample is one evaluated configuration.
+// OptimizeSample is one evaluated configuration. Elapsed is the
+// wall-clock cost of the evaluation (observability only; see
+// OptimizeTrial).
 type OptimizeSample struct {
 	Omega, Delta int
 	Score        float64
+	Elapsed      time.Duration
 }
 
 // Optimize selects (ω, δ) by Bayesian optimization (§3.6): each candidate
@@ -167,12 +195,27 @@ func OptimizeCorpus(train, validation *Corpus, obj Objective, opts OptimizeOptio
 	case workers < 0:
 		workers = 1
 	}
+	var trace func(bayesopt.Sample)
+	if opts.Trace != nil {
+		n := 0
+		trace = func(s bayesopt.Sample) {
+			n++
+			opts.Trace(OptimizeTrial{
+				Evaluation: n,
+				Omega:      s.X[0],
+				Delta:      s.X[1],
+				Score:      s.Y,
+				Elapsed:    s.Elapsed,
+			})
+		}
+	}
 	res, err := bayesopt.Maximize(objective, space, bayesopt.Options{
 		InitPoints:  opts.InitPoints,
 		Iterations:  opts.Iterations,
 		Seed:        opts.Seed,
 		LengthScale: ls,
 		Parallelism: workers,
+		Trace:       trace,
 	})
 	if err != nil {
 		return OptimizeResult{}, err
@@ -181,7 +224,7 @@ func OptimizeCorpus(train, validation *Corpus, obj Objective, opts OptimizeOptio
 	out.Best = opts.Base
 	out.Best.Omega, out.Best.Delta = res.Best[0], res.Best[1]
 	for _, s := range res.History {
-		out.History = append(out.History, OptimizeSample{Omega: s.X[0], Delta: s.X[1], Score: s.Y})
+		out.History = append(out.History, OptimizeSample{Omega: s.X[0], Delta: s.X[1], Score: s.Y, Elapsed: s.Elapsed})
 	}
 	return out, nil
 }
