@@ -11,6 +11,7 @@
 //	cdt audit    -train labeled.csv -eval other.csv -omega 5 -delta 2
 //	cdt plot     -in data.csv [-detect -train labeled.csv]
 //	cdt stream   -model model.json -in feed.csv -min 0 -max 100
+//	cdt store    <versions|audit|publish|promote|rollback> -dir store [flags]
 //
 // CSV files carry one "value[,is_anomaly]" row per point after an
 // optional header (the format written by cmd/datagen and
@@ -38,7 +39,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: cdt <label|train|detect|optimize|audit|stream|plot> [flags]")
+		return fmt.Errorf("usage: cdt <label|train|detect|optimize|audit|stream|plot|store> [flags]")
 	}
 	switch args[0] {
 	case "label":
@@ -55,8 +56,10 @@ func run(args []string) error {
 		return runStream(args[1:])
 	case "plot":
 		return runPlot(args[1:])
+	case "store":
+		return runStore(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want label, train, detect, optimize, audit, stream, or plot)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want label, train, detect, optimize, audit, stream, plot, or store)", args[0])
 	}
 }
 

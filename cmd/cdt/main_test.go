@@ -142,6 +142,57 @@ func TestOptimizeCommand(t *testing.T) {
 	}
 }
 
+func TestStoreCommand(t *testing.T) {
+	dir := t.TempDir()
+	trainCSV := writeFixture(t, dir, "train.csv", 12)
+	modelPath := filepath.Join(dir, "model.json")
+	storeDir := filepath.Join(dir, "store")
+	if err := run([]string{"train", "-in", trainCSV, "-omega", "5", "-delta", "2", "-save", modelPath}); err != nil {
+		t.Fatal(err)
+	}
+	// publish → promote → publish → rollback → versions → audit.
+	if err := run([]string{"store", "publish", "-dir", storeDir, "-model", "cal", "-in", modelPath, "-note", "first"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"store", "promote", "-dir", storeDir, "-model", "cal", "-version", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"store", "publish", "-dir", storeDir, "-model", "cal", "-in", modelPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"store", "promote", "-dir", storeDir, "-model", "cal", "-version", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"store", "rollback", "-dir", storeDir, "-model", "cal"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"store", "versions", "-dir", storeDir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"store", "audit", "-dir", storeDir, "-n", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	// Validation failures.
+	if err := run([]string{"store"}); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if err := run([]string{"store", "bogus", "-dir", storeDir}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"store", "versions"}); err == nil {
+		t.Error("missing -dir accepted")
+	}
+	if err := run([]string{"store", "publish", "-dir", storeDir, "-model", "cal"}); err == nil {
+		t.Error("publish without -in accepted")
+	}
+	if err := run([]string{"store", "promote", "-dir", storeDir, "-model", "cal", "-version", "99"}); err == nil {
+		t.Error("promote of unknown version accepted")
+	}
+	if err := run([]string{"store", "publish", "-dir", storeDir, "-model", "cal", "-in", trainCSV}); err == nil {
+		t.Error("publish of a non-model file accepted")
+	}
+}
+
 func TestPlotCommand(t *testing.T) {
 	dir := t.TempDir()
 	in := writeFixture(t, dir, "a.csv", 10)

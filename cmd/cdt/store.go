@@ -1,0 +1,154 @@
+package main
+
+// `cdt store` operates a versioned model store (the directory cdtserve
+// serves with -store): publish candidate model documents, inspect
+// versions and the audit trail, and move the "current" promotion
+// pointer. Every mutation lands in the store's append-only audit log,
+// so `cdt store audit` reconstructs exactly what happened and when.
+//
+//	cdt store versions -dir store [-model name]
+//	cdt store audit    -dir store [-n 20]
+//	cdt store publish  -dir store -model name -in model.json [-note text]
+//	cdt store promote  -dir store -model name -version N
+//	cdt store rollback -dir store -model name
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cdt/internal/modelstore"
+)
+
+func runStore(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: cdt store <versions|audit|publish|promote|rollback> [flags]")
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("store "+sub, flag.ContinueOnError)
+	dir := fs.String("dir", "", "model-store directory (required)")
+	model := fs.String("model", "", "model name")
+	version := fs.Int("version", 0, "store version number")
+	in := fs.String("in", "", "model JSON to publish (written by `cdt train -save`)")
+	note := fs.String("note", "", "free-form note recorded on the published version")
+	limit := fs.Int("n", 0, "show only the last n audit events (0 = all)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("store %s: -dir is required", sub)
+	}
+	st, err := modelstore.Open(*dir)
+	if err != nil {
+		return err
+	}
+	switch sub {
+	case "versions":
+		return storeVersions(st, *model)
+	case "audit":
+		return storeAudit(st, *limit)
+	case "publish":
+		return storePublish(st, *model, *in, *note)
+	case "promote":
+		return storePromote(st, *model, *version)
+	case "rollback":
+		return storeRollback(st, *model)
+	default:
+		return fmt.Errorf("unknown store subcommand %q (want versions, audit, publish, promote, or rollback)", sub)
+	}
+}
+
+// storeVersions lists every version of one model (or of all models),
+// marking the promoted current with '*'.
+func storeVersions(st *modelstore.Store, model string) error {
+	names := st.Models()
+	if model != "" {
+		names = []string{model}
+	}
+	if len(names) == 0 {
+		fmt.Println("store is empty")
+		return nil
+	}
+	for _, name := range names {
+		versions, current, err := st.Versions(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s:\n", name)
+		for _, v := range versions {
+			marker := " "
+			if v.Version == current {
+				marker = "*"
+			}
+			fmt.Printf("  %s v%-3d %s  omega=%d delta=%d rules=%d  source=%s",
+				marker, v.Version, time.Unix(v.CreatedAt, 0).UTC().Format("2006-01-02 15:04:05"),
+				v.Omega, v.Delta, v.NumRules, v.Source)
+			if v.Note != "" {
+				fmt.Printf("  (%s)", v.Note)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+// storeAudit prints the audit trail, oldest first.
+func storeAudit(st *modelstore.Store, limit int) error {
+	events, err := st.Audit(limit)
+	if err != nil {
+		return err
+	}
+	for _, e := range events {
+		fmt.Printf("%6d  %s  %-8s %s", e.Seq,
+			time.Unix(e.Time, 0).UTC().Format("2006-01-02 15:04:05"), e.Event, e.Model)
+		if e.Version != 0 {
+			fmt.Printf(" v%d", e.Version)
+		}
+		if e.Detail != "" {
+			fmt.Printf("  %s", e.Detail)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func storePublish(st *modelstore.Store, model, in, note string) error {
+	if model == "" || in == "" {
+		return fmt.Errorf("store publish: -model and -in are required")
+	}
+	doc, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	v, err := st.Publish(model, doc, "cli", note)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("published %s v%d (omega=%d delta=%d rules=%d); promote with:\n", model, v.Version, v.Omega, v.Delta, v.NumRules)
+	fmt.Printf("  cdt store promote -dir %s -model %s -version %d\n", st.Dir(), model, v.Version)
+	return nil
+}
+
+func storePromote(st *modelstore.Store, model string, version int) error {
+	if model == "" || version == 0 {
+		return fmt.Errorf("store promote: -model and -version are required")
+	}
+	if err := st.Promote(model, version); err != nil {
+		return err
+	}
+	fmt.Printf("promoted %s v%d to current\n", model, version)
+	return nil
+}
+
+func storeRollback(st *modelstore.Store, model string) error {
+	if model == "" {
+		return fmt.Errorf("store rollback: -model is required")
+	}
+	v, err := st.Rollback(model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rolled back %s to v%d\n", model, v)
+	return nil
+}

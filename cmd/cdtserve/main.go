@@ -8,12 +8,23 @@
 //
 //	cdtserve -models dir [-addr :8080] [-workers 8] [-session-ttl 15m] [-timeout 30s]
 //	         [-log-format text|json] [-log-level info] [-debug-addr 127.0.0.1:6060]
+//	cdtserve -store dir  [-drift-window 512] [-drift-bound 0.05] [-retrain-data dir]
 //
-// The model directory holds one <name>.json per model (written by
-// `cdt train -save` or Model.Save); the basename becomes the model name.
-// SIGHUP or POST /models/reload atomically swaps in the directory's
-// current contents without dropping in-flight requests. SIGINT/SIGTERM
-// drain in-flight requests before exiting.
+// With -models, the directory holds one <name>.json per model (written
+// by `cdt train -save` or Model.Save); the basename becomes the model
+// name. SIGHUP or POST /models/reload atomically swaps in the
+// directory's current contents without dropping in-flight requests.
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+//
+// With -store, models come from a versioned model store (managed with
+// `cdt store ...`): each model serves its promoted "current" version,
+// and the lifecycle endpoints — shadow evaluation, atomic promote,
+// rollback — come alive. -drift-bound > 0 turns on drift detection
+// (live fire rate vs. the training-time anomaly rate, over a sliding
+// window of -drift-window scored windows); a drifted model is flagged
+// on /metrics and /healthz, and when -retrain-data names a directory of
+// <name>.csv labeled series, the server retrains in the background and
+// publishes the candidate to the store unpromoted.
 //
 // Logs are structured (log/slog): one "request" record per served
 // request carrying the request ID, endpoint, status, and latency, plus
@@ -27,6 +38,11 @@
 //	GET    /models                     registered models with rule counts
 //	POST   /models/reload              atomic hot-reload from the model dir
 //	POST   /models/{name}/detect       batch scoring: {"series":[{"name","values"}]}
+//	POST   /models/{name}/shadow       shadow a store version: {"version":N}
+//	GET    /models/{name}/shadow       shadow agreement summary
+//	DELETE /models/{name}/shadow       stop shadowing
+//	POST   /models/{name}/promote      promote a store version: {"version":N}
+//	POST   /models/{name}/rollback     undo the last promote
 //	POST   /streams                    open a session: {"model","min","max"}
 //	POST   /streams/{id}/points        push readings: {"points":[...]}
 //	POST   /streams/{id}/reset         clear a session's window state
@@ -51,6 +67,7 @@ import (
 	"syscall"
 	"time"
 
+	"cdt/internal/modelstore"
 	"cdt/internal/server"
 )
 
@@ -82,7 +99,12 @@ func newLogger(format, level string) (*slog.Logger, error) {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cdtserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	models := fs.String("models", "", "directory of <name>.json model artifacts (required)")
+	models := fs.String("models", "", "directory of <name>.json model artifacts (exclusive with -store)")
+	storeDir := fs.String("store", "", "versioned model-store directory (exclusive with -models)")
+	driftWindow := fs.Int("drift-window", 512, "scored windows aggregated before drift is evaluated")
+	driftBound := fs.Float64("drift-bound", 0, "absolute fire-rate drift from the training baseline that marks a model stale (0 = disabled)")
+	retrainData := fs.String("retrain-data", "", "directory of <name>.csv labeled series for drift-triggered retraining (requires -store)")
+	retrainIters := fs.Int("retrain-iters", 15, "surrogate-guided evaluations per drift retrain")
 	workers := fs.Int("workers", 0, "batch-scoring worker pool size (0 = GOMAXPROCS)")
 	sessionTTL := fs.Duration("session-ttl", 15*time.Minute, "evict streaming sessions idle longer than this")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request handler timeout")
@@ -93,20 +115,36 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *models == "" {
-		return fmt.Errorf("-models is required")
+	if (*models == "") == (*storeDir == "") {
+		return fmt.Errorf("exactly one of -models and -store is required")
+	}
+	if *retrainData != "" && *storeDir == "" {
+		return fmt.Errorf("-retrain-data requires -store (candidates are published to the store)")
 	}
 	logger, err := newLogger(*logFormat, *logLevel)
 	if err != nil {
 		return err
 	}
 
-	s, err := server.New(server.Config{
-		ModelDir:   *models,
-		SessionTTL: *sessionTTL,
-		Workers:    *workers,
-		AccessLog:  logger,
-	})
+	cfg := server.Config{
+		ModelDir:    *models,
+		DriftWindow: *driftWindow,
+		DriftBound:  *driftBound,
+		SessionTTL:  *sessionTTL,
+		Workers:     *workers,
+		AccessLog:   logger,
+	}
+	if *storeDir != "" {
+		st, err := modelstore.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		cfg.Store = st
+		if *retrainData != "" {
+			cfg.Retrainer = &csvRetrainer{dir: *retrainData, iters: *retrainIters, seed: 1}
+		}
+	}
+	s, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -155,8 +193,12 @@ func run(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() {
+		backend := *models
+		if *storeDir != "" {
+			backend = *storeDir + " (store)"
+		}
 		logger.Info("cdtserve listening",
-			"addr", *addr, "models", s.Registry().Len(), "model_dir", *models)
+			"addr", *addr, "models", s.Registry().Len(), "backend", backend)
 		errc <- httpServer.ListenAndServe()
 	}()
 

@@ -26,7 +26,9 @@ func TestNewLogger(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	for _, args := range [][]string{
-		{}, // -models missing
+		{},                                     // neither -models nor -store
+		{"-models", "x", "-store", "y"},        // both backends
+		{"-retrain-data", "d", "-models", "x"}, // retraining without a store
 		{"-models", "x", "-log-format", "yaml"},
 		{"-models", "x", "-log-level", "loud"},
 	} {

@@ -1,0 +1,67 @@
+package main
+
+// Drift-triggered retraining wiring: -retrain-data names a directory of
+// <name>.csv labeled series (the same value[,is_anomaly] rows `cdt
+// train` consumes). The data is read at retrain time, not at startup —
+// the whole point of retraining is that an operator keeps dropping
+// freshly labeled data into the directory — split chronologically, and
+// fed to the store's CorpusRetrainer, which re-runs the Bayesian
+// (ω, δ) search anchored on the incumbent's options.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	cdt "cdt"
+	"cdt/internal/datasets"
+	"cdt/internal/modelstore"
+	"cdt/internal/timeseries"
+)
+
+// csvRetrainer implements server.Retrainer over a directory of labeled
+// CSV files.
+type csvRetrainer struct {
+	dir   string
+	iters int
+	seed  int64
+}
+
+func (r *csvRetrainer) Retrain(name string, incumbent *cdt.Model) ([]byte, string, error) {
+	path := filepath.Join(r.dir, name+".csv")
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("retrain data for %s: %w", name, err)
+	}
+	s, err := datasets.ReadCSV(f, path)
+	f.Close()
+	if err != nil {
+		return nil, "", err
+	}
+	if !s.Labeled() {
+		return nil, "", fmt.Errorf("retrain data %s has no is_anomaly column", path)
+	}
+	// Normalize before splitting so both splits share one scale.
+	if _, err := s.Normalize(); err != nil {
+		return nil, "", err
+	}
+	split, err := timeseries.ChronologicalSplit(s, 0.6, 0.2, 0.2)
+	if err != nil {
+		return nil, "", err
+	}
+	train, err := cdt.NewCorpus([]*cdt.Series{split.Train})
+	if err != nil {
+		return nil, "", err
+	}
+	val, err := cdt.NewCorpus([]*cdt.Series{split.Validation})
+	if err != nil {
+		return nil, "", err
+	}
+	cr := &modelstore.CorpusRetrainer{
+		Train:      train,
+		Validation: val,
+		Objective:  cdt.ObjectiveFH,
+		Opts:       cdt.OptimizeOptions{InitPoints: 4, Iterations: r.iters, Seed: r.seed},
+	}
+	return cr.Retrain(name, incumbent)
+}

@@ -1,0 +1,60 @@
+package modelstore
+
+// Drift-triggered retraining: when the serving layer marks a model
+// stale, it asks a Retrainer for a fresh candidate document and
+// publishes it to the store unpromoted — a human still signs off on the
+// promotion, keeping the paper's interpretability-first loop intact.
+// CorpusRetrainer is the standard implementation: re-run the Bayesian
+// hyper-parameter search over cached corpora (the same Corpus pipeline
+// training uses, so repeated retrains share labelings and windows) and
+// serialize the winner.
+
+import (
+	"bytes"
+	"fmt"
+
+	cdt "cdt"
+)
+
+// CorpusRetrainer re-optimizes (ω, δ) over pre-built corpora via
+// cdt.OptimizeCorpus and fits the winning configuration. It is safe for
+// concurrent use if its corpora are (cdt.Corpus is).
+type CorpusRetrainer struct {
+	// Train and Validation are the cached corpora the search runs over.
+	Train, Validation *cdt.Corpus
+	// Objective selects what the search maximizes (default F(h), the
+	// paper's accuracy-×-interpretability trade).
+	Objective cdt.Objective
+	// Opts tunes the search. Opts.Base is overridden per call with the
+	// incumbent's options so the retrained model stays in the same
+	// family (criterion, matching, ε); Opts.Trace is honored — wire the
+	// PR-5 trace hook here to stream per-trial progress.
+	Opts cdt.OptimizeOptions
+}
+
+// Retrain runs the search and returns the serialized winning model plus
+// a human-readable note for the store's version metadata.
+func (r *CorpusRetrainer) Retrain(name string, incumbent *cdt.Model) ([]byte, string, error) {
+	if r.Train == nil || r.Validation == nil {
+		return nil, "", fmt.Errorf("modelstore: retrainer for %s has no corpora", name)
+	}
+	opts := r.Opts
+	if incumbent != nil {
+		opts.Base = incumbent.Opts
+	}
+	res, err := cdt.OptimizeCorpus(r.Train, r.Validation, r.Objective, opts)
+	if err != nil {
+		return nil, "", fmt.Errorf("modelstore: retraining %s: %w", name, err)
+	}
+	model, err := r.Train.Fit(res.Best)
+	if err != nil {
+		return nil, "", fmt.Errorf("modelstore: fitting retrained %s: %w", name, err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		return nil, "", fmt.Errorf("modelstore: serializing retrained %s: %w", name, err)
+	}
+	note := fmt.Sprintf("drift retrain: omega=%d delta=%d %s=%.3f over %d evaluations",
+		res.Best.Omega, res.Best.Delta, r.Objective, res.BestScore, res.Evaluations)
+	return buf.Bytes(), note, nil
+}

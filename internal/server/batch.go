@@ -66,7 +66,7 @@ func (s *Server) handleBatchDetect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "series must be non-empty")
 		return
 	}
-	results := s.scoreBatch(r.Context(), model, req.Series)
+	results := s.scoreBatch(r.Context(), name, model, req.Series)
 	bp := respBufPool.Get().(*[]byte)
 	buf := appendBatchResponse((*bp)[:0], batchResponse{Model: name, Results: results})
 	writeRawJSON(w, http.StatusOK, buf)
@@ -76,8 +76,13 @@ func (s *Server) handleBatchDetect(w http.ResponseWriter, r *http.Request) {
 
 // scoreBatch fans the series across the worker pool, preserving input
 // order. The pool is server-wide, so concurrent batch requests share the
-// configured parallelism instead of multiplying it.
-func (s *Server) scoreBatch(ctx context.Context, model *cdt.Model, series []seriesPayload) []seriesResult {
+// configured parallelism instead of multiplying it. Each scored series
+// also feeds the drift tracker and — when a candidate is shadowing this
+// model — the shadow queue; both are off-path (a map/atomic touch and a
+// non-blocking enqueue), keeping shadow overhead inside the benchmark
+// gate.
+func (s *Server) scoreBatch(ctx context.Context, name string, model *cdt.Model, series []seriesPayload) []seriesResult {
+	shadow := s.shadows.Get(name)
 	results := make([]seriesResult, len(series))
 	var wg sync.WaitGroup
 	for i := range series {
@@ -115,6 +120,23 @@ func (s *Server) scoreBatch(ctx context.Context, model *cdt.Model, series []seri
 			stats.Add("detections", int64(len(dets)))
 			s.tel.batchSeries.Inc()
 			s.tel.batchDetections.Add(uint64(len(dets)))
+			windows := len(sp.Values) - model.Opts.Omega
+			if windows < 0 {
+				windows = 0
+			}
+			s.drift.observe(name, model, windows, len(dets))
+			if shadow != nil {
+				incRanges := make([][2]int, len(dets))
+				for j, d := range dets {
+					incRanges[j] = [2]int{d.Start, d.End}
+				}
+				s.shadows.enqueue(shadowJob{
+					sh:        shadow,
+					values:    sp.Values,
+					incRanges: incRanges,
+					windows:   windows,
+				})
+			}
 		}(i)
 	}
 	wg.Wait()

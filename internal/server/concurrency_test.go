@@ -118,7 +118,7 @@ func TestConcurrentBatchDetectReloadAndStreams(t *testing.T) {
 func TestConcurrentPushesToOneSession(t *testing.T) {
 	s, _, _ := newTestServer(t, Config{})
 	model, _ := s.registry.Get("spikes")
-	sess, err := s.sessions.Create("spikes", model, cdt.Scale{Min: 60, Max: 420})
+	sess, err := s.sessions.Create("spikes", model, cdt.Scale{Min: 60, Max: 420}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,187 @@
+package server
+
+// Drift detection: the server watches each model's live fire rate over a
+// sliding window of scored windows and compares it against the rate the
+// model saw at training time (Model.TrainingAnomalyRate, carried inside
+// the artifact's tree counts). When the live rate wanders past a
+// configured absolute bound, the model is marked stale — surfaced on
+// /metrics (cdtserve_model_stale{model}) and /healthz — and, when the
+// server has a store and a Retrainer, a single-flight background retrain
+// publishes a fresh candidate version, unpromoted: drift gets a human a
+// reviewed candidate, never a silent model swap.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	cdt "cdt"
+	"cdt/internal/modelstore"
+)
+
+// Retrainer produces a fresh serialized model document for a drifted
+// model. modelstore.CorpusRetrainer is the standard implementation.
+type Retrainer interface {
+	Retrain(name string, incumbent *cdt.Model) ([]byte, string, error)
+}
+
+// driftBuckets is the ring length: the sliding window advances in
+// window/driftBuckets-sized steps, so the tracked span stays within
+// [window, window·(1+1/driftBuckets)) windows.
+const driftBuckets = 16
+
+// driftBucket accumulates one ring slot's worth of scored windows.
+type driftBucket struct {
+	windows uint64
+	fired   uint64
+}
+
+// driftTracker follows one model's live fire rate.
+type driftTracker struct {
+	baseline float64 // training-time anomaly rate
+	ring     [driftBuckets]driftBucket
+	cur      int
+	stale    bool // sticky until the tracker is reset
+}
+
+func (t *driftTracker) totals() (windows, fired uint64) {
+	for _, b := range t.ring {
+		windows += b.windows
+		fired += b.fired
+	}
+	return windows, fired
+}
+
+// drift owns the per-model trackers and the single-flight retrain state.
+type drift struct {
+	window    int     // minimum windows tracked before evaluating
+	bound     float64 // absolute |live − baseline| trigger; <= 0 disables
+	store     *modelstore.Store
+	retrainer Retrainer
+	tel       *serverMetrics
+
+	mu         sync.Mutex
+	trackers   map[string]*driftTracker
+	retraining map[string]bool // models with a retrain in flight
+}
+
+func newDrift(window int, bound float64, store *modelstore.Store, retrainer Retrainer, tel *serverMetrics) *drift {
+	if window <= 0 {
+		window = 512
+	}
+	return &drift{
+		window:     window,
+		bound:      bound,
+		store:      store,
+		retrainer:  retrainer,
+		tel:        tel,
+		trackers:   make(map[string]*driftTracker),
+		retraining: make(map[string]bool),
+	}
+}
+
+// observe folds one scored sample (windows swept, detections fired) for
+// name into its sliding window and evaluates the drift bound. Takes
+// d.mu; any retrain it triggers runs on a separate goroutine outside
+// the lock.
+func (d *drift) observe(name string, model *cdt.Model, windows, fired int) {
+	if d.bound <= 0 || windows <= 0 {
+		return
+	}
+	d.mu.Lock()
+	t := d.trackers[name]
+	if t == nil {
+		t = &driftTracker{baseline: model.TrainingAnomalyRate()}
+		d.trackers[name] = t
+	}
+	t.ring[t.cur].windows += uint64(windows)
+	t.ring[t.cur].fired += uint64(fired)
+	if t.ring[t.cur].windows >= uint64(d.window/driftBuckets+1) {
+		t.cur = (t.cur + 1) % driftBuckets
+		t.ring[t.cur] = driftBucket{}
+	}
+	total, totalFired := t.totals()
+	trigger := false
+	if !t.stale && total >= uint64(d.window) {
+		live := float64(totalFired) / float64(total)
+		if delta := live - t.baseline; delta > d.bound || delta < -d.bound {
+			t.stale = true
+			trigger = true
+		}
+	}
+	launch := trigger && d.store != nil && d.retrainer != nil && !d.retraining[name]
+	if launch {
+		d.retraining[name] = true
+	}
+	d.mu.Unlock()
+
+	if trigger {
+		d.tel.staleModels.With(name).Set(1)
+	}
+	if launch {
+		go d.retrain(name, model)
+	}
+}
+
+// retrain asks the Retrainer for a fresh document and publishes it to
+// the store as an unpromoted candidate. Runs off the request path; the
+// single-flight flag set in observe is cleared on exit (under d.mu).
+func (d *drift) retrain(name string, incumbent *cdt.Model) {
+	defer func() {
+		d.mu.Lock()
+		delete(d.retraining, name)
+		d.mu.Unlock()
+	}()
+	doc, note, err := d.retrainer.Retrain(name, incumbent)
+	if err != nil {
+		d.tel.retrains.With("error").Inc()
+		_ = d.store.Note(modelstore.EventRetrain, name, 0, fmt.Sprintf("failed: %v", err))
+		return
+	}
+	v, err := d.store.Publish(name, doc, "retrain", note)
+	if err != nil {
+		d.tel.retrains.With("error").Inc()
+		_ = d.store.Note(modelstore.EventRetrain, name, 0, fmt.Sprintf("publish failed: %v", err))
+		return
+	}
+	d.tel.retrains.With("ok").Inc()
+	_ = d.store.Note(modelstore.EventRetrain, name, v.Version, "candidate published, awaiting promotion")
+}
+
+// reset clears name's tracker and stale flag — called when a promote,
+// rollback, or reload changes what is serving under the name. Takes d.mu.
+func (d *drift) reset(name string) {
+	d.mu.Lock()
+	delete(d.trackers, name)
+	d.mu.Unlock()
+	d.tel.staleModels.With(name).Set(0)
+}
+
+// resetAll clears every tracker (full registry reload). Takes d.mu.
+func (d *drift) resetAll() {
+	d.mu.Lock()
+	names := make([]string, 0, len(d.trackers))
+	for name := range d.trackers {
+		names = append(names, name)
+	}
+	d.trackers = make(map[string]*driftTracker)
+	d.mu.Unlock()
+	for _, name := range names {
+		d.tel.staleModels.With(name).Set(0)
+	}
+}
+
+// staleModels lists models currently marked stale, sorted for stable
+// /healthz output. Takes d.mu.
+func (d *drift) staleModels() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for name, t := range d.trackers {
+		if t.stale {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

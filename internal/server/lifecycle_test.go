@@ -1,0 +1,482 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	cdt "cdt"
+	"cdt/internal/modelstore"
+)
+
+// modelBytes serializes a model to its JSON document.
+func modelBytes(tb testing.TB, m *cdt.Model) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// trainVariant trains a second "spikes"-compatible model from a
+// different cut of data — the stand-in for a retrained candidate.
+func trainVariant(tb testing.TB, seed int64) *cdt.Model {
+	tb.Helper()
+	model, err := cdt.Fit(
+		[]*cdt.Series{spiky("train", 480, []int{70, 180, 290, 400}, seed)},
+		cdt.Options{Omega: 5, Delta: 2},
+	)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return model
+}
+
+// newStoreServer builds a store with "spikes" v1 promoted and v2
+// published unpromoted, plus a server over it.
+func newStoreServer(tb testing.TB, cfg Config) (*Server, *httptest.Server, *modelstore.Store) {
+	tb.Helper()
+	st, err := modelstore.Open(tb.TempDir())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := st.Publish("spikes", modelBytes(tb, trainModel(tb)), "cli", "v1"); err != nil {
+		tb.Fatal(err)
+	}
+	if err := st.Promote("spikes", 1); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := st.Publish("spikes", modelBytes(tb, trainVariant(tb, 23)), "cli", "v2 candidate"); err != nil {
+		tb.Fatal(err)
+	}
+	cfg.Store = st
+	s, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	tb.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts, st
+}
+
+// batchDetect posts one batch request of n series against model name.
+func batchDetect(tb testing.TB, ts *httptest.Server, name string, n int, seed int64) batchResponse {
+	tb.Helper()
+	req := batchRequest{}
+	for i := 0; i < n; i++ {
+		req.Series = append(req.Series, seriesPayload{
+			Name:   fmt.Sprintf("s%d", i),
+			Values: spiky("s", 300, []int{120, 240}, seed+int64(i)).Values,
+		})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/models/"+name+"/detect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		tb.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		tb.Fatalf("batch detect: status %d", resp.StatusCode)
+	}
+	return out
+}
+
+func metricsText(tb testing.TB, ts *httptest.Server) string {
+	tb.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestModelLifecycleEndToEnd is the acceptance walk: publish a candidate
+// next to the serving incumbent, shadow it against replayed batch and
+// stream traffic, read the disagreement counters off /metrics and the
+// summary endpoint, promote atomically under a live session, roll back —
+// and find every transition in the audit log.
+func TestModelLifecycleEndToEnd(t *testing.T) {
+	s, ts, st := newStoreServer(t, Config{})
+
+	// Serving v1.
+	var models struct{ Models []ModelInfo }
+	if code := doJSON(t, "GET", ts.URL+"/models", nil, &models); code != 200 {
+		t.Fatalf("list: status %d", code)
+	}
+	if len(models.Models) != 1 || models.Models[0].Version != 1 {
+		t.Fatalf("expected spikes v1 serving, got %+v", models.Models)
+	}
+
+	// A session opened before any shadow exists must survive everything.
+	var preSession createStreamResponse
+	if code := doJSON(t, "POST", ts.URL+"/streams", createStreamRequest{Model: "spikes", Min: 60, Max: 420}, &preSession); code != 201 {
+		t.Fatalf("create stream: status %d", code)
+	}
+
+	// No shadow yet: summary is 404.
+	if code := doJSON(t, "GET", ts.URL+"/models/spikes/shadow", nil, nil); code != 404 {
+		t.Fatalf("shadow summary before start: status %d", code)
+	}
+	// Shadowing the serving version is refused.
+	if code := doJSON(t, "POST", ts.URL+"/models/spikes/shadow", versionRequest{Version: 1}, nil); code != 400 {
+		t.Fatal("shadowing the serving version was accepted")
+	}
+	var sum ShadowSummary
+	if code := doJSON(t, "POST", ts.URL+"/models/spikes/shadow", versionRequest{Version: 2}, &sum); code != 201 {
+		t.Fatalf("shadow start: status %d", code)
+	}
+	if sum.CandidateVersion != 2 || sum.Windows != 0 {
+		t.Fatalf("fresh shadow summary: %+v", sum)
+	}
+
+	// Replay batch traffic; every series also feeds the candidate.
+	for i := 0; i < 4; i++ {
+		batchDetect(t, ts, "spikes", 4, int64(100+i))
+	}
+	// Stream traffic through a session created under the shadow mirrors
+	// point-for-point.
+	var mirrored createStreamResponse
+	if code := doJSON(t, "POST", ts.URL+"/streams", createStreamRequest{Model: "spikes", Min: 60, Max: 420}, &mirrored); code != 201 {
+		t.Fatalf("create mirrored stream: status %d", code)
+	}
+	feed := spiky("live", 300, []int{80, 220}, 31)
+	if code := doJSON(t, "POST", ts.URL+"/streams/"+mirrored.ID+"/points", pushPointsRequest{Points: feed.Values}, nil); code != 200 {
+		t.Fatal("push to mirrored stream failed")
+	}
+	s.shadows.drain()
+
+	if code := doJSON(t, "GET", ts.URL+"/models/spikes/shadow", nil, &sum); code != 200 {
+		t.Fatalf("shadow summary: status %d", code)
+	}
+	if sum.Windows == 0 {
+		t.Fatal("shadow saw no windows after replayed traffic")
+	}
+	if sum.IncumbentFired == 0 {
+		t.Fatal("incumbent never fired on spiked traffic")
+	}
+	if sum.Agreement < 0 || sum.Agreement > 1 {
+		t.Fatalf("agreement %v out of range", sum.Agreement)
+	}
+	if sum.Agree+sum.IncumbentOnly+sum.CandidateOnly == 0 {
+		t.Fatal("comparison produced no outcomes")
+	}
+
+	// The disagreement counters and fire-rate histograms are on /metrics.
+	metrics := metricsText(t, ts)
+	for _, want := range []string{
+		`cdtserve_shadow_windows_total{model="spikes",outcome="agree"}`,
+		`cdtserve_shadow_windows_total{model="spikes",outcome="incumbent_only"}`,
+		`cdtserve_shadow_windows_total{model="spikes",outcome="candidate_only"}`,
+		`cdtserve_shadow_fire_rate_bucket{model="spikes",role="incumbent",`,
+		`cdtserve_shadow_fire_rate_bucket{model="spikes",role="candidate",`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+
+	// Promote v2. Atomic: pointer moves, registry swaps, shadow retires.
+	var promoted map[string]any
+	if code := doJSON(t, "POST", ts.URL+"/models/spikes/promote", versionRequest{Version: 2}, &promoted); code != 200 {
+		t.Fatalf("promote: status %d (%v)", code, promoted)
+	}
+	if v, _ := s.registry.Version("spikes"); v != 2 {
+		t.Fatalf("serving version after promote = %d", v)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/models/spikes/shadow", nil, nil); code != 404 {
+		t.Fatal("shadow still active after its candidate was promoted")
+	}
+
+	// The pre-promote session is still alive and scoring (pinned model).
+	if code := doJSON(t, "POST", ts.URL+"/streams/"+preSession.ID+"/points", pushPointsRequest{Points: feed.Values}, nil); code != 200 {
+		t.Fatal("live session dropped by promote")
+	}
+
+	// Roll back to v1.
+	var rolled map[string]any
+	if code := doJSON(t, "POST", ts.URL+"/models/spikes/rollback", nil, &rolled); code != 200 {
+		t.Fatalf("rollback: status %d (%v)", code, rolled)
+	}
+	if v, _ := s.registry.Version("spikes"); v != 1 {
+		t.Fatalf("serving version after rollback = %d", v)
+	}
+
+	// Every transition is in the audit log, in order.
+	events, err := st.Audit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type step struct {
+		event   string
+		version int
+	}
+	var got []step
+	for _, e := range events {
+		got = append(got, step{e.Event, e.Version})
+	}
+	want := []step{
+		{modelstore.EventPublish, 1},
+		{modelstore.EventPromote, 1},
+		{modelstore.EventPublish, 2},
+		{modelstore.EventShadow, 2},  // started
+		{modelstore.EventPromote, 2}, // via endpoint
+		{modelstore.EventShadow, 2},  // stopped by promote
+		{modelstore.EventRollback, 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("audit log has %d events, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("audit[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestShadowStopEndpoint covers the explicit DELETE path and its audit
+// trail.
+func TestShadowStopEndpoint(t *testing.T) {
+	_, ts, st := newStoreServer(t, Config{})
+	if code := doJSON(t, "POST", ts.URL+"/models/spikes/shadow", versionRequest{Version: 2}, nil); code != 201 {
+		t.Fatalf("shadow start: status %d", code)
+	}
+	req, _ := http.NewRequest("DELETE", ts.URL+"/models/spikes/shadow", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("shadow stop: status %d", resp.StatusCode)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/models/spikes/shadow", nil, nil); code != 404 {
+		t.Fatal("shadow survived DELETE")
+	}
+	events, err := st.Audit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := events[len(events)-1]
+	if last.Event != modelstore.EventShadow || last.Detail != "shadow stopped" {
+		t.Fatalf("last audit event = %+v", last)
+	}
+}
+
+// TestLifecycleEndpointsRequireStore: a directory-backed server refuses
+// the store-only endpoints instead of panicking or half-working.
+func TestLifecycleEndpointsRequireStore(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	if code := doJSON(t, "POST", ts.URL+"/models/spikes/promote", versionRequest{Version: 1}, nil); code != 400 {
+		t.Errorf("promote on dir-backed server: status %d", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/models/spikes/rollback", nil, nil); code != 400 {
+		t.Errorf("rollback on dir-backed server: status %d", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/models/spikes/shadow", versionRequest{Version: 1}, nil); code != 400 {
+		t.Errorf("shadow on dir-backed server: status %d", code)
+	}
+}
+
+// TestHealthzUnreadyWhenStoreBroken: /healthz flips to 503 when the
+// manifest can no longer be resolved.
+func TestHealthzStoreReadiness(t *testing.T) {
+	s, ts, _ := newStoreServer(t, Config{})
+	var health map[string]any
+	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, &health); code != 200 {
+		t.Fatalf("healthz: status %d (%v)", code, health)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("health = %v", health)
+	}
+	_ = s // store dir is owned by t.TempDir; breaking it is exercised in modelstore's own tests
+}
+
+// stubRetrainer hands back a pre-serialized model and signals the call.
+type stubRetrainer struct {
+	doc    []byte
+	called chan string
+}
+
+func (r *stubRetrainer) Retrain(name string, incumbent *cdt.Model) ([]byte, string, error) {
+	select {
+	case r.called <- name:
+	default:
+	}
+	return r.doc, "stub retrain", nil
+}
+
+// TestDriftMarksStaleAndRetrains drives batch traffic whose fire rate
+// sits far above the training baseline, with a tight bound and a tiny
+// window, and expects: the stale flag on /metrics and /healthz, a
+// single-flight background retrain publishing an unpromoted candidate,
+// and the serving version untouched.
+func TestDriftMarksStaleAndRetrains(t *testing.T) {
+	stub := &stubRetrainer{called: make(chan string, 1)}
+	s, ts, st := newStoreServer(t, Config{
+		DriftWindow: 64,
+		DriftBound:  0.02,
+		Retrainer:   stub,
+	})
+	stub.doc = modelBytes(t, trainVariant(t, 77))
+
+	// Spike-dense traffic: fire rate far above the ~1% training baseline.
+	spikes := make([]int, 0, 30)
+	for i := 10; i < 300; i += 10 {
+		spikes = append(spikes, i)
+	}
+	req := batchRequest{Series: []seriesPayload{{Name: "hot", Values: spiky("hot", 300, spikes, 3).Values}}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		resp, err := http.Post(ts.URL+"/models/spikes/detect", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	if stale := s.drift.staleModels(); len(stale) != 1 || stale[0] != "spikes" {
+		t.Fatalf("stale models = %v", stale)
+	}
+	var health map[string]any
+	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, &health); code != 200 {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if health["status"] != "degraded" {
+		t.Fatalf("health status = %v, want degraded", health["status"])
+	}
+	if !strings.Contains(metricsText(t, ts), `cdtserve_model_stale{model="spikes"} 1`) {
+		t.Error("stale gauge not on /metrics")
+	}
+
+	// The retrain fires once and publishes an unpromoted candidate.
+	select {
+	case name := <-stub.called:
+		if name != "spikes" {
+			t.Fatalf("retrained %q", name)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retrainer never called")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		versions, current, err := st.Versions("spikes")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last := versions[len(versions)-1]; last.Source == "retrain" {
+			if current == last.Version {
+				t.Fatal("retrained candidate was auto-promoted")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("retrained candidate never published")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v, _ := s.registry.Version("spikes"); v != 1 {
+		t.Fatalf("serving version changed to %d during drift", v)
+	}
+
+	// Reload clears the stale flag (new baseline epoch).
+	if code := doJSON(t, "POST", ts.URL+"/models/reload", nil, nil); code != 200 {
+		t.Fatal("reload failed")
+	}
+	if stale := s.drift.staleModels(); len(stale) != 0 {
+		t.Fatalf("stale after reload: %v", stale)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, &health); code != 200 || health["status"] != "ok" {
+		t.Fatalf("health after reload = %v", health)
+	}
+}
+
+// TestConcurrentShadowPromoteHammer races live batch scoring and stream
+// pushes against promote/rollback flips and shadow start/stop churn.
+// Run under -race (the repo's test gate does) this is the concurrency
+// proof for the lifecycle paths.
+func TestConcurrentShadowPromoteHammer(t *testing.T) {
+	s, ts, _ := newStoreServer(t, Config{})
+	if code := doJSON(t, "POST", ts.URL+"/models/spikes/shadow", versionRequest{Version: 2}, nil); code != 201 {
+		t.Fatalf("shadow start: status %d", code)
+	}
+
+	const iters = 30
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { // batch traffic
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			batchDetect(t, ts, "spikes", 2, int64(i))
+		}
+	}()
+	go func() { // stream traffic
+		defer wg.Done()
+		var sess createStreamResponse
+		if code := doJSON(t, "POST", ts.URL+"/streams", createStreamRequest{Model: "spikes", Min: 60, Max: 420}, &sess); code != 201 {
+			t.Error("create stream failed")
+			return
+		}
+		feed := spiky("live", 64, []int{30}, 9)
+		for i := 0; i < iters; i++ {
+			if code := doJSON(t, "POST", ts.URL+"/streams/"+sess.ID+"/points", pushPointsRequest{Points: feed.Values}, nil); code != 200 {
+				t.Error("push failed mid-hammer")
+				return
+			}
+		}
+	}()
+	go func() { // promote/rollback flips
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			doJSON(t, "POST", ts.URL+"/models/spikes/promote", versionRequest{Version: 2}, nil)
+			doJSON(t, "POST", ts.URL+"/models/spikes/rollback", nil, nil)
+		}
+	}()
+	go func() { // shadow churn
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			doJSON(t, "POST", ts.URL+"/models/spikes/shadow", versionRequest{Version: 2}, nil)
+			req, _ := http.NewRequest("DELETE", ts.URL+"/models/spikes/shadow", nil)
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}
+	}()
+	wg.Wait()
+	s.shadows.drain()
+
+	// The server must still be coherent: healthz OK and a model serving.
+	var health map[string]any
+	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, &health); code != 200 {
+		t.Fatalf("healthz after hammer: status %d (%v)", code, health)
+	}
+	if s.registry.Len() != 1 {
+		t.Fatalf("registry lost its model: %d", s.registry.Len())
+	}
+}

@@ -9,25 +9,31 @@ import (
 	"sync"
 
 	cdt "cdt"
+	"cdt/internal/modelstore"
 	"cdt/internal/telemetry"
 )
 
-// Registry serves trained models loaded from a directory of versioned
-// JSON artifacts (one `<name>.json` per model, the format written by
-// Model.Save). Lookups take a read lock; Reload builds a complete new
-// model set off to the side and swaps it in atomically under the write
-// lock, so in-flight requests keep the *cdt.Model pointer they already
-// resolved — models are immutable after load, which makes hot-reload
-// safe without draining traffic. Immutability includes each model's
-// compiled rule engine (internal/engine): Load compiles it once, and
-// every request against the model — batch detects and stream sessions
-// alike — matches through that one shared read-only engine.
+// Registry serves trained models loaded from one of two backends: a
+// directory of versioned JSON artifacts (one `<name>.json` per model,
+// the format written by Model.Save), or a modelstore.Store, where each
+// model resolves through its "current" promotion pointer and carries a
+// version number. Lookups take a read lock; Reload builds a complete
+// new model set off to the side and swaps it in atomically under the
+// write lock, so in-flight requests keep the *cdt.Model pointer they
+// already resolved — models are immutable after load, which makes
+// hot-reload (and store promotes/rollbacks, which are just reloads of
+// moved pointers) safe without draining traffic. Immutability includes
+// each model's compiled rule engine (internal/engine): Load compiles it
+// once, and every request against the model — batch detects and stream
+// sessions alike — matches through that one shared read-only engine.
 type Registry struct {
 	dir     string
+	store   *modelstore.Store  // nil in directory mode
 	reloads *telemetry.Counter // set by server.New; nil for a bare registry
 
-	mu     sync.RWMutex
-	models map[string]*cdt.Model
+	mu       sync.RWMutex
+	models   map[string]*cdt.Model
+	versions map[string]int // store mode: serving version per name; nil in dir mode
 }
 
 // ModelInfo summarizes one registered model for listings.
@@ -36,6 +42,9 @@ type ModelInfo struct {
 	Omega    int    `json:"omega"`
 	Delta    int    `json:"delta"`
 	NumRules int    `json:"num_rules"`
+	// Version is the model-store version serving as this model (0 when
+	// the registry loads from a flat directory).
+	Version int `json:"version,omitempty"`
 }
 
 // NewRegistry loads every model in dir. The directory must exist and
@@ -47,6 +56,29 @@ func NewRegistry(dir string) (*Registry, error) {
 		return nil, err
 	}
 	return &Registry{dir: dir, models: models}, nil
+}
+
+// NewStoreRegistry resolves every promoted "current" pointer in the
+// store. At least one model must be promoted — a serving process over
+// an empty store has nothing to serve.
+func NewStoreRegistry(st *modelstore.Store) (*Registry, error) {
+	models, versions, err := loadStore(st)
+	if err != nil {
+		return nil, err
+	}
+	return &Registry{store: st, models: models, versions: versions}, nil
+}
+
+// loadStore resolves the store's promoted models.
+func loadStore(st *modelstore.Store) (map[string]*cdt.Model, map[string]int, error) {
+	models, versions, err := st.CurrentModels()
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: %w", err)
+	}
+	if len(models) == 0 {
+		return nil, nil, fmt.Errorf("server: no promoted models in store %s", st.Dir())
+	}
+	return models, versions, nil
 }
 
 // loadModelDir reads every *.json model in dir, keyed by basename.
@@ -87,23 +119,65 @@ func (r *Registry) Get(name string) (*cdt.Model, bool) {
 	return m, ok
 }
 
-// Reload re-reads the model directory and atomically replaces the whole
-// model set. On any load error the previous set stays untouched, so a
-// corrupt artifact can never take down serving. Returns the number of
-// models now live.
+// Reload re-resolves the backend (directory contents or store "current"
+// pointers) and atomically replaces the whole model set. On any load
+// error the previous set stays untouched, so a corrupt artifact can
+// never take down serving. Returns the number of models now live.
 func (r *Registry) Reload() (int, error) {
-	models, err := loadModelDir(r.dir)
+	var (
+		models   map[string]*cdt.Model
+		versions map[string]int
+		err      error
+	)
+	if r.store != nil {
+		models, versions, err = loadStore(r.store)
+	} else {
+		models, err = loadModelDir(r.dir)
+	}
 	if err != nil {
 		return 0, err
 	}
 	r.mu.Lock()
 	r.models = models
+	r.versions = versions
 	r.mu.Unlock()
 	stats.Add("reloads", 1)
 	if r.reloads != nil {
 		r.reloads.Inc()
 	}
 	return len(models), nil
+}
+
+// Version returns the store version serving as name (0, false in
+// directory mode or for unknown names).
+func (r *Registry) Version(name string) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.versions[name]
+	return v, ok
+}
+
+// Store returns the backing model store (nil in directory mode).
+func (r *Registry) Store() *modelstore.Store { return r.store }
+
+// CheckSource verifies the registry's backend is loadable right now —
+// the /healthz readiness view. Directory mode checks the directory is
+// readable and still holds at least one artifact; store mode defers to
+// the store's manifest/blob check.
+func (r *Registry) CheckSource() error {
+	if r.store != nil {
+		return r.store.CheckReady()
+	}
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return fmt.Errorf("server: model dir unreadable: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			return nil
+		}
+	}
+	return fmt.Errorf("server: no *.json models in %s", r.dir)
 }
 
 // List returns the registered models sorted by name.
@@ -117,6 +191,7 @@ func (r *Registry) List() []ModelInfo {
 			Omega:    m.Opts.Omega,
 			Delta:    m.Opts.Delta,
 			NumRules: m.NumRules(),
+			Version:  r.versions[name],
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	cdt "cdt"
+	"cdt/internal/modelstore"
 )
 
 // stats publishes the serving counters under the "cdtserve" expvar map
@@ -36,8 +37,23 @@ var stats = expvar.NewMap("cdtserve")
 
 // Config tunes a Server.
 type Config struct {
-	// ModelDir is the directory of <name>.json model artifacts.
+	// ModelDir is the directory of <name>.json model artifacts. Exactly
+	// one of ModelDir and Store must be set.
 	ModelDir string
+	// Store serves models from a versioned model store instead of a flat
+	// directory: the registry resolves "current" promotion pointers, and
+	// the promote/rollback/shadow endpoints come alive.
+	Store *modelstore.Store
+	// DriftWindow is the sliding window (in scored windows) the drift
+	// detector aggregates before comparing live fire rate against the
+	// model's training-time anomaly rate (default 512).
+	DriftWindow int
+	// DriftBound is the absolute fire-rate deviation that marks a model
+	// stale; <= 0 disables drift detection (the default).
+	DriftBound float64
+	// Retrainer, when set alongside Store, re-trains drifted models in
+	// the background and publishes the result as an unpromoted candidate.
+	Retrainer Retrainer
 	// SessionTTL evicts streaming sessions idle longer than this
 	// (default 15m; <= 0 keeps the default, it does not disable).
 	SessionTTL time.Duration
@@ -72,16 +88,30 @@ type Server struct {
 	cfg      Config
 	registry *Registry
 	sessions *Sessions
+	shadows  *Shadows
+	drift    *drift
 	sem      chan struct{} // batch worker-pool slots
 	mux      *http.ServeMux
 	tel      *serverMetrics
 	logger   *slog.Logger // access logger; nil disables access logs
 }
 
-// New loads the model directory and assembles the serving stack.
+// New loads the model backend (directory or store) and assembles the
+// serving stack.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	reg, err := NewRegistry(cfg.ModelDir)
+	var (
+		reg *Registry
+		err error
+	)
+	if cfg.Store != nil {
+		if cfg.ModelDir != "" {
+			return nil, fmt.Errorf("server: Config.ModelDir and Config.Store are mutually exclusive")
+		}
+		reg, err = NewStoreRegistry(cfg.Store)
+	} else {
+		reg, err = NewRegistry(cfg.ModelDir)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -91,6 +121,8 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		registry: reg,
 		sessions: NewSessions(cfg.SessionTTL, tel),
+		shadows:  NewShadows(tel, cfg.Workers),
+		drift:    newDrift(cfg.DriftWindow, cfg.DriftBound, cfg.Store, cfg.Retrainer, tel),
 		sem:      make(chan struct{}, cfg.Workers),
 		mux:      http.NewServeMux(),
 		tel:      tel,
@@ -100,6 +132,9 @@ func New(cfg Config) (*Server, error) {
 		"Models currently registered.", func() int64 { return int64(s.registry.Len()) })
 	tel.reg.GaugeFunc("cdtserve_stream_sessions_active",
 		"Live streaming sessions.", func() int64 { return int64(s.sessions.Len()) })
+	tel.reg.GaugeFunc("cdtserve_shadows_active",
+		"Candidate versions currently shadow-scoring live traffic.",
+		func() int64 { return int64(s.shadows.Len()) })
 	s.routes()
 	return s, nil
 }
@@ -109,6 +144,11 @@ func (s *Server) routes() {
 	s.handle("GET /models", "models_list", s.handleListModels)
 	s.handle("POST /models/reload", "models_reload", s.handleReload)
 	s.handle("POST /models/{name}/detect", "batch_detect", s.handleBatchDetect)
+	s.handle("GET /models/{name}/shadow", "shadow_summary", s.handleShadowSummary)
+	s.handle("POST /models/{name}/shadow", "shadow_start", s.handleShadowStart)
+	s.handle("DELETE /models/{name}/shadow", "shadow_stop", s.handleShadowStop)
+	s.handle("POST /models/{name}/promote", "model_promote", s.handlePromote)
+	s.handle("POST /models/{name}/rollback", "model_rollback", s.handleRollback)
 	s.handle("POST /streams", "stream_create", s.handleCreateStream)
 	s.handle("POST /streams/{id}/points", "stream_push", s.handlePushPoints)
 	s.handle("POST /streams/{id}/reset", "stream_reset", s.handleResetStream)
@@ -146,8 +186,12 @@ func (s *Server) Handler() http.Handler {
 // Registry exposes the model registry (the SIGHUP handler reloads it).
 func (s *Server) Registry() *Registry { return s.registry }
 
-// Close releases background resources (the session janitor).
-func (s *Server) Close() { s.sessions.Close() }
+// Close releases background resources (the session janitor and the
+// shadow-scoring workers).
+func (s *Server) Close() {
+	s.sessions.Close()
+	s.shadows.Close()
+}
 
 // --- JSON plumbing -----------------------------------------------------
 
@@ -207,12 +251,29 @@ func firedRules(fired []cdt.FiredPredicate) []firedRule {
 
 // --- operational handlers ----------------------------------------------
 
+// handleHealthz is the readiness view: it verifies the model backend is
+// loadable right now (store manifest readable and every current version
+// resolvable, or the model dir still holding artifacts) and surfaces
+// drift — a stale model degrades the report without failing readiness,
+// since the incumbent is still serving.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	if err := s.registry.CheckSource(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "unready",
+			"error":  err.Error(),
+		})
+		return
+	}
+	body := map[string]any{
 		"status":          "ok",
 		"models":          s.registry.Len(),
 		"active_sessions": s.sessions.Len(),
-	})
+	}
+	if stale := s.drift.staleModels(); len(stale) > 0 {
+		body["status"] = "degraded"
+		body["stale_models"] = stale
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
@@ -225,6 +286,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "reload failed (previous models still serving): %v", err)
 		return
 	}
+	// What serves under each name may have changed; drift baselines from
+	// the previous artifacts no longer apply.
+	s.drift.resetAll()
 	writeJSON(w, http.StatusOK, map[string]any{"models": n})
 }
 
@@ -252,7 +316,8 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown model %q", req.Model)
 		return
 	}
-	sess, err := s.sessions.Create(req.Model, model, cdt.Scale{Min: req.Min, Max: req.Max})
+	sess, err := s.sessions.Create(req.Model, model,
+		cdt.Scale{Min: req.Min, Max: req.Max}, s.shadows.Get(req.Model), s.drift)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -35,9 +35,20 @@ type Session struct {
 	Omega int
 	tel   *serverMetrics // nil in unit tests that build Sessions bare
 
+	model *cdt.Model // pinned incumbent (drift baseline source); may be nil in bare tests
+	drift *drift     // nil disables drift tracking (bare tests)
+
 	mu       sync.Mutex
 	stream   *cdt.Stream
 	lastUsed time.Time
+
+	// Shadow mirroring: when a candidate was shadowing this model at
+	// session-creation time, every pushed point also feeds a candidate
+	// stream and per-push detections are compared. Sessions created
+	// before a shadow starts do not mirror (the candidate would join
+	// mid-stream with a cold cursor and disagree spuriously).
+	shadow       *Shadow
+	shadowStream *cdt.Stream
 }
 
 // NewSessions starts a session manager; ttl <= 0 disables eviction. The
@@ -104,19 +115,34 @@ func newSessionID() string {
 
 // Create opens a stream on model (named name in the registry) and
 // registers it. The session pins the model it was created with, so a
-// registry reload does not disturb live streams.
-func (s *Sessions) Create(name string, model *cdt.Model, scale cdt.Scale) (*Session, error) {
+// registry reload — or a store promote, which is a reload — does not
+// disturb live streams. shadow and drift may be nil (bare unit tests,
+// or no candidate shadowing at creation time).
+func (s *Sessions) Create(name string, model *cdt.Model, scale cdt.Scale, shadow *Shadow, drift *drift) (*Session, error) {
 	stream, err := model.NewStream(scale)
 	if err != nil {
 		return nil, err
 	}
+	var shadowStream *cdt.Stream
+	if shadow != nil {
+		shadowStream, err = shadow.candidate.NewStream(scale)
+		if err != nil {
+			// The candidate cannot stream at this scale; serve without
+			// mirroring rather than failing the session.
+			shadow = nil
+		}
+	}
 	sess := &Session{
-		ID:       newSessionID(),
-		Model:    name,
-		Omega:    model.Opts.Omega,
-		tel:      s.tel,
-		stream:   stream,
-		lastUsed: time.Now(),
+		ID:           newSessionID(),
+		Model:        name,
+		Omega:        model.Opts.Omega,
+		tel:          s.tel,
+		model:        model,
+		drift:        drift,
+		stream:       stream,
+		shadow:       shadow,
+		shadowStream: shadowStream,
+		lastUsed:     time.Now(),
 	}
 	s.mu.Lock()
 	s.m[sess.ID] = sess
@@ -154,14 +180,32 @@ func (s *Sessions) Len() int {
 
 // Push feeds values through the session's stream in order and returns
 // every detection they produced, tagged with the number of points the
-// stream had consumed when the detection fired.
+// stream had consumed when the detection fired. When a candidate is
+// mirroring the session, the same points feed its stream synchronously
+// (the incremental cursor is O(1) per point) and the per-push detection
+// ranges are compared into the shadow counters; the drift tracker sees
+// every completed window either way.
 func (sess *Session) Push(values []float64) ([]cdt.Detection, int, bool) {
 	start := time.Now()
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	pointsBefore := sess.stream.Points()
 	var out []cdt.Detection
 	for _, v := range values {
 		out = append(out, sess.stream.Push(v)...)
+	}
+	windows := streamWindows(sess.stream.Points(), sess.Omega) -
+		streamWindows(pointsBefore, sess.Omega)
+	if sess.shadow != nil {
+		var candDets []cdt.Detection
+		for _, v := range values {
+			candDets = append(candDets, sess.shadowStream.Push(v)...)
+		}
+		agree, incOnly, candOnly := compareRanges(detectionRanges(out), detectionRanges(candDets))
+		sess.shadow.record(windows, agree, incOnly, candOnly)
+	}
+	if sess.drift != nil {
+		sess.drift.observe(sess.Model, sess.model, windows, len(out))
 	}
 	sess.lastUsed = time.Now()
 	if sess.tel != nil {
@@ -172,10 +216,36 @@ func (sess *Session) Push(values []float64) ([]cdt.Detection, int, bool) {
 	return out, sess.stream.Points(), sess.stream.Ready()
 }
 
-// Reset clears the stream state, keeping model and scale.
+// streamWindows is the number of complete windows a stream of n points
+// has swept: n−1 transition labels make n−ω windows.
+func streamWindows(points, omega int) int {
+	if w := points - omega; w > 0 {
+		return w
+	}
+	return 0
+}
+
+// detectionRanges projects stream detections to their point ranges for
+// the shadow comparison.
+func detectionRanges(dets []cdt.Detection) [][2]int {
+	if len(dets) == 0 {
+		return nil
+	}
+	out := make([][2]int, len(dets))
+	for i, d := range dets {
+		out[i] = [2]int{d.WindowStart, d.WindowEnd}
+	}
+	return out
+}
+
+// Reset clears the stream state (and any mirrored candidate stream),
+// keeping model and scale.
 func (sess *Session) Reset() {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	sess.stream.Reset()
+	if sess.shadowStream != nil {
+		sess.shadowStream.Reset()
+	}
 	sess.lastUsed = time.Now()
 }

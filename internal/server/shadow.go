@@ -1,0 +1,296 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	cdt "cdt"
+	"cdt/internal/telemetry"
+)
+
+// Shadow evaluation: a candidate model version scores the same live
+// traffic as the incumbent it hopes to replace, and the server keeps
+// score — agreement and disagreement counters plus per-role fire-rate
+// histograms — so an operator promotes on evidence, not hope.
+//
+// Two traffic paths feed a shadow:
+//
+//   - Batch detects enqueue the request's series (plus the incumbent's
+//     detections) onto a bounded queue scored by background workers, so
+//     shadow mode costs the serving path an enqueue, not a second
+//     detection — the <5% overhead gate on
+//     BenchmarkServerBatchDetectShadow holds because candidate scoring
+//     is off the request path. A full queue drops the sample (counted)
+//     rather than blocking a request.
+//
+//   - Stream pushes mirror each point into a candidate stream inside
+//     the session lock (the incremental cursor is O(1) per point, cheap
+//     enough to keep synchronous and ordered).
+//
+// Agreement is window-range-exact: a detection agrees when both sides
+// report the same [start, end] point range. For candidates sharing the
+// incumbent's ω (the common case — retrained versions of the same
+// model) this is exact; a candidate with a different ω reports shifted
+// ranges and will show as disagreement, which is the truthful signal.
+//
+// Shadow tracks one candidate version scoring next to its incumbent.
+// All counters are atomics: batch workers, stream sessions, and the
+// summary endpoint touch them without locks.
+type Shadow struct {
+	Name    string // incumbent registry name
+	Version int    // candidate store version
+
+	candidate *cdt.Model
+
+	windows   atomic.Uint64 // windows swept past the comparison
+	agree     atomic.Uint64 // ranges both sides reported
+	incOnly   atomic.Uint64 // ranges only the incumbent reported
+	candOnly  atomic.Uint64 // ranges only the candidate reported
+	incFired  atomic.Uint64 // incumbent detections observed
+	candFired atomic.Uint64 // candidate detections observed
+	dropped   atomic.Uint64 // batch samples dropped on a full queue
+
+	// Pre-resolved telemetry children (per-model labels).
+	cAgree, cIncOnly, cCandOnly *telemetry.Counter
+	hIncRate, hCandRate         *telemetry.Histogram
+}
+
+// record folds one compared sample into the counters.
+func (sh *Shadow) record(windows, agree, incOnly, candOnly int) {
+	sh.windows.Add(uint64(windows))
+	sh.agree.Add(uint64(agree))
+	sh.incOnly.Add(uint64(incOnly))
+	sh.candOnly.Add(uint64(candOnly))
+	sh.incFired.Add(uint64(agree + incOnly))
+	sh.candFired.Add(uint64(agree + candOnly))
+	sh.cAgree.Add(uint64(agree))
+	sh.cIncOnly.Add(uint64(incOnly))
+	sh.cCandOnly.Add(uint64(candOnly))
+}
+
+// ShadowSummary is the GET /models/{name}/shadow payload.
+type ShadowSummary struct {
+	Model            string `json:"model"`
+	CandidateVersion int    `json:"candidate_version"`
+	Windows          uint64 `json:"windows"`
+	Agree            uint64 `json:"agree"`
+	IncumbentOnly    uint64 `json:"incumbent_only"`
+	CandidateOnly    uint64 `json:"candidate_only"`
+	IncumbentFired   uint64 `json:"incumbent_fired"`
+	CandidateFired   uint64 `json:"candidate_fired"`
+	Dropped          uint64 `json:"dropped"`
+	// Agreement is agree / (agree + incumbent_only + candidate_only);
+	// 1 when neither side has fired yet.
+	Agreement float64 `json:"agreement"`
+}
+
+func (sh *Shadow) summary() ShadowSummary {
+	s := ShadowSummary{
+		Model:            sh.Name,
+		CandidateVersion: sh.Version,
+		Windows:          sh.windows.Load(),
+		Agree:            sh.agree.Load(),
+		IncumbentOnly:    sh.incOnly.Load(),
+		CandidateOnly:    sh.candOnly.Load(),
+		IncumbentFired:   sh.incFired.Load(),
+		CandidateFired:   sh.candFired.Load(),
+		Dropped:          sh.dropped.Load(),
+		Agreement:        1,
+	}
+	if total := s.Agree + s.IncumbentOnly + s.CandidateOnly; total > 0 {
+		s.Agreement = float64(s.Agree) / float64(total)
+	}
+	return s
+}
+
+// shadowJob is one batch sample awaiting candidate scoring.
+type shadowJob struct {
+	sh        *Shadow
+	values    []float64
+	incRanges [][2]int // incumbent detection ranges, ascending
+	windows   int      // windows the incumbent swept
+}
+
+// Shadows manages the active shadow per model name and the background
+// worker pool that scores batch samples.
+type Shadows struct {
+	tel *serverMetrics
+
+	mu sync.RWMutex
+	m  map[string]*Shadow
+
+	queue   chan shadowJob
+	stop    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+	pending atomic.Int64 // queued but not yet scored (tests drain on 0)
+}
+
+// NewShadows starts the shadow scorer with the given worker count.
+func NewShadows(tel *serverMetrics, workers int) *Shadows {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Shadows{
+		tel:   tel,
+		m:     make(map[string]*Shadow),
+		queue: make(chan shadowJob, 256),
+		stop:  make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the workers; queued samples are abandoned.
+func (s *Shadows) Close() {
+	s.once.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// Start activates (or replaces) the shadow for name.
+func (s *Shadows) Start(name string, version int, candidate *cdt.Model) *Shadow {
+	sh := &Shadow{
+		Name:      name,
+		Version:   version,
+		candidate: candidate,
+		cAgree:    s.tel.shadowWindows.With(name, "agree"),
+		cIncOnly:  s.tel.shadowWindows.With(name, "incumbent_only"),
+		cCandOnly: s.tel.shadowWindows.With(name, "candidate_only"),
+		hIncRate:  s.tel.shadowFireRate.With(name, "incumbent"),
+		hCandRate: s.tel.shadowFireRate.With(name, "candidate"),
+	}
+	s.mu.Lock()
+	s.m[name] = sh
+	s.mu.Unlock()
+	return sh
+}
+
+// Stop deactivates the shadow for name, reporting whether one existed.
+// In-flight samples for the old shadow still count into its (now
+// unreferenced) counters; the telemetry children persist on /metrics.
+func (s *Shadows) Stop(name string) bool {
+	s.mu.Lock()
+	_, ok := s.m[name]
+	delete(s.m, name)
+	s.mu.Unlock()
+	return ok
+}
+
+// Get returns the active shadow for name (nil if none).
+func (s *Shadows) Get(name string) *Shadow {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[name]
+}
+
+// Len returns the number of active shadows.
+func (s *Shadows) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// enqueue offers one batch sample to the scorer without ever blocking
+// the serving path: a full queue drops the sample and counts the drop.
+func (s *Shadows) enqueue(job shadowJob) {
+	s.pending.Add(1)
+	select {
+	case s.queue <- job:
+	default:
+		s.pending.Add(-1)
+		job.sh.dropped.Add(1)
+		s.tel.shadowDropped.Inc()
+	}
+}
+
+// drain blocks until every enqueued sample has been scored — a test
+// hook, so assertions see deterministic counters despite async scoring.
+func (s *Shadows) drain() {
+	for s.pending.Load() != 0 {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (s *Shadows) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case job := <-s.queue:
+			s.score(job)
+			s.pending.Add(-1)
+		}
+	}
+}
+
+// score runs the candidate over one batch sample and folds the
+// comparison into the shadow's counters.
+func (s *Shadows) score(job shadowJob) {
+	sh := job.sh
+	flags, err := sh.candidate.DetectWindows(cdt.NewSeries("shadow", job.values))
+	if err != nil {
+		// A series the incumbent scored but the candidate cannot (e.g.
+		// shorter than the candidate's ω) is a hard disagreement on
+		// every incumbent detection.
+		sh.record(job.windows, 0, len(job.incRanges), 0)
+		observeRates(sh, job.windows, len(job.incRanges), 0, 0)
+		return
+	}
+	omega := sh.candidate.Opts.Omega
+	candRanges := make([][2]int, 0, 8)
+	for w, fired := range flags {
+		if fired {
+			// Window w covers points [w+1, w+ω] (explain.go contract).
+			candRanges = append(candRanges, [2]int{w + 1, w + omega})
+		}
+	}
+	agree, incOnly, candOnly := compareRanges(job.incRanges, candRanges)
+	sh.record(job.windows, agree, incOnly, candOnly)
+	observeRates(sh, job.windows, len(job.incRanges), len(flags), len(candRanges))
+}
+
+// observeRates feeds the per-role fire-rate histograms (fired windows
+// per window swept, one observation per batch sample).
+func observeRates(sh *Shadow, incWindows, incFired, candWindows, candFired int) {
+	if incWindows > 0 {
+		sh.hIncRate.Observe(float64(incFired) / float64(incWindows))
+	}
+	if candWindows > 0 {
+		sh.hCandRate.Observe(float64(candFired) / float64(candWindows))
+	}
+}
+
+// compareRanges merges two ascending range lists and counts exact
+// matches and one-sided reports.
+func compareRanges(inc, cand [][2]int) (agree, incOnly, candOnly int) {
+	i, j := 0, 0
+	for i < len(inc) && j < len(cand) {
+		switch {
+		case inc[i] == cand[j]:
+			agree++
+			i++
+			j++
+		case less(inc[i], cand[j]):
+			incOnly++
+			i++
+		default:
+			candOnly++
+			j++
+		}
+	}
+	incOnly += len(inc) - i
+	candOnly += len(cand) - j
+	return agree, incOnly, candOnly
+}
+
+func less(a, b [2]int) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}

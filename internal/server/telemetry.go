@@ -44,7 +44,21 @@ type serverMetrics struct {
 	pushLatency      *telemetry.Histogram // cdtserve_stream_push_seconds
 	sessionsEvicted  *telemetry.Counter   // cdtserve_stream_sessions_evicted_total
 	reloads          *telemetry.Counter   // cdtserve_model_reloads_total
+
+	// Model-lifecycle instruments (model store, shadows, drift).
+	shadowWindows  *telemetry.CounterVec   // cdtserve_shadow_windows_total{model,outcome}
+	shadowFireRate *telemetry.HistogramVec // cdtserve_shadow_fire_rate{model,role}
+	shadowDropped  *telemetry.Counter      // cdtserve_shadow_dropped_total
+	staleModels    *telemetry.GaugeVec     // cdtserve_model_stale{model}
+	retrains       *telemetry.CounterVec   // cdtserve_retrains_total{status}
+	promotes       *telemetry.Counter      // cdtserve_model_promotes_total
+	rollbacks      *telemetry.Counter      // cdtserve_model_rollbacks_total
 }
+
+// fireRateBuckets shape the shadow fire-rate histograms: fire rates live
+// in [0, 1] and interesting mass sits near zero, so the default
+// latency-shaped buckets would flatten everything into one bin.
+var fireRateBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 0.75, 1}
 
 func newServerMetrics() *serverMetrics {
 	reg := telemetry.NewRegistry()
@@ -68,6 +82,22 @@ func newServerMetrics() *serverMetrics {
 			"Streaming sessions evicted after exceeding the idle TTL."),
 		reloads: reg.Counter("cdtserve_model_reloads_total",
 			"Successful model-registry reloads (SIGHUP or POST /models/reload)."),
+		shadowWindows: reg.CounterVec("cdtserve_shadow_windows_total",
+			"Shadow-compared detection outcomes, by model and outcome "+
+				"(agree, incumbent_only, candidate_only).", "model", "outcome"),
+		shadowFireRate: reg.HistogramVec("cdtserve_shadow_fire_rate",
+			"Per-sample fire rate (fired windows / windows swept), by model and role "+
+				"(incumbent or candidate).", fireRateBuckets, "model", "role"),
+		shadowDropped: reg.Counter("cdtserve_shadow_dropped_total",
+			"Batch samples dropped because the shadow-scoring queue was full."),
+		staleModels: reg.GaugeVec("cdtserve_model_stale",
+			"1 while the model's live fire rate has drifted past the configured bound.", "model"),
+		retrains: reg.CounterVec("cdtserve_retrains_total",
+			"Drift-triggered retrains, by status (ok or error).", "status"),
+		promotes: reg.Counter("cdtserve_model_promotes_total",
+			"Store versions promoted to serving via POST /models/{name}/promote."),
+		rollbacks: reg.Counter("cdtserve_model_rollbacks_total",
+			"Store rollbacks applied via POST /models/{name}/rollback."),
 	}
 	// Training-side cache visibility: the corpus caches live in the root
 	// package and aggregate process-wide, so a binary that both trains

@@ -224,15 +224,19 @@ func (r *Registry) counter(name, help, labels string) *Counter {
 
 // Gauge registers (or fetches) an unlabeled gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.gauge(name, help, "")
+}
+
+func (r *Registry) gauge(name, help, labels string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.lookup(name, help, kindGauge)
 	for _, g := range f.gauges {
-		if g.labels == "" {
+		if g.labels == labels {
 			return g
 		}
 	}
-	g := &Gauge{}
+	g := &Gauge{labels: labels}
 	f.gauges = append(f.gauges, g)
 	return g
 }
@@ -320,6 +324,29 @@ func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterV
 // label name, in order).
 func (v *CounterVec) With(values ...string) *Counter {
 	return v.r.counter(v.name, v.help, renderLabels(v.labelNames, values))
+}
+
+// GaugeVec is a gauge family partitioned by label values. With is
+// mutex-guarded: resolve children once at setup, not per event.
+type GaugeVec struct {
+	r          *Registry
+	name, help string
+	labelNames []string
+}
+
+// GaugeVec registers a labeled gauge family (per-model staleness flags,
+// per-shard occupancy).
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	r.mu.Lock()
+	r.lookup(name, help, kindGauge)
+	r.mu.Unlock()
+	return &GaugeVec{r: r, name: name, help: help, labelNames: labelNames}
+}
+
+// With returns the child gauge for the given label values (one per
+// label name, in order).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.r.gauge(v.name, v.help, renderLabels(v.labelNames, values))
 }
 
 // HistogramVec is a histogram family partitioned by label values.

@@ -101,6 +101,30 @@ func TestVecResolvesSameChild(t *testing.T) {
 	}
 }
 
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("gvec", "per-model flag", "model")
+	if v.With("a") != v.With("a") {
+		t.Error("With(a) returned distinct gauges for equal labels")
+	}
+	if v.With("a") == v.With("b") {
+		t.Error("With(a) and With(b) share a gauge")
+	}
+	v.With("a").Set(1)
+	out := r.Render()
+	for _, want := range []string{`gvec{model="a"} 1`, `gvec{model="b"} 0`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The unlabeled Gauge and a GaugeVec child share a family without
+	// colliding.
+	r.Gauge("gvec2", "flag").Set(5)
+	if got := r.GaugeVec("gvec2", "flag", "m").With("x"); got.Value() != 0 {
+		t.Errorf("labeled child inherited unlabeled value %d", got.Value())
+	}
+}
+
 // TestLabelEscaping covers the three escaped characters in label values.
 func TestLabelEscaping(t *testing.T) {
 	r := NewRegistry()

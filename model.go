@@ -94,6 +94,20 @@ func (m *Model) TreeText() string { return m.tree.Render(m.pcfg) }
 // TreeStats summarizes the tree's shape.
 func (m *Model) TreeStats() core.Stats { return m.tree.Stats() }
 
+// TrainingAnomalyRate returns the share of anomalous windows in the
+// model's training observations (the class distribution at the tree
+// root). It survives Save/Load, so a served model carries its own
+// baseline fire-rate expectation — the reference drift detection
+// compares live traffic against.
+func (m *Model) TrainingAnomalyRate() float64 {
+	c := m.tree.Root.Counts
+	total := c.Normal + c.Anomaly
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Anomaly) / float64(total)
+}
+
 // detectMarks labels a series and sweeps the compiled engine over it in
 // one pass, returning per-window match marks — the shared back end of
 // every batch detection surface.

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"cdt/internal/core"
 	"cdt/internal/pattern"
@@ -99,13 +100,17 @@ func Load(r io.Reader) (*Model, error) {
 		Epsilon:           doc.Options.Epsilon,
 		MaxCompositionLen: doc.Options.MaxCompositionLen,
 	}
+	// Rejections name the offending field by its JSON path (e.g.
+	// "options.criterion", "tree.true.composition[1]"), so the model
+	// store's audit log and the CLI can say why a candidate was refused,
+	// not just that it was.
 	switch doc.Options.Criterion {
 	case "", "gini":
 		opts.Criterion = core.Gini
 	case "entropy":
 		opts.Criterion = core.Entropy
 	default:
-		return nil, fmt.Errorf("cdt: unknown criterion %q", doc.Options.Criterion)
+		return nil, fmt.Errorf("cdt: options.criterion: unknown criterion %q", doc.Options.Criterion)
 	}
 	switch doc.Options.Match {
 	case "", "contiguous":
@@ -113,7 +118,7 @@ func Load(r io.Reader) (*Model, error) {
 	case "subsequence":
 		opts.Match = core.MatchSubsequence
 	default:
-		return nil, fmt.Errorf("cdt: unknown match mode %q", doc.Options.Match)
+		return nil, fmt.Errorf("cdt: options.match: unknown match mode %q", doc.Options.Match)
 	}
 	switch doc.Options.LeafPolicy {
 	case "", "pure-anomaly":
@@ -121,23 +126,26 @@ func Load(r io.Reader) (*Model, error) {
 	case "majority-anomaly":
 		opts.LeafPolicy = rules.MajorityAnomalyLeaves
 	default:
-		return nil, fmt.Errorf("cdt: unknown leaf policy %q", doc.Options.LeafPolicy)
+		return nil, fmt.Errorf("cdt: options.leaf_policy: unknown leaf policy %q", doc.Options.LeafPolicy)
 	}
 	if err := opts.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("cdt: options: %s", strings.TrimPrefix(err.Error(), "cdt: "))
 	}
 	// Bound hyper-parameters to plausible magnitudes: models are loaded
 	// from disk at serving time, and an adversarial or corrupted file
 	// must fail cleanly instead of driving huge allocations downstream
 	// (window buffers are sized by ω, interval tables by δ).
 	const maxHyper = 1 << 20
-	if opts.Omega > maxHyper || opts.Delta > maxHyper {
-		return nil, fmt.Errorf("cdt: implausible hyper-parameters omega=%d delta=%d (max %d)", opts.Omega, opts.Delta, maxHyper)
+	if opts.Omega > maxHyper {
+		return nil, fmt.Errorf("cdt: options.omega: implausible omega %d (max %d)", opts.Omega, maxHyper)
+	}
+	if opts.Delta > maxHyper {
+		return nil, fmt.Errorf("cdt: options.delta: implausible delta %d (max %d)", opts.Delta, maxHyper)
 	}
 	if doc.Tree == nil {
-		return nil, fmt.Errorf("cdt: model has no tree")
+		return nil, fmt.Errorf("cdt: tree: model has no tree")
 	}
-	root, err := decodeNode(doc.Tree, 0, opts.Delta)
+	root, err := decodeNode(doc.Tree, "tree", 0, opts.Delta)
 	if err != nil {
 		return nil, err
 	}
@@ -152,22 +160,25 @@ func Load(r io.Reader) (*Model, error) {
 	return m, nil
 }
 
-func decodeNode(doc *nodeDoc, depth, delta int) (*core.Node, error) {
+// decodeNode rebuilds one tree node. path is the node's JSON path from
+// the document root ("tree", "tree.true", ...); every rejection carries
+// it so a refused artifact names the exact offending field.
+func decodeNode(doc *nodeDoc, path string, depth, delta int) (*core.Node, error) {
 	n := &core.Node{
 		Counts: core.ClassCounts{Normal: doc.Normal, Anomaly: doc.Anomaly},
 		Depth:  depth,
 	}
 	if doc.Normal < 0 || doc.Anomaly < 0 {
-		return nil, fmt.Errorf("cdt: negative class counts in model")
+		return nil, fmt.Errorf("cdt: %s: negative class counts normal=%d anomaly=%d", path, doc.Normal, doc.Anomaly)
 	}
 	if len(doc.Composition) == 0 {
 		if doc.True != nil || doc.False != nil {
-			return nil, fmt.Errorf("cdt: node has children but no composition")
+			return nil, fmt.Errorf("cdt: %s: node has children but no composition", path)
 		}
 		return n, nil
 	}
 	if doc.True == nil || doc.False == nil {
-		return nil, fmt.Errorf("cdt: split node missing a child")
+		return nil, fmt.Errorf("cdt: %s: split node missing a child", path)
 	}
 	pcfg := pattern.Config{Delta: delta}
 	comp := core.Composition{Labels: make([]pattern.Label, len(doc.Composition))}
@@ -178,16 +189,16 @@ func decodeNode(doc *nodeDoc, depth, delta int) (*core.Node, error) {
 			Beta:  pattern.Interval(triple[2]),
 		}
 		if !pcfg.Valid(l) {
-			return nil, fmt.Errorf("cdt: invalid label %v for delta %d", l, delta)
+			return nil, fmt.Errorf("cdt: %s.composition[%d]: invalid label %v for delta %d", path, i, l, delta)
 		}
 		comp.Labels[i] = l
 	}
 	n.Composition = &comp
 	var err error
-	if n.ChildTrue, err = decodeNode(doc.True, depth+1, delta); err != nil {
+	if n.ChildTrue, err = decodeNode(doc.True, path+".true", depth+1, delta); err != nil {
 		return nil, err
 	}
-	if n.ChildFalse, err = decodeNode(doc.False, depth+1, delta); err != nil {
+	if n.ChildFalse, err = decodeNode(doc.False, path+".false", depth+1, delta); err != nil {
 		return nil, err
 	}
 	return n, nil

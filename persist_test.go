@@ -101,6 +101,63 @@ func TestLoadRejectsCorruptDocuments(t *testing.T) {
 	}
 }
 
+// TestLoadErrorsNameOffendingField: rejections carry the JSON path of
+// the field that failed, so the model store's audit log and the CLI can
+// say why a candidate was refused.
+func TestLoadErrorsNameOffendingField(t *testing.T) {
+	cases := map[string]struct {
+		doc  string
+		want string
+	}{
+		"criterion": {
+			`{"version": 1, "options": {"omega": 5, "delta": 2, "criterion": "x"}, "tree": {"normal": 1, "anomaly": 0}}`,
+			"options.criterion",
+		},
+		"match": {
+			`{"version": 1, "options": {"omega": 5, "delta": 2, "match": "x"}, "tree": {"normal": 1, "anomaly": 0}}`,
+			"options.match",
+		},
+		"leaf policy": {
+			`{"version": 1, "options": {"omega": 5, "delta": 2, "leaf_policy": "x"}, "tree": {"normal": 1, "anomaly": 0}}`,
+			"options.leaf_policy",
+		},
+		"implausible omega": {
+			`{"version": 1, "options": {"omega": 9999999, "delta": 2}, "tree": {"normal": 1, "anomaly": 0}}`,
+			"options.omega",
+		},
+		"implausible delta": {
+			`{"version": 1, "options": {"omega": 5, "delta": 9999999}, "tree": {"normal": 1, "anomaly": 0}}`,
+			"options.delta",
+		},
+		"missing tree": {
+			`{"version": 1, "options": {"omega": 5, "delta": 2}}`,
+			"tree",
+		},
+		"root label": {
+			`{"version": 1, "options": {"omega": 5, "delta": 2}, "tree": {"normal": 1, "anomaly": 0, "composition": [[0,9,9],[0,1,1]], "true": {"normal": 1, "anomaly": 0}, "false": {"normal": 0, "anomaly": 1}}}`,
+			"tree.composition[0]",
+		},
+		"nested negative counts": {
+			`{"version": 1, "options": {"omega": 5, "delta": 2}, "tree": {"normal": 1, "anomaly": 0, "composition": [[0,1,1]], "true": {"normal": 1, "anomaly": 0, "composition": [[0,1,1]], "true": {"normal": -1, "anomaly": 0}, "false": {"normal": 0, "anomaly": 1}}, "false": {"normal": 0, "anomaly": 1}}}`,
+			"tree.true.true",
+		},
+		"nested half split": {
+			`{"version": 1, "options": {"omega": 5, "delta": 2}, "tree": {"normal": 1, "anomaly": 0, "composition": [[0,1,1]], "true": {"normal": 1, "anomaly": 0}, "false": {"normal": 0, "anomaly": 1, "composition": [[0,1,1]], "true": {"normal": 1, "anomaly": 0}}}}`,
+			"tree.false",
+		},
+	}
+	for name, tc := range cases {
+		_, err := Load(strings.NewReader(tc.doc))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name field path %q", name, err, tc.want)
+		}
+	}
+}
+
 func TestLoadMinimalValidDocument(t *testing.T) {
 	doc := `{"version": 1, "options": {"omega": 5, "delta": 2},
 	         "tree": {"normal": 0, "anomaly": 3}}`

@@ -1,0 +1,201 @@
+// Package lockdoc enforces the documentation side of the locking
+// contract that internal/modelstore relies on: any exported or
+// unexported pointer-receiver method on a struct that carries a
+// sync.Mutex/RWMutex field, and that mutates receiver-rooted state
+// (field assignment, map write, or delete through the receiver), must
+// say in its doc comment how it relates to the lock — by mentioning the
+// mutex field by name or using the word "lock" ("takes s.mu", "callers
+// must hold mu", "lock-free by design", ...).
+//
+// The store's manifest and audit sequence are cached in memory and
+// mirrored on disk; a mutator whose locking story is undocumented is
+// exactly how the next contributor adds an unguarded write. locksafe
+// proves critical sections release correctly; lockdoc makes the
+// intended discipline legible at the call site.
+//
+// Methods with no doc comment at all are reported the same as methods
+// whose comment is silent about locking. Mutations of the mutex field
+// itself do not count (locking is not "mutating state"), and function
+// literals inside a method are analyzed as part of the method body —
+// a goroutine the method spawns still mutates under whatever story the
+// doc comment tells.
+package lockdoc
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"cdt/tools/analysis"
+)
+
+// Analyzer is the lockdoc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdoc",
+	Doc:  "requires methods that mutate mutex-guarded struct state to document their locking",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			mutexes := receiverMutexFields(pass, fd)
+			if len(mutexes) == 0 {
+				continue
+			}
+			recv := receiverName(fd)
+			if recv == "" || recv == "_" {
+				continue
+			}
+			field := firstMutation(fd.Body, recv, mutexes)
+			if field == "" {
+				continue
+			}
+			if docMentionsLocking(fd.Doc, mutexes) {
+				continue
+			}
+			pass.Reportf(fd.Pos(),
+				"%s mutates %s.%s on a mutex-guarded struct but its doc comment does not mention the locking (say which lock guards the write, e.g. %q)",
+				fd.Name.Name, recv, field, "takes "+recv+"."+mutexes[0])
+		}
+	}
+	return nil
+}
+
+// receiverMutexFields returns the names of sync.Mutex/RWMutex fields on
+// the method's receiver struct (nil when the receiver is not a pointer
+// to such a struct).
+func receiverMutexFields(pass *analysis.Pass, fd *ast.FuncDecl) []string {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isSyncMutex(f.Type()) {
+			out = append(out, f.Name())
+		}
+	}
+	return out
+}
+
+func isSyncMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func receiverName(fd *ast.FuncDecl) string {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 {
+		return ""
+	}
+	return names[0].Name
+}
+
+// firstMutation returns the name of the first receiver-rooted field the
+// body assigns to, writes through as a map/slice element, or deletes
+// from — "" when the method never mutates receiver state. Writes to the
+// mutex fields themselves are ignored.
+func firstMutation(body *ast.BlockStmt, recv string, mutexes []string) string {
+	skip := make(map[string]bool, len(mutexes))
+	for _, m := range mutexes {
+		skip[m] = true
+	}
+	var found string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if f := rootedField(lhs, recv); f != "" && !skip[f] {
+					found = f
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if f := rootedField(n.X, recv); f != "" && !skip[f] {
+				found = f
+				return false
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
+				if f := rootedField(n.Args[0], recv); f != "" && !skip[f] {
+					found = f
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// rootedField resolves expressions like recv.f, recv.f[k], recv.f.g to
+// the first field name hanging off the receiver ("" otherwise).
+func rootedField(e ast.Expr, recv string) string {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok && id.Name == recv {
+				return x.Sel.Name
+			}
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// docMentionsLocking accepts a doc comment that names a mutex field (as
+// a whole word — "mu" must not hide inside "mutates") or speaks about
+// locking at all.
+func docMentionsLocking(doc *ast.CommentGroup, mutexes []string) bool {
+	if doc == nil {
+		return false
+	}
+	text := strings.ToLower(doc.Text())
+	if strings.Contains(text, "lock") {
+		return true
+	}
+	for _, m := range mutexes {
+		re := regexp.MustCompile(`\b` + regexp.QuoteMeta(strings.ToLower(m)) + `\b`)
+		if re.MatchString(text) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package lockdoc_test
+
+import (
+	"testing"
+
+	"cdt/tools/analysistest"
+	"cdt/tools/analyzers/lockdoc"
+)
+
+func TestLockdoc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockdoc.Analyzer, "lockdoc")
+}

@@ -1,0 +1,96 @@
+// Package lockdoc is lint-test fodder for the lockdoc analyzer: methods
+// that mutate mutex-guarded struct state must document their locking.
+package lockdoc
+
+import "sync"
+
+type store struct {
+	mu      sync.Mutex
+	entries map[string]int
+	count   int
+}
+
+// SetDocumented takes s.mu and records one entry.
+func (s *store) SetDocumented(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[k] = v
+}
+
+// DeleteDocumented removes k. Callers must hold s.mu.
+func (s *store) DeleteDocumented(k string) {
+	delete(s.entries, k)
+}
+
+// SetUndocumented writes an entry without saying how the write is guarded.
+func (s *store) SetUndocumented(k string, v int) { // want `SetUndocumented mutates s\.entries on a mutex-guarded struct`
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[k] = v
+}
+
+func (s *store) SetNoDoc(k string, v int) { // want `SetNoDoc mutates s\.entries on a mutex-guarded struct`
+	s.entries[k] = v
+}
+
+// BumpUndocumented increments the counter without mentioning anything.
+func (s *store) BumpUndocumented() { // want `BumpUndocumented mutates s\.count on a mutex-guarded struct`
+	s.count++
+}
+
+// DeleteUndocumented drops k from the map.
+func (s *store) DeleteUndocumented(k string) { // want `DeleteUndocumented mutates s\.entries on a mutex-guarded struct`
+	delete(s.entries, k)
+}
+
+// SpawnUndocumented mutates from a goroutine the method launches; the
+// function literal is still part of the method body.
+func (s *store) SpawnUndocumented() { // want `SpawnUndocumented mutates s\.count on a mutex-guarded struct`
+	go func() {
+		s.count = 0
+	}()
+}
+
+// Get only reads, so no doc requirement applies.
+func (s *store) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entries[k]
+}
+
+// LockOnly touches only the mutex field itself — not a state mutation.
+func (s *store) LockOnly() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+type rwstore struct {
+	rw sync.RWMutex
+	v  int
+}
+
+// SetRW names the rw field, which satisfies the check.
+func (r *rwstore) SetRW(v int) {
+	r.rw.Lock()
+	defer r.rw.Unlock()
+	r.v = v
+}
+
+// SetRWUndocumented is silent about synchronization.
+func (r *rwstore) SetRWUndocumented(v int) { // want `SetRWUndocumented mutates r\.v on a mutex-guarded struct`
+	r.v = v
+}
+
+type plain struct {
+	v int
+}
+
+// Set on a lock-free struct needs no locking doc.
+func (p *plain) Set(v int) {
+	p.v = v
+}
+
+// valueRecv has a value receiver; copies cannot usefully guard state.
+func (p plain) valueRecv() {
+	p.v = 1
+}

@@ -6,13 +6,16 @@
 //	immutview  mutations of shared Corpus/labeling views
 //	locksafe   unreleased locks, RWMutex upgrades, blocking under a lock
 //	detfloat   nondeterminism in the training hot path
+//	lockdoc    undocumented locking on mutex-guarded state mutators
 //
 // Test files are analyzed too — a test that corrupts a cached view
 // poisons every later test sharing the corpus. detfloat is scoped to the
 // training hot path (cdt, internal/core, internal/pattern,
 // internal/quality, internal/bayesopt) and to library code: wall clocks
 // and global randomness are legitimate in servers, example binaries, and
-// tests.
+// tests. lockdoc is scoped to internal/modelstore library code, where
+// the cached manifest and audit sequence make an undocumented mutator a
+// standing invitation to an unguarded write.
 //
 // Usage, from the repository root:
 //
@@ -30,6 +33,7 @@ import (
 	"cdt/tools/analysis"
 	"cdt/tools/analyzers/detfloat"
 	"cdt/tools/analyzers/immutview"
+	"cdt/tools/analyzers/lockdoc"
 	"cdt/tools/analyzers/locksafe"
 )
 
@@ -37,6 +41,7 @@ var analyzers = []*analysis.Analyzer{
 	immutview.Analyzer,
 	locksafe.Analyzer,
 	detfloat.Analyzer,
+	lockdoc.Analyzer,
 }
 
 // detfloatScope is the training hot path: the packages whose results the
@@ -47,6 +52,12 @@ var detfloatScope = map[string]bool{
 	"cdt/internal/pattern":  true,
 	"cdt/internal/quality":  true,
 	"cdt/internal/bayesopt": true,
+}
+
+// lockdocScope covers the packages whose locking discipline must stay
+// legible: the model store's cached manifest/audit state today.
+var lockdocScope = map[string]bool{
+	"cdt/internal/modelstore": true,
 }
 
 func main() {
@@ -77,6 +88,9 @@ func main() {
 	findings, err := analysis.Run(fset, units, analyzers, func(a *analysis.Analyzer, u *analysis.Unit) bool {
 		if a == detfloat.Analyzer {
 			return u.Kind == analysis.Lib && detfloatScope[u.ImportPath]
+		}
+		if a == lockdoc.Analyzer {
+			return u.Kind == analysis.Lib && lockdocScope[u.ImportPath]
 		}
 		return true
 	})
