@@ -1,0 +1,128 @@
+package cdt
+
+// Artifact is the deployable-model surface: the operations the serving
+// and storage layers (internal/modelstore, internal/server, cmd/cdt)
+// need without knowing whether they hold a single-scale Model or a
+// resolution PyramidModel. Both implement it; LoadAny dispatches on the
+// persisted document's kind.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ArtifactKind names a deployable artifact flavor.
+const (
+	// KindModel is a single-scale CDT (the paper's model).
+	KindModel = "model"
+	// KindPyramid is a resolution pyramid.
+	KindPyramid = "pyramid"
+)
+
+// ArtifactInfo is the flat summary registries and CLIs list.
+type ArtifactInfo struct {
+	// Kind is KindModel or KindPyramid.
+	Kind string
+	// Omega and Delta are the (shared) training hyper-parameters.
+	Omega, Delta int
+	// NumRules is the total rule-predicate count (summed over scales).
+	NumRules int
+	// Scales holds the pyramid's downsample factors; nil for plain
+	// models.
+	Scales []int
+}
+
+// StreamHandle is the online-detector surface shared by Stream and
+// PyramidStream: the session layer drives either through it.
+type StreamHandle interface {
+	// Push consumes the next reading and returns the detections that
+	// became decidable with it.
+	Push(value float64) []Detection
+	// Reset starts a new run, keeping model and scale.
+	Reset()
+	// Points returns the readings consumed in the current run.
+	Points() int
+	// Ready reports whether full windows are being evaluated.
+	Ready() bool
+	// Stats returns lifetime activity counters.
+	Stats() StreamStats
+}
+
+// Artifact is a deployable trained detector.
+type Artifact interface {
+	// Info summarizes the artifact for listings.
+	Info() ArtifactInfo
+	// NumRules is the total rule-predicate count.
+	NumRules() int
+	// RuleText renders the rules as IF-THEN lines.
+	RuleText() string
+	// TrainingAnomalyRate is the training-time anomalous-window share —
+	// the drift-detection baseline.
+	TrainingAnomalyRate() float64
+	// Save writes the artifact's versioned JSON document.
+	Save(w io.Writer) error
+	// DetectExplained scores one series, returning fired windows with
+	// their explanations (and, for pyramids, type tags and per-scale
+	// breakdowns).
+	DetectExplained(s *Series) ([]WindowDetection, error)
+	// OpenStream starts an online detector under the given value scale.
+	OpenStream(scale Scale) (StreamHandle, error)
+}
+
+// Info summarizes the model.
+func (m *Model) Info() ArtifactInfo {
+	return ArtifactInfo{
+		Kind:     KindModel,
+		Omega:    m.Opts.Omega,
+		Delta:    m.Opts.Delta,
+		NumRules: m.NumRules(),
+	}
+}
+
+// OpenStream starts an online detector (NewStream under the Artifact
+// surface).
+func (m *Model) OpenStream(scale Scale) (StreamHandle, error) {
+	return m.NewStream(scale)
+}
+
+// Info summarizes the pyramid.
+func (pm *PyramidModel) Info() ArtifactInfo {
+	return ArtifactInfo{
+		Kind:     KindPyramid,
+		Omega:    pm.Opts.Omega,
+		Delta:    pm.Opts.Delta,
+		NumRules: pm.NumRules(),
+		Scales:   pm.Scales(),
+	}
+}
+
+// OpenStream starts an online pyramid detector (NewStream under the
+// Artifact surface).
+func (pm *PyramidModel) OpenStream(scale Scale) (StreamHandle, error) {
+	return pm.NewStream(scale)
+}
+
+// LoadAny reads a saved artifact of either kind: it probes the
+// document's "kind" discriminator and dispatches to Load (absent — the
+// plain model format predates pyramids) or LoadPyramid ("pyramid").
+func LoadAny(r io.Reader) (Artifact, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("cdt: reading artifact: %w", err)
+	}
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return nil, fmt.Errorf("cdt: decoding artifact: %w", err)
+	}
+	switch probe.Kind {
+	case artifactKindPyramid:
+		return LoadPyramid(bytes.NewReader(raw))
+	case "":
+		return Load(bytes.NewReader(raw))
+	}
+	return nil, fmt.Errorf("cdt: kind: unknown artifact kind %q", probe.Kind)
+}

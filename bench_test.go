@@ -340,6 +340,34 @@ func BenchmarkRuleDetectionBaseline(b *testing.B) {
 	}
 }
 
+// BenchmarkPyramidDetect measures multi-scale detection end to end: one
+// compiled-engine sweep per resolution over downsampled views of the
+// target, point-level fusion of the per-scale flags, and anomaly-type
+// classification of each fused run. Compare against
+// BenchmarkRuleDetection (single scale, no fusion, same target length)
+// for the overhead each extra resolution adds.
+func BenchmarkPyramidDetect(b *testing.B) {
+	train := cdt.NewLabeledSeries("t", benchValues(1000, 3), make([]bool, 1000))
+	train.Values[500] = 2
+	train.Anomalies[500] = true
+	for i := 700; i < 732; i++ { // sustained run, so coarse scales learn too
+		train.Values[i] = 1.8
+		train.Anomalies[i] = true
+	}
+	pm, err := cdt.FitPyramid([]*cdt.Series{train}, cdt.Options{Omega: 8, Delta: 2},
+		cdt.PyramidConfig{Factors: []int{1, 4, 16}, Aggregator: "max"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := cdt.NewSeries("x", benchValues(5000, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pm.DetectPyramid(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMatrixProfileSTOMP(b *testing.B) {
 	values := benchValues(2000, 5)
 	b.ResetTimer()

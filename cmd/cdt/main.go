@@ -5,13 +5,20 @@
 //
 //	cdt label    -in data.csv -delta 2
 //	cdt train    -in labeled.csv -omega 5 -delta 2 [-explain] [-save model.json]
+//	cdt train    -in labeled.csv -scales 1,4,16 [-agg max] [-fusion any] [-save pyramid.json]
 //	cdt detect   -train labeled.csv -in fresh.csv -omega 5 -delta 2
 //	cdt detect   -model model.json -in fresh.csv
 //	cdt optimize -in labeled.csv [-objective fh] [-iters 25]
 //	cdt audit    -train labeled.csv -eval other.csv -omega 5 -delta 2
 //	cdt plot     -in data.csv [-detect -train labeled.csv]
 //	cdt stream   -model model.json -in feed.csv -min 0 -max 100
-//	cdt store    <versions|audit|publish|promote|rollback> -dir store [flags]
+//	cdt store    <versions|audit|publish|promote|rollback|gc|diff> -dir store [flags]
+//
+// Passing -scales to train fits a resolution pyramid — one rule model
+// per downsample factor, fused at detection time — whose detections
+// carry an anomaly-type tag (point, contextual, collective). Saved
+// pyramid artifacts load anywhere a plain model does (detect, stream,
+// the store, cdtserve).
 //
 // CSV files carry one "value[,is_anomaly]" row per point after an
 // optional header (the format written by cmd/datagen and
@@ -22,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	cdt "cdt"
 	"cdt/internal/ascii"
@@ -113,6 +122,9 @@ func runTrain(args []string) error {
 	explain := fs.Bool("explain", false, "render rule sketches and readings")
 	showTree := fs.Bool("tree", false, "render the decision tree")
 	savePath := fs.String("save", "", "write the trained model as JSON to this path")
+	scales := fs.String("scales", "", `comma-separated downsample factors for a resolution pyramid (e.g. "1,4,16"; must start with 1)`)
+	agg := fs.String("agg", "mean", `pyramid downsample aggregator: "mean" or "max"`)
+	fusion := fs.String("fusion", "any", `pyramid fusion policy: "any", "majority", or "all"`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,6 +137,9 @@ func runTrain(args []string) error {
 	}
 	if !s.Labeled() {
 		return fmt.Errorf("train: %s has no is_anomaly column", *in)
+	}
+	if *scales != "" {
+		return trainPyramid(s, *omega, *delta, *scales, *agg, *fusion, *explain, *savePath)
 	}
 	model, err := cdt.Fit([]*cdt.Series{s}, cdt.Options{Omega: *omega, Delta: *delta})
 	if err != nil {
@@ -146,18 +161,78 @@ func runTrain(args []string) error {
 		fmt.Print(model.TreeText())
 	}
 	if *savePath != "" {
-		f, err := os.Create(*savePath)
+		return saveArtifact(model, *savePath)
+	}
+	return nil
+}
+
+// saveArtifact writes a trained artifact (plain model or pyramid) as
+// JSON to path.
+func saveArtifact(art cdt.Artifact, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := art.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("model written to %s\n", path)
+	return nil
+}
+
+// parseScales parses the -scales flag ("1,4,16") into pyramid factors.
+func parseScales(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		f, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			return err
+			return nil, fmt.Errorf("train: -scales: bad factor %q", part)
 		}
-		if err := model.Save(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("model written to %s\n", *savePath)
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// trainPyramid handles `cdt train -scales ...`: fit one rule model per
+// downsample factor and report the fused result.
+func trainPyramid(s *cdt.Series, omega, delta int, scales, agg, fusion string, explain bool, savePath string) error {
+	factors, err := parseScales(scales)
+	if err != nil {
+		return err
+	}
+	policy, err := cdt.ParseFusionPolicy(fusion)
+	if err != nil {
+		return fmt.Errorf("train: -fusion: %w", err)
+	}
+	pm, err := cdt.FitPyramid([]*cdt.Series{s}, cdt.Options{Omega: omega, Delta: delta}, cdt.PyramidConfig{
+		Factors:    factors,
+		Aggregator: agg,
+		Fusion:     cdt.Fusion{Policy: policy},
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := pm.Evaluate([]*cdt.Series{s})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained CDT pyramid: omega=%d delta=%d scales=%s fusion=%s rules=%d\n",
+		omega, delta, scales, policy, pm.NumRules())
+	// Pyramid evaluation is point-level; recall is the meaningful fit
+	// number (window flags over-cover single points by construction).
+	fmt.Printf("training fit: precision=%.3f recall=%.3f F1=%.3f\n\n",
+		rep.Confusion.Precision(), rep.Confusion.Recall(), rep.F1)
+	fmt.Print(pm.RuleText())
+	if explain {
+		fmt.Println()
+		fmt.Print(pm.Explain())
+	}
+	if savePath != "" {
+		return saveArtifact(pm, savePath)
 	}
 	return nil
 }
@@ -178,13 +253,13 @@ func runDetect(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("detect: -in is required")
 	}
-	var model *cdt.Model
+	var model cdt.Artifact
 	if *modelPath != "" {
 		f, err := os.Open(*modelPath)
 		if err != nil {
 			return err
 		}
-		model, err = cdt.Load(f)
+		model, err = cdt.LoadAny(f)
 		f.Close()
 		if err != nil {
 			return err
@@ -203,7 +278,15 @@ func runDetect(args []string) error {
 	if err != nil {
 		return err
 	}
-	flags, err := model.PointFlags(target)
+	// Every artifact kind flags points; pyramids additionally classify
+	// each fused detection, reported below the per-point listing.
+	pf, ok := model.(interface {
+		PointFlags(*cdt.Series) ([]bool, error)
+	})
+	if !ok {
+		return fmt.Errorf("detect: %q artifacts cannot flag points", model.Info().Kind)
+	}
+	flags, err := pf.PointFlags(target)
 	if err != nil {
 		return err
 	}
@@ -215,7 +298,30 @@ func runDetect(args []string) error {
 		}
 	}
 	fmt.Printf("%d/%d points flagged\n", n, len(flags))
+	if pm, ok := model.(*cdt.PyramidModel); ok {
+		dets, err := pm.DetectPyramid(target)
+		if err != nil {
+			return err
+		}
+		for _, d := range dets {
+			fmt.Printf("%s anomaly spanning points %d..%d (fired at %s)\n",
+				d.Type, d.Start, d.End, scaleList(d.Scales))
+		}
+	}
 	return nil
+}
+
+// scaleList renders the firing scales of a fused detection ("x1, x4").
+func scaleList(scales []cdt.ScaleDetection) string {
+	seen := make(map[int]bool)
+	var parts []string
+	for _, sd := range scales {
+		if !seen[sd.Factor] {
+			seen[sd.Factor] = true
+			parts = append(parts, fmt.Sprintf("x%d", sd.Factor))
+		}
+	}
+	return strings.Join(parts, ", ")
 }
 
 func runOptimize(args []string) error {
@@ -335,7 +441,7 @@ func runStream(args []string) error {
 	if err != nil {
 		return err
 	}
-	model, err := cdt.Load(f)
+	model, err := cdt.LoadAny(f)
 	f.Close()
 	if err != nil {
 		return err
@@ -353,7 +459,7 @@ func runStream(args []string) error {
 		}
 		scale = cdt.Scale{Min: lo, Max: hi}
 	}
-	stream, err := model.NewStream(scale)
+	stream, err := model.OpenStream(scale)
 	if err != nil {
 		return err
 	}
@@ -361,7 +467,14 @@ func runStream(args []string) error {
 	for i, v := range feed.Values {
 		for _, d := range stream.Push(v) {
 			alerts++
-			fmt.Printf("alert after point %d: window %d..%d\n", i, d.WindowStart, d.WindowEnd)
+			fmt.Printf("alert after point %d: window %d..%d", i, d.WindowStart, d.WindowEnd)
+			if d.Scale > 1 {
+				fmt.Printf(" scale=x%d", d.Scale)
+			}
+			if d.Type != "" {
+				fmt.Printf(" type=%s", d.Type)
+			}
+			fmt.Println()
 		}
 	}
 	fmt.Printf("%d alerts over %d points\n", alerts, feed.Len())

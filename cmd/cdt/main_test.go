@@ -193,6 +193,82 @@ func TestStoreCommand(t *testing.T) {
 	}
 }
 
+func TestPyramidTrainDetectStream(t *testing.T) {
+	dir := t.TempDir()
+	trainCSV := writeFixture(t, dir, "train.csv", 13)
+	freshCSV := writeFixture(t, dir, "fresh.csv", 14)
+	modelPath := filepath.Join(dir, "pyramid.json")
+
+	if err := run([]string{"train", "-in", trainCSV, "-omega", "5", "-delta", "2",
+		"-scales", "1,4", "-agg", "max", "-fusion", "any", "-save", modelPath}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Fatalf("pyramid not written: %v", err)
+	}
+	// detect and stream load pyramid artifacts through the same flags as
+	// plain models.
+	if err := run([]string{"detect", "-model", modelPath, "-in", freshCSV}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"stream", "-model", modelPath, "-in", freshCSV}); err != nil {
+		t.Fatal(err)
+	}
+	// Flag validation.
+	if err := run([]string{"train", "-in", trainCSV, "-scales", "4,16"}); err == nil {
+		t.Error("-scales without factor 1 accepted")
+	}
+	if err := run([]string{"train", "-in", trainCSV, "-scales", "1,x"}); err == nil {
+		t.Error("non-integer -scales accepted")
+	}
+	if err := run([]string{"train", "-in", trainCSV, "-scales", "1,4", "-agg", "median"}); err == nil {
+		t.Error("unknown -agg accepted")
+	}
+	if err := run([]string{"train", "-in", trainCSV, "-scales", "1,4", "-fusion", "sometimes"}); err == nil {
+		t.Error("unknown -fusion accepted")
+	}
+}
+
+func TestStoreGCAndDiff(t *testing.T) {
+	dir := t.TempDir()
+	trainCSV := writeFixture(t, dir, "train.csv", 15)
+	otherCSV := writeFixture(t, dir, "other.csv", 16)
+	m1 := filepath.Join(dir, "m1.json")
+	m2 := filepath.Join(dir, "m2.json")
+	storeDir := filepath.Join(dir, "store")
+	if err := run([]string{"train", "-in", trainCSV, "-omega", "5", "-delta", "2", "-save", m1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"train", "-in", otherCSV, "-omega", "5", "-delta", "3", "-save", m2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{m1, m2} {
+		if err := run([]string{"store", "publish", "-dir", storeDir, "-model", "cal", "-in", m}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run([]string{"store", "diff", "-dir", storeDir, "cal", "1", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Same version on both sides: no rule changes.
+	if err := run([]string{"store", "diff", "-dir", storeDir, "cal", "1", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"store", "gc", "-dir", storeDir}); err != nil {
+		t.Fatal(err)
+	}
+	// Validation failures.
+	if err := run([]string{"store", "diff", "-dir", storeDir, "cal", "1"}); err == nil {
+		t.Error("diff with one version accepted")
+	}
+	if err := run([]string{"store", "diff", "-dir", storeDir, "cal", "one", "2"}); err == nil {
+		t.Error("non-integer version accepted")
+	}
+	if err := run([]string{"store", "diff", "-dir", storeDir, "cal", "1", "99"}); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
 func TestPlotCommand(t *testing.T) {
 	dir := t.TempDir()
 	in := writeFixture(t, dir, "a.csv", 10)

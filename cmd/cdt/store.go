@@ -11,19 +11,25 @@ package main
 //	cdt store publish  -dir store -model name -in model.json [-note text]
 //	cdt store promote  -dir store -model name -version N
 //	cdt store rollback -dir store -model name
+//	cdt store gc       -dir store
+//	cdt store diff     -dir store <name> <v1> <v2>
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
+	cdt "cdt"
 	"cdt/internal/modelstore"
 )
 
 func runStore(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: cdt store <versions|audit|publish|promote|rollback> [flags]")
+		return fmt.Errorf("usage: cdt store <versions|audit|publish|promote|rollback|gc|diff> [flags]")
 	}
 	sub, rest := args[0], args[1:]
 	fs := flag.NewFlagSet("store "+sub, flag.ContinueOnError)
@@ -54,8 +60,12 @@ func runStore(args []string) error {
 		return storePromote(st, *model, *version)
 	case "rollback":
 		return storeRollback(st, *model)
+	case "gc":
+		return storeGC(st)
+	case "diff":
+		return storeDiff(st, fs.Args())
 	default:
-		return fmt.Errorf("unknown store subcommand %q (want versions, audit, publish, promote, or rollback)", sub)
+		return fmt.Errorf("unknown store subcommand %q (want versions, audit, publish, promote, rollback, gc, or diff)", sub)
 	}
 }
 
@@ -151,4 +161,138 @@ func storeRollback(st *modelstore.Store, model string) error {
 	}
 	fmt.Printf("rolled back %s to v%d\n", model, v)
 	return nil
+}
+
+// storeGC sweeps blobs no manifest version references (the sweep itself
+// lands in the audit log).
+func storeGC(st *modelstore.Store) error {
+	removed, err := st.GC()
+	if err != nil {
+		return err
+	}
+	for _, digest := range removed {
+		fmt.Printf("removed %s\n", digest)
+	}
+	fmt.Printf("%d unreferenced blob(s) removed\n", len(removed))
+	return nil
+}
+
+// storeDiff renders the rule-level difference between two versions of
+// one model: rules only in v1 (removed), only in v2 (added), and
+// removed/added pairs that share a leading condition (changed — the
+// same rule family with shifted conditions).
+func storeDiff(st *modelstore.Store, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("store diff: usage: cdt store diff -dir store <name> <v1> <v2>")
+	}
+	name := args[0]
+	v1, err1 := strconv.Atoi(args[1])
+	v2, err2 := strconv.Atoi(args[2])
+	if err1 != nil || err2 != nil {
+		return fmt.Errorf("store diff: versions must be integers, got %q %q", args[1], args[2])
+	}
+	a, _, err := st.LoadVersion(name, v1)
+	if err != nil {
+		return err
+	}
+	b, _, err := st.LoadVersion(name, v2)
+	if err != nil {
+		return err
+	}
+	removed, added, changed := diffRules(ruleLines(a), ruleLines(b))
+	fmt.Printf("%s: v%d (%d rules) -> v%d (%d rules)\n", name, v1, a.NumRules(), v2, b.NumRules())
+	if len(removed)+len(added)+len(changed) == 0 {
+		fmt.Println("no rule changes")
+		return nil
+	}
+	for _, pair := range changed {
+		fmt.Printf("~ %s\n  -> %s\n", pair[0], pair[1])
+	}
+	for _, r := range removed {
+		fmt.Printf("- %s\n", r)
+	}
+	for _, r := range added {
+		fmt.Printf("+ %s\n", r)
+	}
+	return nil
+}
+
+// ruleLines flattens an artifact's RuleText into one rule body per
+// entry. Pyramid scale headers become a "scale xN: " prefix so rules at
+// different resolutions never collide; the "Rn:" numbering is dropped
+// (rule order is not identity across retrains).
+func ruleLines(art cdt.Artifact) []string {
+	var out []string
+	prefix := ""
+	for _, line := range strings.Split(art.RuleText(), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "scale x") && strings.HasSuffix(trimmed, ":") {
+			prefix = trimmed[:strings.Index(trimmed, " (")] + ": "
+			continue
+		}
+		if i := strings.Index(trimmed, ": "); i > 0 && strings.HasPrefix(trimmed, "R") {
+			trimmed = trimmed[i+2:]
+		}
+		out = append(out, prefix+trimmed)
+	}
+	return out
+}
+
+// diffRules partitions two rule sets into removed, added, and changed.
+// A removed and an added rule sharing their first condition (the text up
+// to the first " AND ") pair up as one changed rule.
+func diffRules(v1, v2 []string) (removed, added []string, changed [][2]string) {
+	in1 := make(map[string]bool, len(v1))
+	for _, r := range v1 {
+		in1[r] = true
+	}
+	in2 := make(map[string]bool, len(v2))
+	for _, r := range v2 {
+		in2[r] = true
+	}
+	for _, r := range v1 {
+		if !in2[r] {
+			removed = append(removed, r)
+		}
+	}
+	for _, r := range v2 {
+		if !in1[r] {
+			added = append(added, r)
+		}
+	}
+	sort.Strings(removed)
+	sort.Strings(added)
+	// Pair up removed/added rules that open with the same condition.
+	byHead := make(map[string]int)
+	for i, r := range removed {
+		byHead[ruleHead(r)] = i
+	}
+	usedRemoved := make(map[int]bool)
+	var keptAdded []string
+	for _, r := range added {
+		if i, ok := byHead[ruleHead(r)]; ok && !usedRemoved[i] && removed[i] != "" {
+			changed = append(changed, [2]string{removed[i], r})
+			usedRemoved[i] = true
+			continue
+		}
+		keptAdded = append(keptAdded, r)
+	}
+	var keptRemoved []string
+	for i, r := range removed {
+		if !usedRemoved[i] {
+			keptRemoved = append(keptRemoved, r)
+		}
+	}
+	return keptRemoved, keptAdded, changed
+}
+
+// ruleHead returns a rule body's first condition ("IF [PP[L,H]]").
+func ruleHead(rule string) string {
+	if i := strings.Index(rule, " AND "); i > 0 {
+		return rule[:i]
+	}
+	return rule
 }

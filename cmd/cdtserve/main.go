@@ -8,6 +8,7 @@
 //
 //	cdtserve -models dir [-addr :8080] [-workers 8] [-session-ttl 15m] [-timeout 30s]
 //	         [-log-format text|json] [-log-level info] [-debug-addr 127.0.0.1:6060]
+//	         [-slow-request 250ms]
 //	cdtserve -store dir  [-drift-window 512] [-drift-bound 0.05] [-retrain-data dir]
 //
 // With -models, the directory holds one <name>.json per model (written
@@ -48,7 +49,9 @@
 //	POST   /streams/{id}/reset         clear a session's window state
 //	DELETE /streams/{id}               close a session
 //	GET    /metrics                    Prometheus text exposition
-//	GET    /debug/vars                 expvar counters (map "cdtserve")
+//	GET    /debug/vars                 expvar counters (map "cdtserve"); with
+//	                                   -slow-request, the last 32 over-threshold
+//	                                   requests under "cdtserve_slow_requests"
 //
 // With -debug-addr set, a second listener (keep it private — bind
 // loopback or a management network) additionally serves /debug/pprof/
@@ -112,6 +115,7 @@ func run(args []string) error {
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/pprof, /metrics, and /debug/vars on this extra address (empty = disabled; keep it private)")
+	slowRequest := fs.Duration("slow-request", 0, "record requests slower than this into the /debug/vars exemplar ring (0 = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,12 +131,13 @@ func run(args []string) error {
 	}
 
 	cfg := server.Config{
-		ModelDir:    *models,
-		DriftWindow: *driftWindow,
-		DriftBound:  *driftBound,
-		SessionTTL:  *sessionTTL,
-		Workers:     *workers,
-		AccessLog:   logger,
+		ModelDir:             *models,
+		DriftWindow:          *driftWindow,
+		DriftBound:           *driftBound,
+		SessionTTL:           *sessionTTL,
+		Workers:              *workers,
+		AccessLog:            logger,
+		SlowRequestThreshold: *slowRequest,
 	}
 	if *storeDir != "" {
 		st, err := modelstore.Open(*storeDir)

@@ -21,6 +21,7 @@ import (
 	"cdt/internal/core"
 	"cdt/internal/pattern"
 	"cdt/internal/rules"
+	"cdt/internal/timeseries"
 )
 
 // DefaultCorpusCacheSize bounds each of the corpus caches (labelings and
@@ -52,11 +53,12 @@ type Corpus struct {
 	series []*Series
 	limit  int
 
-	mu      sync.RWMutex
-	tick    atomic.Uint64
-	labels  map[labelKey]*labelEntry
-	windows map[windowKey]*windowEntry
-	stats   corpusCounters
+	mu          sync.RWMutex
+	tick        atomic.Uint64
+	labels      map[labelKey]*labelEntry
+	windows     map[windowKey]*windowEntry
+	resolutions map[resolutionKey]*resolutionEntry
+	stats       corpusCounters
 }
 
 // CorpusStats is a point-in-time snapshot of a corpus's pipeline-cache
@@ -142,6 +144,25 @@ type windowEntry struct {
 	err error
 }
 
+// resolutionKey identifies a derived downsampled corpus: the resample
+// factor plus the bucket aggregator (canonicalized, so "" and "mean"
+// share an entry).
+type resolutionKey struct {
+	factor int
+	agg    string
+}
+
+// resolutionEntry is one cached derived corpus. Unlike labelings and
+// window pools these are not LRU-evicted: a pyramid uses a handful of
+// factors (bounded by PyramidConfig validation), so the map stays tiny,
+// and each derived corpus carries its own bounded caches.
+type resolutionEntry struct {
+	once sync.Once
+
+	c   *Corpus
+	err error
+}
+
 // NewCorpus builds a corpus over the series, normalizing each to [0,1]
 // up front (series already in range are used as-is, so pre-normalized
 // splits keep a common scale — the same rule Fit always applied). The
@@ -161,10 +182,11 @@ func NewCorpusSize(series []*Series, cacheSize int) (*Corpus, error) {
 		cacheSize = 1
 	}
 	c := &Corpus{
-		series:  make([]*Series, len(series)),
-		limit:   cacheSize,
-		labels:  make(map[labelKey]*labelEntry),
-		windows: make(map[windowKey]*windowEntry),
+		series:      make([]*Series, len(series)),
+		limit:       cacheSize,
+		labels:      make(map[labelKey]*labelEntry),
+		windows:     make(map[windowKey]*windowEntry),
+		resolutions: make(map[resolutionKey]*resolutionEntry),
 	}
 	for i, s := range series {
 		ns, err := ensureNormalized(s)
@@ -289,6 +311,52 @@ func (c *Corpus) Observations(opts Options) ([]Observation, error) {
 		e.obs = pooled
 	})
 	return e.obs, e.err
+}
+
+// AtResolution returns the corpus downsampled by factor with the named
+// bucket aggregator ("mean" by default, or "max") — the per-resolution
+// view a pyramid trains its scale models on. Factor 1 returns the
+// receiver itself; other factors are derived once and memoized, so
+// per-resolution labelings and window pools are just more cache keys of
+// the derived corpus. Anomaly annotations survive downsampling (a
+// bucket is anomalous when any covered point was). The derived corpus
+// shares the receiver's cache-size bound.
+func (c *Corpus) AtResolution(factor int, aggregator string) (*Corpus, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("cdt: resolution factor %d, want >= 1", factor)
+	}
+	agg, err := aggregatorOf(aggregator)
+	if err != nil {
+		return nil, err
+	}
+	if factor == 1 {
+		return c, nil
+	}
+	k := resolutionKey{factor: factor, agg: canonicalAggregator(aggregator)}
+	c.mu.RLock()
+	e, ok := c.resolutions[k]
+	c.mu.RUnlock()
+	if !ok {
+		c.mu.Lock()
+		if e, ok = c.resolutions[k]; !ok {
+			e = &resolutionEntry{}
+			c.resolutions[k] = e
+		}
+		c.mu.Unlock()
+	}
+	e.once.Do(func() {
+		ds := make([]*Series, len(c.series))
+		for i, s := range c.series {
+			d, err := timeseries.Downsample(s, factor, agg)
+			if err != nil {
+				e.err = fmt.Errorf("cdt: series %q at 1/%d resolution: %w", s.Name, factor, err)
+				return
+			}
+			ds[i] = d
+		}
+		e.c, e.err = NewCorpusSize(ds, c.limit)
+	})
+	return e.c, e.err
 }
 
 // Fit trains a CDT on the corpus — the same pipeline as the package-level

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"cdt/internal/engine"
+	"cdt/internal/pattern"
 	"cdt/internal/rules"
 )
 
@@ -37,6 +38,13 @@ type WindowDetection struct {
 	Start, End int
 	// Fired lists the matching rule predicates in rule order.
 	Fired []FiredPredicate
+	// Type is the anomaly-type tag pyramid detections carry
+	// (point/contextual/collective, see pyramid.go); empty for
+	// single-scale models.
+	Type AnomalyType
+	// Scales breaks a pyramid detection down per resolution; nil for
+	// single-scale models.
+	Scales []ScaleDetection
 }
 
 // finalizeRules derives the simplified rule from the raw extraction,
@@ -50,10 +58,26 @@ func (m *Model) finalizeRules() {
 	m.eng = engine.Compile(m.rule, m.Opts.Omega)
 	m.predTexts = make([]string, len(m.rule.Predicates))
 	m.predDescs = make([]string, len(m.rule.Predicates))
+	m.predPeaks = make([]bool, len(m.rule.Predicates))
 	for i, p := range m.rule.Predicates {
 		m.predTexts[i] = p.Format(m.pcfg)
 		m.predDescs[i] = describePredicate(p)
+		m.predPeaks[i] = predicateIsPeak(p)
 	}
+}
+
+// predicateIsPeak reports whether any positive composition of the
+// predicate contains a peak label (PP/PN) — a shape that pins an
+// anomaly to a single extremal point rather than a sustained run.
+func predicateIsPeak(p rules.Predicate) bool {
+	for _, c := range p.PositiveCompositions() {
+		for _, l := range c.Labels {
+			if l.Var == pattern.PP || l.Var == pattern.PN {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // describePredicate joins the natural-language readings of a predicate's

@@ -1,0 +1,342 @@
+package cdt
+
+// The ensemble/fusion layer: one general mechanism for "several CDTs
+// vote on the same feed". A Member pairs a trained Model with the input
+// Transform that maps the ensemble's input to the series that member
+// scores — identity/dimension selection for multivariate fusion
+// (multivariate.go), a resampler for resolution pyramids (pyramid.go) —
+// and a Fusion policy turns per-member verdicts into one decision.
+//
+// Two consumers share the layer:
+//
+//   - MultiModel fuses window-aligned members (one per dimension, same
+//     ω, same clock) through Ensemble.DetectAligned;
+//   - PyramidModel fuses members at different temporal resolutions,
+//     which are not window-aligned, by projecting each member's fired
+//     windows onto original-resolution points and fusing per point.
+//
+// The fusion policies are shared verbatim by both.
+
+import (
+	"fmt"
+
+	"cdt/internal/timeseries"
+)
+
+// FusionPolicy selects how per-member verdicts combine.
+type FusionPolicy int
+
+const (
+	// FuseAny fires when any member fires — the sensitive default.
+	FuseAny FusionPolicy = iota
+	// FuseMajority fires when more than half the members fire.
+	FuseMajority
+	// FuseAll fires only when every member fires — the high-precision
+	// setting.
+	FuseAll
+	// FuseKOfN fires when at least Fusion.K members fire.
+	FuseKOfN
+	// FuseWeighted fires when the weight sum of firing members reaches
+	// Fusion.Threshold (weights default to 1 per member).
+	FuseWeighted
+)
+
+// String names the policy.
+func (p FusionPolicy) String() string {
+	switch p {
+	case FuseMajority:
+		return "majority"
+	case FuseAll:
+		return "all"
+	case FuseKOfN:
+		return "k-of-n"
+	case FuseWeighted:
+		return "weighted"
+	}
+	return "any"
+}
+
+// ParseFusionPolicy converts a policy name back to its FusionPolicy.
+func ParseFusionPolicy(s string) (FusionPolicy, error) {
+	switch s {
+	case "", "any":
+		return FuseAny, nil
+	case "majority":
+		return FuseMajority, nil
+	case "all":
+		return FuseAll, nil
+	case "k-of-n":
+		return FuseKOfN, nil
+	case "weighted":
+		return FuseWeighted, nil
+	}
+	return 0, fmt.Errorf("cdt: unknown fusion policy %q", s)
+}
+
+// Fusion is a pluggable verdict-combination policy. The zero value is
+// FuseAny.
+type Fusion struct {
+	// Policy selects the combination rule.
+	Policy FusionPolicy
+	// K is the firing-member quorum for FuseKOfN.
+	K int
+	// Weights holds one weight per member for FuseWeighted; nil weights
+	// every member 1.
+	Weights []float64
+	// Threshold is the firing weight sum required by FuseWeighted.
+	Threshold float64
+}
+
+// Validate checks the policy parameters against the member count.
+func (f Fusion) Validate(members int) error {
+	if members < 1 {
+		return fmt.Errorf("cdt: fusion needs at least one member")
+	}
+	switch f.Policy {
+	case FuseKOfN:
+		if f.K < 1 || f.K > members {
+			return fmt.Errorf("cdt: fusion quorum k=%d outside [1,%d]", f.K, members)
+		}
+	case FuseWeighted:
+		if f.Weights != nil && len(f.Weights) != members {
+			return fmt.Errorf("cdt: %d fusion weights for %d members", len(f.Weights), members)
+		}
+		if f.Threshold <= 0 {
+			return fmt.Errorf("cdt: fusion threshold %v, want > 0", f.Threshold)
+		}
+	case FuseAny, FuseMajority, FuseAll:
+	default:
+		return fmt.Errorf("cdt: unknown fusion policy %d", f.Policy)
+	}
+	return nil
+}
+
+// weight returns member i's voting weight.
+func (f Fusion) weight(i int) float64 {
+	if f.Weights == nil {
+		return 1
+	}
+	return f.Weights[i]
+}
+
+// decide combines an accumulated vote: count members fired (with weight
+// sum) out of n. The counting form lets hot detection loops accumulate
+// votes without materializing a per-member bool slice per window.
+func (f Fusion) decide(count int, weight float64, n int) bool {
+	switch f.Policy {
+	case FuseMajority:
+		return count*2 > n
+	case FuseAll:
+		return count == n
+	case FuseKOfN:
+		return count >= f.K
+	case FuseWeighted:
+		return weight >= f.Threshold
+	}
+	return count > 0
+}
+
+// Decide combines one per-member verdict vector into the fused verdict.
+func (f Fusion) Decide(fired []bool) bool {
+	count, weight := 0, 0.0
+	for i, fi := range fired {
+		if fi {
+			count++
+			weight += f.weight(i)
+		}
+	}
+	return f.decide(count, weight, len(fired))
+}
+
+// String renders the policy with its parameters.
+func (f Fusion) String() string {
+	switch f.Policy {
+	case FuseKOfN:
+		return fmt.Sprintf("%d-of-n", f.K)
+	case FuseWeighted:
+		return fmt.Sprintf("weighted(>=%g)", f.Threshold)
+	}
+	return f.Policy.String()
+}
+
+// Transform maps an ensemble input — a set of aligned series — to the
+// one series a member scores.
+type Transform interface {
+	// Apply selects or derives the member's series from the input
+	// dimensions.
+	Apply(dims []*Series) (*Series, error)
+	// String describes the transform for rule listings and artifacts.
+	String() string
+}
+
+// DimTransform selects one input dimension unchanged — the identity
+// transform of per-dimension multivariate fusion.
+type DimTransform struct {
+	// Dim is the 0-based input dimension.
+	Dim int
+}
+
+// Apply selects dimension Dim.
+func (t DimTransform) Apply(dims []*Series) (*Series, error) {
+	if t.Dim < 0 || t.Dim >= len(dims) {
+		return nil, fmt.Errorf("cdt: transform selects dimension %d of %d", t.Dim, len(dims))
+	}
+	return dims[t.Dim], nil
+}
+
+// String describes the transform.
+func (t DimTransform) String() string { return fmt.Sprintf("dim(%d)", t.Dim) }
+
+// ResampleTransform downsamples the first input dimension by Factor —
+// the per-scale transform of resolution pyramids. Factor 1 is the
+// identity.
+type ResampleTransform struct {
+	// Factor is the downsample factor (>= 1).
+	Factor int
+	// Aggregator names the bucket aggregation: "mean" (default) or
+	// "max". "sum" is excluded: it leaves the [0,1] normalization range,
+	// which would break scale consistency between batch and streaming
+	// detection.
+	Aggregator string
+}
+
+// canonicalAggregator maps an aggregator name to its canonical form
+// ("" is the mean default).
+func canonicalAggregator(name string) string {
+	if name == "" {
+		return "mean"
+	}
+	return name
+}
+
+// aggregatorOf resolves an aggregator name.
+func aggregatorOf(name string) (timeseries.Aggregator, error) {
+	switch name {
+	case "", "mean":
+		return timeseries.Mean, nil
+	case "max":
+		return timeseries.Max, nil
+	}
+	return nil, fmt.Errorf("cdt: unknown aggregator %q (want mean or max)", name)
+}
+
+// Apply downsamples dimension 0 by Factor.
+func (t ResampleTransform) Apply(dims []*Series) (*Series, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("cdt: resample transform on empty input")
+	}
+	agg, err := aggregatorOf(t.Aggregator)
+	if err != nil {
+		return nil, err
+	}
+	if t.Factor == 1 {
+		return dims[0], nil
+	}
+	return timeseries.Downsample(dims[0], t.Factor, agg)
+}
+
+// String describes the transform.
+func (t ResampleTransform) String() string {
+	agg := t.Aggregator
+	if agg == "" {
+		agg = "mean"
+	}
+	return fmt.Sprintf("resample(%d,%s)", t.Factor, agg)
+}
+
+// Member is one model in an ensemble plus the transform that feeds it.
+type Member struct {
+	// Name identifies the member in rule listings (a dimension name, a
+	// scale like "x4").
+	Name string
+	// Model is the member's trained CDT.
+	Model *Model
+	// Transform maps the ensemble input to this member's series.
+	Transform Transform
+}
+
+// Ensemble is a set of members with a fusion policy — the shared
+// mechanism under MultiModel and PyramidModel.
+type Ensemble struct {
+	// Members are the voting models.
+	Members []Member
+	// Fuse combines their verdicts.
+	Fuse Fusion
+}
+
+// Validate checks the ensemble is runnable.
+func (e *Ensemble) Validate() error {
+	if len(e.Members) == 0 {
+		return fmt.Errorf("cdt: ensemble has no members")
+	}
+	for i, m := range e.Members {
+		if m.Model == nil {
+			return fmt.Errorf("cdt: ensemble member %d has no model", i)
+		}
+		if m.Transform == nil {
+			return fmt.Errorf("cdt: ensemble member %d has no transform", i)
+		}
+	}
+	return e.Fuse.Validate(len(e.Members))
+}
+
+// DetectAligned sweeps every member over its transformed input and
+// fuses verdicts per window. All members must produce the same window
+// count (same ω over same-length inputs) — the window-aligned fast path
+// MultiModel runs on. Votes accumulate into per-window counts, so no
+// per-member flag slice is materialized.
+func (e *Ensemble) DetectAligned(dims []*Series) ([]bool, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		counts  []int
+		weights []float64
+	)
+	for i, mem := range e.Members {
+		s, err := mem.Transform.Apply(dims)
+		if err != nil {
+			return nil, fmt.Errorf("cdt: member %d: %w", i, err)
+		}
+		marks, err := mem.Model.detectMarks(s)
+		if err != nil {
+			return nil, fmt.Errorf("cdt: member %d: %w", i, err)
+		}
+		if counts == nil {
+			counts = make([]int, marks.NumWindows())
+			if e.Fuse.Policy == FuseWeighted {
+				weights = make([]float64, marks.NumWindows())
+			}
+		}
+		if marks.NumWindows() != len(counts) {
+			return nil, fmt.Errorf("cdt: member %d has %d windows, want %d", i, marks.NumWindows(), len(counts))
+		}
+		for wi := range counts {
+			if marks.Fired(wi) {
+				counts[wi]++
+				if weights != nil {
+					weights[wi] += e.Fuse.weight(i)
+				}
+			}
+		}
+	}
+	n := len(e.Members)
+	out := make([]bool, len(counts))
+	for wi, count := range counts {
+		w := float64(count)
+		if weights != nil {
+			w = weights[wi]
+		}
+		out[wi] = e.Fuse.decide(count, w, n)
+	}
+	return out, nil
+}
+
+// NumRules sums the member models' rule counts.
+func (e *Ensemble) NumRules() int {
+	n := 0
+	for _, m := range e.Members {
+		n += m.Model.NumRules()
+	}
+	return n
+}

@@ -33,7 +33,35 @@ func FuzzLoad(f *testing.F) {
 		}
 		f.Add(artifact + artifact) // trailing garbage
 	}
+	// Pyramid documents: malformed shapes LoadAny/LoadPyramid must
+	// reject cleanly, plus a real artifact and its truncations.
+	f.Add(`{"kind": "pyramid"}`)
+	f.Add(`{"kind": "mystery"}`)
+	f.Add(`{"version": 1, "kind": "pyramid", "fusion": {"policy": "psychic"}, "scales": []}`)
+	f.Add(`{"version": 1, "kind": "pyramid", "fusion": {"policy": "k-of-n", "k": -1}, "scales": [{"factor": 1}]}`)
+	f.Add(`{"version": 1, "kind": "pyramid", "fusion": {"policy": "any"},
+	       "scales": [{"factor": 2, "model": {"version": 1, "options": {"omega": 3, "delta": 2}, "tree": {"normal": 1, "anomaly": 0}}}]}`)
+	if artifact := savedPyramidJSON(f); artifact != "" {
+		f.Add(artifact)
+		for _, frac := range []int{4, 2, 3} {
+			f.Add(artifact[:len(artifact)/frac])
+		}
+	}
 	f.Fuzz(func(t *testing.T, doc string) {
+		// LoadAny must never panic, and any artifact it accepts must
+		// detect and render without panicking.
+		if art, err := LoadAny(strings.NewReader(doc)); err == nil {
+			_ = art.RuleText()
+			_ = art.Info()
+			_ = art.TrainingAnomalyRate()
+			values := make([]float64, art.Info().Omega*4+8)
+			for i := range values {
+				values[i] = float64(i % 7)
+			}
+			if _, err := art.DetectExplained(NewSeries("fuzz", values)); err != nil {
+				t.Fatalf("accepted artifact cannot detect: %v", err)
+			}
+		}
 		m, err := Load(strings.NewReader(doc))
 		if err != nil {
 			return
@@ -48,6 +76,32 @@ func FuzzLoad(f *testing.F) {
 			_ = m2.Predict(make([]Label, m2.Opts.Omega))
 		}
 	})
+}
+
+// savedPyramidJSON trains a tiny two-scale pyramid and returns its
+// serialized form, for fuzz seeds. Returns "" when training fails.
+func savedPyramidJSON(f *testing.F) string {
+	f.Helper()
+	values := make([]float64, 64)
+	anoms := make([]bool, len(values))
+	for i := range values {
+		values[i] = float64(1 + i%3)
+	}
+	for _, at := range []int{11, 30, 31, 32, 33, 50} {
+		values[at] = 9
+		anoms[at] = true
+	}
+	pm, err := FitPyramid([]*Series{NewLabeledSeries("seed", values, anoms)},
+		Options{Omega: 3, Delta: 2},
+		PyramidConfig{Factors: []int{1, 2}, Aggregator: "max"})
+	if err != nil {
+		return ""
+	}
+	var b strings.Builder
+	if err := pm.Save(&b); err != nil {
+		return ""
+	}
+	return b.String()
 }
 
 // savedModelJSON trains a tiny model and returns its serialized form,

@@ -24,6 +24,7 @@ const (
 	EventRetrain  = "retrain"  // drift triggered a re-optimization
 	EventRefuse   = "refuse"   // a candidate failed validation
 	EventShadow   = "shadow"   // shadow evaluation started or stopped
+	EventGC       = "gc"       // unreferenced blobs were swept
 )
 
 // Event is one audit-log record.

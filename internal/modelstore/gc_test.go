@@ -1,0 +1,140 @@
+package modelstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	cdt "cdt"
+)
+
+// pyramidDoc trains a two-scale pyramid and returns its serialized
+// document.
+func pyramidDoc(tb testing.TB, seed int64) []byte {
+	tb.Helper()
+	pm, err := cdt.FitPyramid(
+		[]*cdt.Series{spiky("train", 500, []int{90, 200, 330, 430}, seed)},
+		cdt.Options{Omega: 5, Delta: 2},
+		cdt.PyramidConfig{Factors: []int{1, 4}, Aggregator: "max"},
+	)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pm.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestPublishAndLoadPyramidArtifact(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := st.Publish("multi", pyramidDoc(t, 7), "publish", "two scales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != "pyramid" {
+		t.Fatalf("Kind = %q, want pyramid", v.Kind)
+	}
+	if !reflect.DeepEqual(v.Scales, []int{1, 4}) {
+		t.Fatalf("Scales = %v, want [1 4]", v.Scales)
+	}
+	if v.Omega != 5 || v.Delta != 2 || v.NumRules == 0 {
+		t.Fatalf("version = %+v", v)
+	}
+	art, _, err := st.LoadVersion("multi", v.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, ok := art.(*cdt.PyramidModel)
+	if !ok {
+		t.Fatalf("LoadVersion returned %T, want *cdt.PyramidModel", art)
+	}
+	if got := pm.Info().Scales; !reflect.DeepEqual(got, []int{1, 4}) {
+		t.Fatalf("loaded scales = %v, want [1 4]", got)
+	}
+
+	// Plain-model versions keep the pre-pyramid manifest shape: no kind
+	// field appears in their serialized entry.
+	if _, err := st.Publish("plain", modelDoc(t, 3), "publish", ""); err != nil {
+		t.Fatal(err)
+	}
+	manifest, err := os.ReadFile(st.manifestPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(manifest, []byte(`"kind"`)); n != 1 {
+		t.Fatalf("manifest mentions \"kind\" %d times, want exactly 1 (pyramid only):\n%s", n, manifest)
+	}
+}
+
+func TestGCRemovesUnreferencedBlobs(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := st.Publish("m", modelDoc(t, 7), "publish", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := st.Publish("m", pyramidDoc(t, 7), "publish", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An orphaned blob (as if its manifest append crashed) and a leftover
+	// temp file from an interrupted write.
+	blobs := filepath.Dir(st.blobPath("x"))
+	orphan := filepath.Join(blobs, "sha256-deadbeef.json")
+	if err := os.WriteFile(orphan, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(blobs, "sha256-cafe.json.tmp")
+	if err := os.WriteFile(tmp, []byte(`{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := st.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The returned list names swept digests; temp files are removed too
+	// but are not digests, so they are not listed.
+	if !reflect.DeepEqual(removed, []string{"sha256-deadbeef"}) {
+		t.Fatalf("removed = %v, want [sha256-deadbeef]", removed)
+	}
+	for _, p := range []string{orphan, tmp} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("%s survived GC", p)
+		}
+	}
+	// Referenced blobs survive and both versions still load.
+	for _, ver := range []int{v1.Version, v2.Version} {
+		if _, _, err := st.LoadVersion("m", ver); err != nil {
+			t.Fatalf("v%d unloadable after GC: %v", ver, err)
+		}
+	}
+
+	// The sweep is audit-logged.
+	events, err := st.Audit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Event != EventGC {
+		t.Fatalf("last audit event = %+v, want gc", events)
+	}
+
+	// A second sweep finds nothing.
+	removed, err = st.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 {
+		t.Fatalf("second GC removed %v, want nothing", removed)
+	}
+}

@@ -72,6 +72,11 @@ type Version struct {
 	Omega    int `json:"omega"`
 	Delta    int `json:"delta"`
 	NumRules int `json:"num_rules"`
+	// Kind discriminates the artifact flavor ("pyramid"); empty for
+	// plain models, keeping pre-pyramid manifests byte-stable.
+	Kind string `json:"kind,omitempty"`
+	// Scales holds a pyramid's downsample factors; nil for plain models.
+	Scales []int `json:"scales,omitempty"`
 }
 
 // modelEntry is one model name's manifest record.
@@ -162,12 +167,13 @@ func validName(name string) error {
 	return nil
 }
 
-// Publish validates doc (a persist.go model document), stores it
-// content-addressed, and appends it as the next version of name —
-// unpromoted: serving is unaffected until Promote. source is "publish",
-// "retrain", or "import"; note is free-form context. A document cdt.Load
-// refuses is rejected, and the refusal (with Load's field-path reason)
-// is itself recorded in the audit log.
+// Publish validates doc (a persist.go artifact document — plain model
+// or pyramid), stores it content-addressed, and appends it as the next
+// version of name — unpromoted: serving is unaffected until Promote.
+// source is "publish", "retrain", or "import"; note is free-form
+// context. A document cdt.LoadAny refuses is rejected, and the refusal
+// (with the loader's field-path reason) is itself recorded in the audit
+// log.
 //
 // Publish takes s.mu for the manifest append and audit write; document
 // validation and the blob write happen before the lock.
@@ -175,7 +181,7 @@ func (s *Store) Publish(name string, doc []byte, source, note string) (Version, 
 	if err := validName(name); err != nil {
 		return Version{}, err
 	}
-	model, err := cdt.Load(bytes.NewReader(doc))
+	art, err := cdt.LoadAny(bytes.NewReader(doc))
 	if err != nil {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -202,15 +208,20 @@ func (s *Store) Publish(name string, doc []byte, source, note string) (Version, 
 	if source == "" {
 		source = "publish"
 	}
+	info := art.Info()
 	v := Version{
 		Version:   next,
 		Digest:    digest,
 		CreatedAt: time.Now().Unix(),
 		Source:    source,
 		Note:      note,
-		Omega:     model.Opts.Omega,
-		Delta:     model.Opts.Delta,
-		NumRules:  model.NumRules(),
+		Omega:     info.Omega,
+		Delta:     info.Delta,
+		NumRules:  info.NumRules,
+		Scales:    info.Scales,
+	}
+	if info.Kind != cdt.KindModel {
+		v.Kind = info.Kind
 	}
 	entry.Versions = append(entry.Versions, v)
 	if err := s.saveManifestLocked(); err != nil {
@@ -349,8 +360,10 @@ func (s *Store) Current(name string) (Version, bool) {
 	return findVersion(entry, entry.Current)
 }
 
-// LoadVersion loads and compiles one published version of name.
-func (s *Store) LoadVersion(name string, version int) (*cdt.Model, Version, error) {
+// LoadVersion loads and compiles one published version of name. The
+// returned artifact is a *cdt.Model or *cdt.PyramidModel depending on
+// the stored document's kind.
+func (s *Store) LoadVersion(name string, version int) (cdt.Artifact, Version, error) {
 	s.mu.Lock()
 	entry := s.man.Models[name]
 	var (
@@ -369,7 +382,7 @@ func (s *Store) LoadVersion(name string, version int) (*cdt.Model, Version, erro
 		return nil, Version{}, fmt.Errorf("modelstore: %w", err)
 	}
 	defer f.Close()
-	m, err := cdt.Load(f)
+	m, err := cdt.LoadAny(f)
 	if err != nil {
 		return nil, Version{}, fmt.Errorf("modelstore: loading %s v%d (%s): %w", name, version, shortDigest(v.Digest), err)
 	}
@@ -377,7 +390,7 @@ func (s *Store) LoadVersion(name string, version int) (*cdt.Model, Version, erro
 }
 
 // LoadCurrent loads name's promoted version.
-func (s *Store) LoadCurrent(name string) (*cdt.Model, Version, error) {
+func (s *Store) LoadCurrent(name string) (cdt.Artifact, Version, error) {
 	v, ok := s.Current(name)
 	if !ok {
 		return nil, Version{}, fmt.Errorf("modelstore: model %q has no promoted version", name)
@@ -388,8 +401,8 @@ func (s *Store) LoadCurrent(name string) (*cdt.Model, Version, error) {
 // CurrentModels loads every model with a promoted version — the serving
 // registry's view of the store. Any load failure fails the whole call,
 // so a registry swap stays all-or-nothing.
-func (s *Store) CurrentModels() (map[string]*cdt.Model, map[string]int, error) {
-	models := make(map[string]*cdt.Model)
+func (s *Store) CurrentModels() (map[string]cdt.Artifact, map[string]int, error) {
+	models := make(map[string]cdt.Artifact)
 	versions := make(map[string]int)
 	for _, name := range s.Models() {
 		v, ok := s.Current(name)
@@ -404,6 +417,57 @@ func (s *Store) CurrentModels() (map[string]*cdt.Model, map[string]int, error) {
 		versions[name] = v.Version
 	}
 	return models, versions, nil
+}
+
+// GC deletes content-addressed blobs that no manifest version
+// references and returns the deleted digests, sorted. Published
+// versions are never deleted — only blobs orphaned by out-of-band
+// manifest surgery or by crashed publishes that wrote a blob but died
+// before the manifest append. Leftover .tmp files from crashed writes
+// are removed too (they are never referenced by construction). The
+// sweep is audit-logged with the reclaimed count.
+//
+// GC takes s.mu across the whole sweep: referenced-digest collection,
+// directory scan, deletions, and the audit write all happen under the
+// lock, so a concurrent Publish can never race its fresh blob against
+// the sweep.
+func (s *Store) GC() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	referenced := make(map[string]bool)
+	for _, entry := range s.man.Models {
+		for _, v := range entry.Versions {
+			referenced[v.Digest] = true
+		}
+	}
+	entries, err := os.ReadDir(filepath.Join(s.dir, "blobs"))
+	if err != nil {
+		return nil, fmt.Errorf("modelstore: %w", err)
+	}
+	var removed []string
+	for _, de := range entries {
+		name := de.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			if err := os.Remove(filepath.Join(s.dir, "blobs", name)); err != nil {
+				return removed, fmt.Errorf("modelstore: %w", err)
+			}
+			continue
+		}
+		digest := strings.TrimSuffix(name, ".json")
+		if referenced[digest] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, "blobs", name)); err != nil {
+			return removed, fmt.Errorf("modelstore: %w", err)
+		}
+		removed = append(removed, digest)
+	}
+	sort.Strings(removed)
+	if err := s.appendAuditLocked(Event{Event: EventGC,
+		Detail: fmt.Sprintf("removed=%d referenced=%d", len(removed), len(referenced))}); err != nil {
+		return removed, err
+	}
+	return removed, nil
 }
 
 // CheckReady verifies the store is servable from disk right now: the

@@ -29,6 +29,38 @@ type batchDetection struct {
 	Start  int         `json:"start"`
 	End    int         `json:"end"`
 	Rules  []firedRule `json:"rules"`
+	// Type and Scales are set only for pyramid models: the anomaly-type
+	// tag (point, contextual, collective) and the per-scale fired-rule
+	// breakdown. Plain-model responses keep their pre-pyramid shape.
+	Type   string        `json:"type,omitempty"`
+	Scales []scaleDetail `json:"scales,omitempty"`
+}
+
+// scaleDetail is the wire form of one pyramid scale's contribution to a
+// fused detection.
+type scaleDetail struct {
+	Factor int         `json:"factor"`
+	Window int         `json:"window"`
+	Start  int         `json:"start"`
+	End    int         `json:"end"`
+	Rules  []firedRule `json:"rules"`
+}
+
+func scaleDetails(scales []cdt.ScaleDetection) []scaleDetail {
+	if len(scales) == 0 {
+		return nil
+	}
+	out := make([]scaleDetail, len(scales))
+	for i, sd := range scales {
+		out[i] = scaleDetail{
+			Factor: sd.Factor,
+			Window: sd.Window,
+			Start:  sd.Start,
+			End:    sd.End,
+			Rules:  firedRules(sd.Fired),
+		}
+	}
+	return out
 }
 
 type seriesResult struct {
@@ -81,8 +113,9 @@ func (s *Server) handleBatchDetect(w http.ResponseWriter, r *http.Request) {
 // model — the shadow queue; both are off-path (a map/atomic touch and a
 // non-blocking enqueue), keeping shadow overhead inside the benchmark
 // gate.
-func (s *Server) scoreBatch(ctx context.Context, name string, model *cdt.Model, series []seriesPayload) []seriesResult {
+func (s *Server) scoreBatch(ctx context.Context, name string, model cdt.Artifact, series []seriesPayload) []seriesResult {
 	shadow := s.shadows.Get(name)
+	omega := model.Info().Omega
 	results := make([]seriesResult, len(series))
 	var wg sync.WaitGroup
 	for i := range series {
@@ -114,13 +147,18 @@ func (s *Server) scoreBatch(ctx context.Context, name string, model *cdt.Model, 
 					Start:  d.Start,
 					End:    d.End,
 					Rules:  firedRules(d.Fired),
+					Type:   string(d.Type),
+					Scales: scaleDetails(d.Scales),
+				}
+				if d.Type != "" {
+					s.tel.anomalyTypes.With(name, string(d.Type)).Inc()
 				}
 			}
 			stats.Add("batch_series", 1)
 			stats.Add("detections", int64(len(dets)))
 			s.tel.batchSeries.Inc()
 			s.tel.batchDetections.Add(uint64(len(dets)))
-			windows := len(sp.Values) - model.Opts.Omega
+			windows := len(sp.Values) - omega
 			if windows < 0 {
 				windows = 0
 			}

@@ -95,6 +95,53 @@ func BenchmarkServerBatchDetectTelemetry(b *testing.B) {
 	b.ReportMetric(float64(b.N*seriesPerRequest)/b.Elapsed().Seconds(), "series/sec")
 }
 
+// BenchmarkServerBatchDetectPyramid is BenchmarkServerBatchDetect with
+// a two-scale pyramid artifact serving the same traffic shape: per-scale
+// engine sweeps, point-level fusion, anomaly typing, and the per-scale
+// response breakdown all ride the batch path. The delta against
+// BenchmarkServerBatchDetect is the serving cost of multi-resolution
+// scoring (REPORT.md).
+func BenchmarkServerBatchDetectPyramid(b *testing.B) {
+	s, ts, dir := newTestServer(b, Config{})
+	writePyramid(b, dir, "multi", trainPyramid(b))
+	if _, err := s.Registry().Reload(); err != nil {
+		b.Fatal(err)
+	}
+
+	const seriesPerRequest = 8
+	req := batchRequest{}
+	for i := 0; i < seriesPerRequest; i++ {
+		req.Series = append(req.Series, seriesPayload{
+			Name:   "s",
+			Values: plateauSpiky("s", 300, []int{120, 240}, 60, 24, int64(i)).Values,
+		})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	url := ts.URL + "/models/multi/detect"
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out batchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 || len(out.Results) != seriesPerRequest {
+			b.Fatalf("status %d, %d results", resp.StatusCode, len(out.Results))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*seriesPerRequest)/b.Elapsed().Seconds(), "series/sec")
+}
+
 // BenchmarkServerBatchDetectShadow is BenchmarkServerBatchDetect with a
 // candidate version shadow-scoring every request. The serving path pays
 // only an incumbent-range copy and a non-blocking enqueue — candidate

@@ -83,8 +83,11 @@ func newDrift(window int, bound float64, store *modelstore.Store, retrainer Retr
 // observe folds one scored sample (windows swept, detections fired) for
 // name into its sliding window and evaluates the drift bound. Takes
 // d.mu; any retrain it triggers runs on a separate goroutine outside
-// the lock.
-func (d *drift) observe(name string, model *cdt.Model, windows, fired int) {
+// the lock. Pyramid artifacts are tracked like plain models (their
+// baseline is the base scale's training rate) but never retrained
+// automatically — the retrainer only knows how to re-fit plain models,
+// so a drifted pyramid gets a stale mark and an audit note instead.
+func (d *drift) observe(name string, model cdt.Artifact, windows, fired int) {
 	if d.bound <= 0 || windows <= 0 {
 		return
 	}
@@ -119,7 +122,17 @@ func (d *drift) observe(name string, model *cdt.Model, windows, fired int) {
 		d.tel.staleModels.With(name).Set(1)
 	}
 	if launch {
-		go d.retrain(name, model)
+		incumbent, ok := model.(*cdt.Model)
+		if !ok {
+			d.mu.Lock()
+			delete(d.retraining, name)
+			d.mu.Unlock()
+			d.tel.retrains.With("skipped").Inc()
+			_ = d.store.Note(modelstore.EventRetrain, name, 0,
+				fmt.Sprintf("skipped: incumbent is a %q artifact; automatic retraining supports plain models only", model.Info().Kind))
+			return
+		}
+		go d.retrain(name, incumbent)
 	}
 }
 

@@ -608,6 +608,14 @@ func appendSeriesResult(dst []byte, r *seriesResult) []byte {
 			dst = strconv.AppendInt(dst, int64(d.End), 10)
 			dst = append(dst, `,"rules":`...)
 			dst = appendFiredRules(dst, d.Rules)
+			if d.Type != "" {
+				dst = append(dst, `,"type":`...)
+				dst = appendJSONString(dst, d.Type)
+			}
+			if len(d.Scales) > 0 {
+				dst = append(dst, `,"scales":`...)
+				dst = appendScaleDetails(dst, d.Scales)
+			}
 			dst = append(dst, '}')
 		}
 		dst = append(dst, ']')
@@ -617,6 +625,28 @@ func appendSeriesResult(dst []byte, r *seriesResult) []byte {
 		dst = appendJSONString(dst, r.Error)
 	}
 	return append(dst, '}')
+}
+
+// appendScaleDetails encodes a pyramid detection's per-scale breakdown.
+func appendScaleDetails(dst []byte, scales []scaleDetail) []byte {
+	dst = append(dst, '[')
+	for i, sd := range scales {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `{"factor":`...)
+		dst = strconv.AppendInt(dst, int64(sd.Factor), 10)
+		dst = append(dst, `,"window":`...)
+		dst = strconv.AppendInt(dst, int64(sd.Window), 10)
+		dst = append(dst, `,"start":`...)
+		dst = strconv.AppendInt(dst, int64(sd.Start), 10)
+		dst = append(dst, `,"end":`...)
+		dst = strconv.AppendInt(dst, int64(sd.End), 10)
+		dst = append(dst, `,"rules":`...)
+		dst = appendFiredRules(dst, sd.Rules)
+		dst = append(dst, '}')
+	}
+	return append(dst, ']')
 }
 
 // appendPushPointsResponse encodes a pushPointsResponse like
@@ -637,6 +667,14 @@ func appendPushPointsResponse(dst []byte, v pushPointsResponse) []byte {
 			dst = strconv.AppendInt(dst, int64(d.WindowEnd), 10)
 			dst = append(dst, `,"rules":`...)
 			dst = appendFiredRules(dst, d.Rules)
+			if d.Scale != 0 {
+				dst = append(dst, `,"scale":`...)
+				dst = strconv.AppendInt(dst, int64(d.Scale), 10)
+			}
+			if d.Type != "" {
+				dst = append(dst, `,"type":`...)
+				dst = appendJSONString(dst, d.Type)
+			}
 			dst = append(dst, '}')
 		}
 		dst = append(dst, ']')

@@ -165,6 +165,17 @@ func TestAppendBatchResponseRoundTrip(t *testing.T) {
 			{Name: `quote " backslash \ control` + "\x01", Detections: []batchDetection{}},
 			{Name: "errored", Error: `labels: "weird" failure`},
 			{Name: "unicode éé€😀"},
+			{Name: "pyramid", Detections: []batchDetection{
+				{Window: 0, Start: 6, End: 13, Type: "collective",
+					Rules: []firedRule{{Index: 1, Text: "exists"}},
+					Scales: []scaleDetail{
+						{Factor: 1, Window: 5, Start: 6, End: 13, Rules: []firedRule{{Index: 1, Text: "exists"}}},
+						{Factor: 4, Window: 0, Start: 4, End: 27, Rules: []firedRule{}},
+					}},
+				{Window: 1, Start: 30, End: 37, Type: "point",
+					Rules:  []firedRule{},
+					Scales: []scaleDetail{{Factor: 1, Window: 29, Start: 30, End: 37, Rules: nil}}},
+			}},
 		}},
 		{Model: ""},
 		{Model: "empty", Results: []seriesResult{}},
@@ -200,6 +211,10 @@ func TestAppendPushPointsResponseRoundTrip(t *testing.T) {
 			{WindowStart: 20, WindowEnd: 27, Rules: []firedRule{}},
 		}, PointsConsumed: 128, Ready: true},
 		{Detections: []streamDetection{}, PointsConsumed: 0, Ready: false},
+		{Detections: []streamDetection{
+			{WindowStart: 8, WindowEnd: 31, Rules: []firedRule{{Index: 2, Text: "p"}}, Scale: 4, Type: "contextual"},
+			{WindowStart: 40, WindowEnd: 47, Rules: []firedRule{}, Scale: 1, Type: "point"},
+		}, PointsConsumed: 64, Ready: true},
 	}
 	for _, resp := range resps {
 		raw := appendPushPointsResponse(nil, resp)

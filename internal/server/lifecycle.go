@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"net/http"
 
+	cdt "cdt"
 	"cdt/internal/modelstore"
 )
 
@@ -61,7 +62,16 @@ func (s *Server) handleShadowStart(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	sh := s.shadows.Start(name, req.Version, candidate)
+	// Shadow scoring replays incumbent traffic through the candidate's
+	// window detector; that comparison is defined for plain models only.
+	cm, ok := candidate.(*cdt.Model)
+	if !ok {
+		writeError(w, http.StatusBadRequest,
+			"shadow evaluation requires a plain model candidate; version %d of %q is a %q artifact",
+			req.Version, name, candidate.Info().Kind)
+		return
+	}
+	sh := s.shadows.Start(name, req.Version, cm)
 	_ = st.Note(modelstore.EventShadow, name, req.Version,
 		fmt.Sprintf("shadow started against serving version %d", serving))
 	writeJSON(w, http.StatusCreated, sh.summary())

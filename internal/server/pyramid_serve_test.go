@@ -1,0 +1,247 @@
+package server
+
+// End-to-end coverage for pyramid artifacts through the serving stack:
+// registry listing, batch scoring with anomaly-type tags and per-scale
+// breakdowns, streaming sessions over pyramid streams, shadow-start
+// rejection, and the slow-request exemplar ring.
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	cdt "cdt"
+	"cdt/internal/modelstore"
+)
+
+// plateauSpiky is spiky plus a sustained labeled level shift, so a
+// multi-scale pyramid has both point-like and collective anomalies to
+// learn from.
+func plateauSpiky(name string, n int, spikes []int, pStart, pLen int, seed int64) *cdt.Series {
+	rng := rand.New(rand.NewSource(seed))
+	values := make([]float64, n)
+	anoms := make([]bool, n)
+	for i := range values {
+		values[i] = 100 + 20*math.Sin(float64(i)/8) + 2*rng.Float64()
+	}
+	for _, at := range spikes {
+		values[at] = 400
+		anoms[at] = true
+	}
+	for i := pStart; i < pStart+pLen && i < n; i++ {
+		values[i] = 320
+		anoms[i] = true
+	}
+	return cdt.NewLabeledSeries(name, values, anoms)
+}
+
+func trainPyramid(tb testing.TB) *cdt.PyramidModel {
+	tb.Helper()
+	pm, err := cdt.FitPyramid(
+		[]*cdt.Series{plateauSpiky("train", 600, []int{90, 200, 430}, 300, 48, 7)},
+		cdt.Options{Omega: 5, Delta: 2},
+		cdt.PyramidConfig{Factors: []int{1, 4}, Aggregator: "max"},
+	)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if pm.NumRules() == 0 {
+		tb.Fatal("trained pyramid has no rules")
+	}
+	return pm
+}
+
+func writePyramid(tb testing.TB, dir, name string, pm *cdt.PyramidModel) {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := pm.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".json"), buf.Bytes(), 0o644); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func TestServePyramidEndToEnd(t *testing.T) {
+	s, ts, dir := newTestServer(t, Config{})
+	writePyramid(t, dir, "multi", trainPyramid(t))
+	if _, err := s.Registry().Reload(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The listing tags the pyramid with its kind and scales; the plain
+	// model keeps the pre-pyramid shape.
+	var list struct {
+		Models []ModelInfo `json:"models"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/models", nil, &list); code != 200 {
+		t.Fatalf("models list = %d", code)
+	}
+	byName := make(map[string]ModelInfo)
+	for _, mi := range list.Models {
+		byName[mi.Name] = mi
+	}
+	if mi := byName["multi"]; mi.Kind != "pyramid" || len(mi.Scales) != 2 {
+		t.Fatalf("pyramid listing = %+v", mi)
+	}
+	if mi := byName["spikes"]; mi.Kind != "" || mi.Scales != nil {
+		t.Fatalf("plain listing grew pyramid fields: %+v", mi)
+	}
+
+	// Batch scoring returns typed detections with per-scale breakdowns.
+	eval := plateauSpiky("eval", 600, []int{150}, 380, 48, 11)
+	var batch struct {
+		Results []struct {
+			Detections []struct {
+				Start  int    `json:"start"`
+				End    int    `json:"end"`
+				Type   string `json:"type"`
+				Scales []struct {
+					Factor int `json:"factor"`
+				} `json:"scales"`
+			} `json:"detections"`
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	body := map[string]any{"series": []map[string]any{{"name": "eval", "values": eval.Values}}}
+	if code := doJSON(t, "POST", ts.URL+"/models/multi/detect", body, &batch); code != 200 {
+		t.Fatalf("batch detect = %d", code)
+	}
+	if len(batch.Results) != 1 || batch.Results[0].Error != "" {
+		t.Fatalf("batch results = %+v", batch.Results)
+	}
+	dets := batch.Results[0].Detections
+	if len(dets) == 0 {
+		t.Fatal("pyramid batch scored no detections")
+	}
+	for _, d := range dets {
+		switch d.Type {
+		case "point", "contextual", "collective":
+		default:
+			t.Fatalf("detection %+v has unexpected type", d)
+		}
+		if len(d.Scales) == 0 {
+			t.Fatalf("detection %+v has no per-scale breakdown", d)
+		}
+	}
+
+	// The anomaly-type counter made it to /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), `cdtserve_anomaly_types_total{model="multi"`) {
+		t.Fatal("cdtserve_anomaly_types_total missing from /metrics")
+	}
+
+	// A streaming session over the pyramid tags live detections with the
+	// firing scale and a type.
+	var created createStreamResponse
+	req := map[string]any{"model": "multi", "min": 0, "max": 500}
+	if code := doJSON(t, "POST", ts.URL+"/streams", req, &created); code != 201 {
+		t.Fatalf("stream create = %d", code)
+	}
+	var push struct {
+		Detections []struct {
+			Scale int    `json:"scale"`
+			Type  string `json:"type"`
+		} `json:"detections"`
+	}
+	if code := doJSON(t, "POST", ts.URL+"/streams/"+created.ID+"/points",
+		map[string]any{"points": eval.Values}, &push); code != 200 {
+		t.Fatalf("stream push = %d", code)
+	}
+	if len(push.Detections) == 0 {
+		t.Fatal("pyramid stream scored no detections")
+	}
+	for _, d := range push.Detections {
+		if d.Scale < 1 || d.Type == "" {
+			t.Fatalf("stream detection %+v missing scale or type", d)
+		}
+	}
+}
+
+func TestShadowStartRejectsPyramidCandidate(t *testing.T) {
+	st, err := modelstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain bytes.Buffer
+	if err := trainModel(t).Save(&plain); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := st.Publish("m", plain.Bytes(), "publish", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Promote("m", v1.Version); err != nil {
+		t.Fatal(err)
+	}
+	var pyr bytes.Buffer
+	if err := trainPyramid(t).Save(&pyr); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := st.Publish("m", pyr.Bytes(), "publish", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := newHTTPServer(t, s)
+
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	code := doJSON(t, "POST", ts+"/models/m/shadow",
+		map[string]any{"version": v2.Version}, &errResp)
+	if code != http.StatusBadRequest {
+		t.Fatalf("shadow start on pyramid candidate = %d, want 400", code)
+	}
+	if !strings.Contains(errResp.Error, "pyramid") {
+		t.Fatalf("error %q does not name the artifact kind", errResp.Error)
+	}
+}
+
+func TestSlowRequestRing(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{SlowRequestThreshold: time.Nanosecond})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get("X-Request-ID")
+	if id == "" {
+		t.Fatal("no request ID on response")
+	}
+	for _, e := range slowRequests.snapshot() {
+		if e.ID == id {
+			if e.Endpoint != "healthz" || e.Path != "/healthz" || e.Status != 200 || e.ElapsedMS <= 0 {
+				t.Fatalf("exemplar = %+v", e)
+			}
+			return
+		}
+	}
+	t.Fatalf("request %s missing from the slow-request ring", id)
+}
+
+// newHTTPServer wraps a prebuilt Server in an httptest frontend.
+func newHTTPServer(tb testing.TB, s *Server) string {
+	tb.Helper()
+	ts := httptest.NewServer(s.Handler())
+	tb.Cleanup(ts.Close)
+	return ts.URL
+}

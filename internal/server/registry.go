@@ -19,8 +19,8 @@ import (
 // model resolves through its "current" promotion pointer and carries a
 // version number. Lookups take a read lock; Reload builds a complete
 // new model set off to the side and swaps it in atomically under the
-// write lock, so in-flight requests keep the *cdt.Model pointer they
-// already resolved — models are immutable after load, which makes
+// write lock, so in-flight requests keep the cdt.Artifact they
+// already resolved — artifacts are immutable after load, which makes
 // hot-reload (and store promotes/rollbacks, which are just reloads of
 // moved pointers) safe without draining traffic. Immutability includes
 // each model's compiled rule engine (internal/engine): Load compiles it
@@ -32,7 +32,7 @@ type Registry struct {
 	reloads *telemetry.Counter // set by server.New; nil for a bare registry
 
 	mu       sync.RWMutex
-	models   map[string]*cdt.Model
+	models   map[string]cdt.Artifact
 	versions map[string]int // store mode: serving version per name; nil in dir mode
 }
 
@@ -45,6 +45,11 @@ type ModelInfo struct {
 	// Version is the model-store version serving as this model (0 when
 	// the registry loads from a flat directory).
 	Version int `json:"version,omitempty"`
+	// Kind distinguishes artifact families; empty for plain models (the
+	// pre-pyramid listing shape), "pyramid" for resolution pyramids.
+	Kind string `json:"kind,omitempty"`
+	// Scales lists a pyramid's downsample factors (nil for plain models).
+	Scales []int `json:"scales,omitempty"`
 }
 
 // NewRegistry loads every model in dir. The directory must exist and
@@ -70,7 +75,7 @@ func NewStoreRegistry(st *modelstore.Store) (*Registry, error) {
 }
 
 // loadStore resolves the store's promoted models.
-func loadStore(st *modelstore.Store) (map[string]*cdt.Model, map[string]int, error) {
+func loadStore(st *modelstore.Store) (map[string]cdt.Artifact, map[string]int, error) {
 	models, versions, err := st.CurrentModels()
 	if err != nil {
 		return nil, nil, fmt.Errorf("server: %w", err)
@@ -81,13 +86,13 @@ func loadStore(st *modelstore.Store) (map[string]*cdt.Model, map[string]int, err
 	return models, versions, nil
 }
 
-// loadModelDir reads every *.json model in dir, keyed by basename.
-func loadModelDir(dir string) (map[string]*cdt.Model, error) {
+// loadModelDir reads every *.json artifact in dir, keyed by basename.
+func loadModelDir(dir string) (map[string]cdt.Artifact, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("server: reading model dir: %w", err)
 	}
-	models := make(map[string]*cdt.Model)
+	models := make(map[string]cdt.Artifact)
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
 			continue
@@ -97,7 +102,7 @@ func loadModelDir(dir string) (map[string]*cdt.Model, error) {
 		if err != nil {
 			return nil, fmt.Errorf("server: %w", err)
 		}
-		m, err := cdt.Load(f)
+		m, err := cdt.LoadAny(f)
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("server: loading %s: %w", path, err)
@@ -110,9 +115,9 @@ func loadModelDir(dir string) (map[string]*cdt.Model, error) {
 	return models, nil
 }
 
-// Get resolves a model by name. The returned model stays valid across
-// reloads (it is immutable; the registry only swaps the map).
-func (r *Registry) Get(name string) (*cdt.Model, bool) {
+// Get resolves a model by name. The returned artifact stays valid
+// across reloads (it is immutable; the registry only swaps the map).
+func (r *Registry) Get(name string) (cdt.Artifact, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	m, ok := r.models[name]
@@ -125,7 +130,7 @@ func (r *Registry) Get(name string) (*cdt.Model, bool) {
 // never take down serving. Returns the number of models now live.
 func (r *Registry) Reload() (int, error) {
 	var (
-		models   map[string]*cdt.Model
+		models   map[string]cdt.Artifact
 		versions map[string]int
 		err      error
 	)
@@ -186,13 +191,20 @@ func (r *Registry) List() []ModelInfo {
 	defer r.mu.RUnlock()
 	out := make([]ModelInfo, 0, len(r.models))
 	for name, m := range r.models {
-		out = append(out, ModelInfo{
+		info := m.Info()
+		mi := ModelInfo{
 			Name:     name,
-			Omega:    m.Opts.Omega,
-			Delta:    m.Opts.Delta,
-			NumRules: m.NumRules(),
+			Omega:    info.Omega,
+			Delta:    info.Delta,
+			NumRules: info.NumRules,
 			Version:  r.versions[name],
-		})
+		}
+		// Plain models keep the pre-pyramid listing shape (no kind field).
+		if info.Kind != cdt.KindModel {
+			mi.Kind = info.Kind
+			mi.Scales = info.Scales
+		}
+		out = append(out, mi)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

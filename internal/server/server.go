@@ -62,6 +62,11 @@ type Config struct {
 	Workers int
 	// MaxBodyBytes caps request bodies (default 32 MiB).
 	MaxBodyBytes int64
+	// SlowRequestThreshold records requests slower than this into the
+	// slow-request exemplar ring on /debug/vars ("cdtserve_slow_requests":
+	// request ID, endpoint, path, status, latency). <= 0 disables
+	// recording (the default).
+	SlowRequestThreshold time.Duration
 	// AccessLog, when non-nil, receives one structured line per request
 	// (endpoint, status, latency, request ID). Nil disables access
 	// logging; metrics are collected either way.
@@ -177,8 +182,10 @@ func (s *Server) Handler() http.Handler {
 		start := time.Now()
 		s.mux.ServeHTTP(rec, r)
 		s.tel.inFlight.Add(-1)
+		elapsed := time.Since(start)
+		s.recordSlowRequest(r, rec, id, elapsed)
 		if s.logger != nil {
-			s.accessLog(r, rec, id, time.Since(start))
+			s.accessLog(r, rec, id, elapsed)
 		}
 	})
 }
@@ -333,6 +340,11 @@ type streamDetection struct {
 	WindowStart int         `json:"window_start"`
 	WindowEnd   int         `json:"window_end"`
 	Rules       []firedRule `json:"rules"`
+	// Scale and Type are set only by pyramid sessions: the downsample
+	// factor of the scale that fired and the live anomaly-type tag.
+	// Plain-model sessions keep their pre-pyramid response shape.
+	Scale int    `json:"scale,omitempty"`
+	Type  string `json:"type,omitempty"`
 }
 
 type pushPointsResponse struct {
@@ -374,6 +386,11 @@ func (s *Server) handlePushPoints(w http.ResponseWriter, r *http.Request) {
 			WindowStart: d.WindowStart,
 			WindowEnd:   d.WindowEnd,
 			Rules:       firedRules(d.Fired),
+			Scale:       d.Scale,
+			Type:        string(d.Type),
+		}
+		if d.Type != "" {
+			s.tel.anomalyTypes.With(sess.Model, string(d.Type)).Inc()
 		}
 	}
 	stats.Add("detections", int64(len(dets)))

@@ -10,9 +10,10 @@ import (
 	cdt "cdt"
 )
 
-// Sessions manages live streaming-detection sessions. cdt.Stream is not
-// safe for concurrent use (it owns an incremental cursor over its
-// model's shared read-only rule engine), so each session wraps its
+// Sessions manages live streaming-detection sessions. Stream handles
+// (cdt.Stream, cdt.PyramidStream) are not safe for concurrent use (each
+// owns incremental cursors over its model's shared read-only rule
+// engines), so each session wraps its
 // stream in a mutex; the manager itself guards the id→session map and
 // evicts sessions that have been idle longer than the TTL (a monitor
 // that silently went away must not leak its cursor state forever).
@@ -35,11 +36,11 @@ type Session struct {
 	Omega int
 	tel   *serverMetrics // nil in unit tests that build Sessions bare
 
-	model *cdt.Model // pinned incumbent (drift baseline source); may be nil in bare tests
-	drift *drift     // nil disables drift tracking (bare tests)
+	model cdt.Artifact // pinned incumbent (drift baseline source); may be nil in bare tests
+	drift *drift       // nil disables drift tracking (bare tests)
 
 	mu       sync.Mutex
-	stream   *cdt.Stream
+	stream   cdt.StreamHandle
 	lastUsed time.Time
 
 	// Shadow mirroring: when a candidate was shadowing this model at
@@ -118,8 +119,8 @@ func newSessionID() string {
 // registry reload — or a store promote, which is a reload — does not
 // disturb live streams. shadow and drift may be nil (bare unit tests,
 // or no candidate shadowing at creation time).
-func (s *Sessions) Create(name string, model *cdt.Model, scale cdt.Scale, shadow *Shadow, drift *drift) (*Session, error) {
-	stream, err := model.NewStream(scale)
+func (s *Sessions) Create(name string, model cdt.Artifact, scale cdt.Scale, shadow *Shadow, drift *drift) (*Session, error) {
+	stream, err := model.OpenStream(scale)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +136,7 @@ func (s *Sessions) Create(name string, model *cdt.Model, scale cdt.Scale, shadow
 	sess := &Session{
 		ID:           newSessionID(),
 		Model:        name,
-		Omega:        model.Opts.Omega,
+		Omega:        model.Info().Omega,
 		tel:          s.tel,
 		model:        model,
 		drift:        drift,

@@ -1,0 +1,93 @@
+package server
+
+// Slow-request exemplars: a fixed ring of the most recent requests that
+// exceeded the configured latency threshold, published on /debug/vars as
+// "cdtserve_slow_requests". Aggregate latency lives in the /metrics
+// histograms; the ring answers the question histograms cannot — *which*
+// requests were slow — by keeping the request ID an operator can grep
+// out of the access log, alongside endpoint, path, status, and latency.
+//
+// The ring is package-global like the legacy expvar map it is published
+// through: exemplars from every Server in the process land in one place,
+// which is what a /debug/vars scrape sees anyway.
+
+import (
+	"expvar"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// slowRingSize bounds the exemplar ring. 32 is enough to catch a burst
+// without turning /debug/vars into a request log.
+const slowRingSize = 32
+
+// slowRequest is one over-threshold exemplar.
+type slowRequest struct {
+	ID        string  `json:"id"`
+	Endpoint  string  `json:"endpoint"`
+	Method    string  `json:"method"`
+	Path      string  `json:"path"`
+	Status    int     `json:"status"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Time is the request completion time (unix seconds).
+	Time int64 `json:"time"`
+}
+
+// slowRing keeps the last slowRingSize exemplars. A plain mutex is fine:
+// the ring is touched only by requests that already blew a latency
+// threshold measured in milliseconds.
+type slowRing struct {
+	mu  sync.Mutex
+	buf [slowRingSize]slowRequest
+	n   uint64 // total recorded; buf[(n-1)%size] is the newest
+}
+
+func (r *slowRing) record(e slowRequest) {
+	r.mu.Lock()
+	r.buf[r.n%slowRingSize] = e
+	r.n++
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained exemplars, newest first.
+func (r *slowRing) snapshot() []slowRequest {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	count := r.n
+	if count > slowRingSize {
+		count = slowRingSize
+	}
+	out := make([]slowRequest, 0, count)
+	for i := uint64(0); i < count; i++ {
+		out = append(out, r.buf[(r.n-1-i)%slowRingSize])
+	}
+	return out
+}
+
+// slowRequests is the process-wide exemplar ring behind the
+// "cdtserve_slow_requests" expvar.
+var slowRequests = &slowRing{}
+
+func init() {
+	expvar.Publish("cdtserve_slow_requests", expvar.Func(func() any {
+		return slowRequests.snapshot()
+	}))
+}
+
+// recordSlowRequest folds one completed request into the ring when it
+// exceeded the server's threshold (<= 0 disables recording).
+func (s *Server) recordSlowRequest(r *http.Request, rec *statusRecorder, id string, elapsed time.Duration) {
+	if s.cfg.SlowRequestThreshold <= 0 || elapsed < s.cfg.SlowRequestThreshold {
+		return
+	}
+	slowRequests.record(slowRequest{
+		ID:        id,
+		Endpoint:  rec.endpoint,
+		Method:    r.Method,
+		Path:      r.URL.Path,
+		Status:    rec.status(),
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		Time:      time.Now().Unix(),
+	})
+}

@@ -38,12 +38,13 @@ type serverMetrics struct {
 	latency  *telemetry.HistogramVec // cdtserve_http_request_seconds{endpoint}
 	inFlight *telemetry.Gauge        // cdtserve_http_in_flight
 
-	batchSeries      *telemetry.Counter   // cdtserve_batch_series_total
-	batchDetections  *telemetry.Counter   // cdtserve_detections_total{source="batch"}
-	streamDetections *telemetry.Counter   // cdtserve_detections_total{source="stream"}
-	pushLatency      *telemetry.Histogram // cdtserve_stream_push_seconds
-	sessionsEvicted  *telemetry.Counter   // cdtserve_stream_sessions_evicted_total
-	reloads          *telemetry.Counter   // cdtserve_model_reloads_total
+	batchSeries      *telemetry.Counter    // cdtserve_batch_series_total
+	batchDetections  *telemetry.Counter    // cdtserve_detections_total{source="batch"}
+	streamDetections *telemetry.Counter    // cdtserve_detections_total{source="stream"}
+	anomalyTypes     *telemetry.CounterVec // cdtserve_anomaly_types_total{model,type}
+	pushLatency      *telemetry.Histogram  // cdtserve_stream_push_seconds
+	sessionsEvicted  *telemetry.Counter    // cdtserve_stream_sessions_evicted_total
+	reloads          *telemetry.Counter    // cdtserve_model_reloads_total
 
 	// Model-lifecycle instruments (model store, shadows, drift).
 	shadowWindows  *telemetry.CounterVec   // cdtserve_shadow_windows_total{model,outcome}
@@ -76,6 +77,9 @@ func newServerMetrics() *serverMetrics {
 			"Series scored through POST /models/{name}/detect."),
 		batchDetections:  detections.With("batch"),
 		streamDetections: detections.With("stream"),
+		anomalyTypes: reg.CounterVec("cdtserve_anomaly_types_total",
+			"Pyramid detections by classified anomaly type "+
+				"(point, contextual, collective).", "model", "type"),
 		pushLatency: reg.Histogram("cdtserve_stream_push_seconds",
 			"Stream-session Push scoring latency in seconds (excludes JSON codec time).", nil),
 		sessionsEvicted: reg.Counter("cdtserve_stream_sessions_evicted_total",
@@ -93,7 +97,7 @@ func newServerMetrics() *serverMetrics {
 		staleModels: reg.GaugeVec("cdtserve_model_stale",
 			"1 while the model's live fire rate has drifted past the configured bound.", "model"),
 		retrains: reg.CounterVec("cdtserve_retrains_total",
-			"Drift-triggered retrains, by status (ok or error).", "status"),
+			"Drift-triggered retrains, by status (ok, error, or skipped).", "status"),
 		promotes: reg.Counter("cdtserve_model_promotes_total",
 			"Store versions promoted to serving via POST /models/{name}/promote."),
 		rollbacks: reg.Counter("cdtserve_model_rollbacks_total",

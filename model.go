@@ -34,6 +34,11 @@ type Model struct {
 	// rule, indexed like rule.Predicates (see finalizeRules).
 	predTexts []string
 	predDescs []string
+
+	// predPeaks caches, per predicate, whether any positive composition
+	// contains a peak label (PP/PN) — the rule-shape bit the pyramid's
+	// anomaly-type classifier reads (see pyramid.go).
+	predPeaks []bool
 }
 
 // Fit trains a CDT on one or more labeled series: each series is

@@ -7,6 +7,12 @@ package cdt
 // Per-dimension rules stay individually interpretable ("dimension
 // 'pressure': IF [PN[-H,-H]] THEN anomaly"), which preserves the paper's
 // whole point while covering multivariate feeds.
+//
+// MultiModel is the first consumer of the shared ensemble layer
+// (fusion.go): each dimension is a Member whose Transform selects its
+// dimension, and CombinePolicy maps onto the matching Fusion policy.
+// The fused verdicts are bit-identical to the pre-ensemble
+// implementation (pinned by TestMultiModelDifferential).
 
 import (
 	"fmt"
@@ -79,6 +85,17 @@ func (p CombinePolicy) String() string {
 	return "any"
 }
 
+// fusion maps the policy onto the shared ensemble layer's equivalent.
+func (p CombinePolicy) fusion() Fusion {
+	switch p {
+	case CombineMajority:
+		return Fusion{Policy: FuseMajority}
+	case CombineAll:
+		return Fusion{Policy: FuseAll}
+	}
+	return Fusion{Policy: FuseAny}
+}
+
 // MultiModel is one trained CDT per dimension plus the fusion policy.
 type MultiModel struct {
 	// Opts is the shared per-dimension training configuration.
@@ -86,8 +103,8 @@ type MultiModel struct {
 	// Policy fuses dimension verdicts.
 	Policy CombinePolicy
 
-	models []*Model
-	names  []string
+	ens   Ensemble
+	names []string
 }
 
 // FitMulti trains one CDT per dimension over the aligned training feeds.
@@ -110,6 +127,7 @@ func FitMulti(train []*MultiSeries, opts Options, policy CombinePolicy) (*MultiM
 		}
 	}
 	mm := &MultiModel{Opts: opts, Policy: policy}
+	mm.ens.Fuse = policy.fusion()
 	for d := 0; d < dims; d++ {
 		var perDim []*Series
 		for _, ms := range train {
@@ -126,59 +144,31 @@ func FitMulti(train []*MultiSeries, opts Options, policy CombinePolicy) (*MultiM
 		if err != nil {
 			return nil, fmt.Errorf("cdt: dimension %d: %w", d, err)
 		}
-		mm.models = append(mm.models, model)
+		mm.ens.Members = append(mm.ens.Members, Member{
+			Name:      train[0].Dims[d].Name,
+			Model:     model,
+			Transform: DimTransform{Dim: d},
+		})
 		mm.names = append(mm.names, train[0].Dims[d].Name)
 	}
 	return mm, nil
 }
 
 // Dimensions returns the number of per-dimension models.
-func (mm *MultiModel) Dimensions() int { return len(mm.models) }
+func (mm *MultiModel) Dimensions() int { return len(mm.ens.Members) }
 
 // DimensionModel returns dimension d's trained CDT.
-func (mm *MultiModel) DimensionModel(d int) *Model { return mm.models[d] }
+func (mm *MultiModel) DimensionModel(d int) *Model { return mm.ens.Members[d].Model }
 
 // DetectWindows fuses the per-dimension window verdicts for one feed.
 func (mm *MultiModel) DetectWindows(ms *MultiSeries) ([]bool, error) {
 	if err := ms.Validate(); err != nil {
 		return nil, err
 	}
-	if len(ms.Dims) != len(mm.models) {
-		return nil, fmt.Errorf("cdt: feed has %d dimensions, model expects %d", len(ms.Dims), len(mm.models))
+	if len(ms.Dims) != len(mm.ens.Members) {
+		return nil, fmt.Errorf("cdt: feed has %d dimensions, model expects %d", len(ms.Dims), len(mm.ens.Members))
 	}
-	// One engine sweep per dimension, accumulated into per-window vote
-	// counts — no per-dimension []bool materialization.
-	var counts []int
-	for d, model := range mm.models {
-		marks, err := model.detectMarks(ms.Dims[d])
-		if err != nil {
-			return nil, fmt.Errorf("cdt: dimension %d: %w", d, err)
-		}
-		if counts == nil {
-			counts = make([]int, marks.NumWindows())
-		}
-		if marks.NumWindows() != len(counts) {
-			return nil, fmt.Errorf("cdt: dimension %d has %d windows, want %d", d, marks.NumWindows(), len(counts))
-		}
-		for wi := range counts {
-			if marks.Fired(wi) {
-				counts[wi]++
-			}
-		}
-	}
-	dims := len(mm.models)
-	out := make([]bool, len(counts))
-	for wi, fired := range counts {
-		switch mm.Policy {
-		case CombineAll:
-			out[wi] = fired == dims
-		case CombineMajority:
-			out[wi] = fired*2 > dims
-		default:
-			out[wi] = fired > 0
-		}
-	}
-	return out, nil
+	return mm.ens.DetectAligned(ms.Dims)
 }
 
 // Evaluate scores the fused detection on labeled feeds, pooling windows.
@@ -198,7 +188,7 @@ func (mm *MultiModel) Evaluate(eval []*MultiSeries) (Report, error) {
 		// Window wi covers points wi+1..wi+ω (same geometry as the
 		// univariate model).
 		truthSeries := NewLabeledSeries(ms.Name, ms.Dims[0].Values, ms.Anomalies)
-		obs, err := observations(truthSeries, mm.models[0].pcfg, mm.Opts.Omega)
+		obs, err := observations(truthSeries, mm.ens.Members[0].Model.pcfg, mm.Opts.Omega)
 		if err != nil {
 			return Report{}, err
 		}
@@ -217,24 +207,18 @@ func (mm *MultiModel) Evaluate(eval []*MultiSeries) (Report, error) {
 }
 
 // NumRules sums the rule counts of all dimension models.
-func (mm *MultiModel) NumRules() int {
-	n := 0
-	for _, m := range mm.models {
-		n += m.NumRules()
-	}
-	return n
-}
+func (mm *MultiModel) NumRules() int { return mm.ens.NumRules() }
 
 // RuleText renders each dimension's rules under a header.
 func (mm *MultiModel) RuleText() string {
 	var b strings.Builder
-	for d, model := range mm.models {
+	for d, mem := range mm.ens.Members {
 		name := mm.names[d]
 		if name == "" {
 			name = fmt.Sprintf("dim%d", d)
 		}
 		fmt.Fprintf(&b, "dimension %q:\n", name)
-		for _, line := range strings.Split(strings.TrimRight(model.RuleText(), "\n"), "\n") {
+		for _, line := range strings.Split(strings.TrimRight(mem.Model.RuleText(), "\n"), "\n") {
 			b.WriteString("  ")
 			b.WriteString(line)
 			b.WriteByte('\n')

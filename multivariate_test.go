@@ -190,3 +190,73 @@ func TestMultiGeneralizesAcrossFeeds(t *testing.T) {
 		t.Errorf("held-out multivariate F1 = %v", rep.F1)
 	}
 }
+
+// oracleDetectWindows reimplements the pre-ensemble MultiModel fusion —
+// per-dimension DetectWindows accumulated into vote counts, thresholded
+// per policy — as a frozen oracle. TestMultiModelDifferential pins the
+// refactored implementation (fusion.go's Ensemble) bit-identical to it.
+func oracleDetectWindows(mm *MultiModel, ms *MultiSeries) ([]bool, error) {
+	var counts []int
+	for d := 0; d < mm.Dimensions(); d++ {
+		flags, err := mm.DimensionModel(d).DetectWindows(ms.Dims[d])
+		if err != nil {
+			return nil, err
+		}
+		if counts == nil {
+			counts = make([]int, len(flags))
+		}
+		for wi, fired := range flags {
+			if fired {
+				counts[wi]++
+			}
+		}
+	}
+	dims := mm.Dimensions()
+	out := make([]bool, len(counts))
+	for wi, fired := range counts {
+		switch mm.Policy {
+		case CombineAll:
+			out[wi] = fired == dims
+		case CombineMajority:
+			out[wi] = fired*2 > dims
+		default:
+			out[wi] = fired > 0
+		}
+	}
+	return out, nil
+}
+
+func TestMultiModelDifferential(t *testing.T) {
+	feeds := []*MultiSeries{
+		makeMultiFeed("a", 400, []int{60, 150, 250, 340}, 0, 31),
+		makeMultiFeed("b", 400, []int{80, 210, 300}, 1, 32),
+	}
+	eval := []*MultiSeries{
+		makeMultiFeed("t1", 300, []int{70, 190}, 0, 33),
+		makeMultiFeed("t2", 300, []int{40, 110, 220}, 1, 34),
+	}
+	for _, policy := range []CombinePolicy{CombineAny, CombineMajority, CombineAll} {
+		mm, err := FitMulti(feeds, Options{Omega: 5, Delta: 2}, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ms := range eval {
+			want, err := oracleDetectWindows(mm, ms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := mm.DetectWindows(ms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s/%s: %d windows, oracle %d", policy, ms.Name, len(got), len(want))
+			}
+			for wi := range got {
+				if got[wi] != want[wi] {
+					t.Fatalf("%s/%s: window %d = %v, oracle %v", policy, ms.Name, wi, got[wi], want[wi])
+				}
+			}
+		}
+	}
+}

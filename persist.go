@@ -47,9 +47,10 @@ type nodeDoc struct {
 	Anomaly     int       `json:"anomaly"`
 }
 
-// Save writes the model as JSON.
-func (m *Model) Save(w io.Writer) error {
-	doc := modelDoc{
+// doc builds the model's on-disk form — shared by Save and the pyramid
+// artifact, which embeds one model doc per scale.
+func (m *Model) doc() modelDoc {
+	return modelDoc{
 		Version: persistVersion,
 		Options: optionsDoc{
 			Omega:             m.Opts.Omega,
@@ -62,9 +63,13 @@ func (m *Model) Save(w io.Writer) error {
 		},
 		Tree: encodeNode(m.tree.Root, 0),
 	}
+}
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	return enc.Encode(m.doc())
 }
 
 func encodeNode(n *core.Node, depth int) *nodeDoc {
@@ -91,6 +96,13 @@ func Load(r io.Reader) (*Model, error) {
 	if err := dec.Decode(&doc); err != nil {
 		return nil, fmt.Errorf("cdt: decoding model: %w", err)
 	}
+	return modelFromDoc(doc)
+}
+
+// modelFromDoc rebuilds a Model from its decoded on-disk form — shared
+// by Load and LoadPyramid. Rejections name the offending field by its
+// JSON path relative to the model doc.
+func modelFromDoc(doc modelDoc) (*Model, error) {
 	if doc.Version != persistVersion {
 		return nil, fmt.Errorf("cdt: model version %d, this build reads %d", doc.Version, persistVersion)
 	}
@@ -202,4 +214,123 @@ func decodeNode(doc *nodeDoc, path string, depth, delta int) (*core.Node, error)
 		return nil, err
 	}
 	return n, nil
+}
+
+// pyramidPersistVersion identifies the pyramid serialization format.
+const pyramidPersistVersion = 1
+
+// artifactKindPyramid is the document discriminator LoadAny probes for.
+// Plain model documents carry no kind field (the format predates
+// pyramids and stays byte-stable).
+const artifactKindPyramid = "pyramid"
+
+// pyramidDoc is the on-disk form of a PyramidModel: the discriminating
+// kind, the fusion policy, and one embedded model doc per scale.
+type pyramidDoc struct {
+	Version    int        `json:"version"`
+	Kind       string     `json:"kind"`
+	Aggregator string     `json:"aggregator,omitempty"`
+	Fusion     fusionDoc  `json:"fusion"`
+	Scales     []scaleDoc `json:"scales"`
+}
+
+// scaleDoc is one serialized pyramid scale.
+type scaleDoc struct {
+	Factor int      `json:"factor"`
+	Model  modelDoc `json:"model"`
+}
+
+// fusionDoc mirrors Fusion with an explicit policy encoding.
+type fusionDoc struct {
+	Policy    string    `json:"policy"`
+	K         int       `json:"k,omitempty"`
+	Weights   []float64 `json:"weights,omitempty"`
+	Threshold float64   `json:"threshold,omitempty"`
+}
+
+// Save writes the pyramid as JSON.
+func (pm *PyramidModel) Save(w io.Writer) error {
+	doc := pyramidDoc{
+		Version:    pyramidPersistVersion,
+		Kind:       artifactKindPyramid,
+		Aggregator: canonicalAggregator(pm.Config.Aggregator),
+		Fusion: fusionDoc{
+			Policy:    pm.Config.Fusion.Policy.String(),
+			K:         pm.Config.Fusion.K,
+			Weights:   pm.Config.Fusion.Weights,
+			Threshold: pm.Config.Fusion.Threshold,
+		},
+	}
+	for i, mem := range pm.ens.Members {
+		doc.Scales = append(doc.Scales, scaleDoc{
+			Factor: pm.Config.Factors[i],
+			Model:  mem.Model.doc(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// LoadPyramid reads a pyramid saved by PyramidModel.Save. The restored
+// pyramid detects and types identically to the original. Like Load,
+// rejections name the offending JSON field.
+func LoadPyramid(r io.Reader) (*PyramidModel, error) {
+	var doc pyramidDoc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("cdt: decoding pyramid: %w", err)
+	}
+	return pyramidFromDoc(doc)
+}
+
+// pyramidFromDoc rebuilds a PyramidModel from its decoded on-disk form.
+func pyramidFromDoc(doc pyramidDoc) (*PyramidModel, error) {
+	if doc.Version != pyramidPersistVersion {
+		return nil, fmt.Errorf("cdt: pyramid version %d, this build reads %d", doc.Version, pyramidPersistVersion)
+	}
+	if doc.Kind != artifactKindPyramid {
+		return nil, fmt.Errorf("cdt: kind: %q, want %q", doc.Kind, artifactKindPyramid)
+	}
+	policy, err := ParseFusionPolicy(doc.Fusion.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("cdt: fusion.policy: %s", strings.TrimPrefix(err.Error(), "cdt: "))
+	}
+	cfg := PyramidConfig{
+		Aggregator: doc.Aggregator,
+		Fusion: Fusion{
+			Policy:    policy,
+			K:         doc.Fusion.K,
+			Weights:   doc.Fusion.Weights,
+			Threshold: doc.Fusion.Threshold,
+		},
+	}
+	for _, sd := range doc.Scales {
+		cfg.Factors = append(cfg.Factors, sd.Factor)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("cdt: scales: %s", strings.TrimPrefix(err.Error(), "cdt: "))
+	}
+	pm := &PyramidModel{Config: cfg}
+	pm.ens.Fuse = cfg.Fusion
+	for i, sd := range doc.Scales {
+		m, err := modelFromDoc(sd.Model)
+		if err != nil {
+			return nil, fmt.Errorf("cdt: scales[%d].model.%s", i, strings.TrimPrefix(err.Error(), "cdt: "))
+		}
+		if i == 0 {
+			pm.Opts = m.Opts
+		} else if m.Opts.Omega != pm.Opts.Omega || m.Opts.Delta != pm.Opts.Delta {
+			// Detection geometry projects every scale with the shared ω, so
+			// a mixed-ω document cannot be scored consistently.
+			return nil, fmt.Errorf("cdt: scales[%d].model.options: (omega,delta)=(%d,%d) differs from scale 0's (%d,%d)",
+				i, m.Opts.Omega, m.Opts.Delta, pm.Opts.Omega, pm.Opts.Delta)
+		}
+		pm.ens.Members = append(pm.ens.Members, Member{
+			Name:      fmt.Sprintf("x%d", cfg.Factors[i]),
+			Model:     m,
+			Transform: ResampleTransform{Factor: cfg.Factors[i], Aggregator: cfg.Aggregator},
+		})
+	}
+	return pm, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -231,5 +232,136 @@ func TestSaveLoadPropertyRandomModels(t *testing.T) {
 				t.Fatalf("trial %d: prediction diverged after reload", trial)
 			}
 		}
+	}
+}
+
+func trainedPyramid(t *testing.T) (*PyramidModel, *Series) {
+	t.Helper()
+	train := plateauSeries("train", 480, []int{50, 150, 250}, 350, 40, 7)
+	pm, err := FitPyramid([]*Series{train}, Options{Omega: 5, Delta: 2}, PyramidConfig{
+		Factors:    []int{1, 4},
+		Aggregator: "max",
+		Fusion:     Fusion{Policy: FuseAny},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm, train
+}
+
+func TestPyramidSaveLoadRoundTrip(t *testing.T) {
+	pm, train := trainedPyramid(t)
+	var buf bytes.Buffer
+	if err := pm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadPyramid(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.Config, pm.Config) {
+		t.Errorf("config diverged: %+v vs %+v", restored.Config, pm.Config)
+	}
+	// Epsilon persists in its defaulted (effective) form, like plain
+	// model round-trips.
+	if restored.Opts.Omega != pm.Opts.Omega || restored.Opts.Delta != pm.Opts.Delta ||
+		restored.Opts.Epsilon != pm.ScaleModel(0).pcfg.Epsilon {
+		t.Errorf("options diverged: %+v vs %+v", restored.Opts, pm.Opts)
+	}
+	if restored.RuleText() != pm.RuleText() {
+		t.Error("rule text diverged after reload")
+	}
+	want, err := pm.DetectPyramid(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.DetectPyramid(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("detections diverged after reload")
+	}
+	if restored.TrainingAnomalyRate() != pm.TrainingAnomalyRate() {
+		t.Error("training anomaly rate diverged after reload")
+	}
+}
+
+func TestLoadAnyDispatchesOnKind(t *testing.T) {
+	model, _ := trainedModel(t, Options{Omega: 5, Delta: 2})
+	pm, _ := trainedPyramid(t)
+
+	var mbuf bytes.Buffer
+	if err := model.Save(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	art, err := LoadAny(bytes.NewReader(mbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := art.Info(); info.Kind != KindModel || info.Scales != nil {
+		t.Errorf("model artifact info = %+v", info)
+	}
+	if _, ok := art.(*Model); !ok {
+		t.Errorf("LoadAny returned %T for a model document", art)
+	}
+
+	var pbuf bytes.Buffer
+	if err := pm.Save(&pbuf); err != nil {
+		t.Fatal(err)
+	}
+	art, err = LoadAny(bytes.NewReader(pbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := art.Info()
+	if info.Kind != KindPyramid || !reflect.DeepEqual(info.Scales, []int{1, 4}) {
+		t.Errorf("pyramid artifact info = %+v", info)
+	}
+	if _, ok := art.(*PyramidModel); !ok {
+		t.Errorf("LoadAny returned %T for a pyramid document", art)
+	}
+	if _, err := LoadAny(strings.NewReader(`{"kind":"teapot"}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// A pyramid document fed to the plain model loader fails cleanly.
+	if _, err := Load(bytes.NewReader(pbuf.Bytes())); err == nil {
+		t.Error("plain Load accepted a pyramid document")
+	}
+}
+
+func TestLoadPyramidRejectsBadDocuments(t *testing.T) {
+	pm, _ := trainedPyramid(t)
+	var buf bytes.Buffer
+	if err := pm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"bad version", `{"version":9,"kind":"pyramid","fusion":{"policy":"any"},"scales":[]}`, "version"},
+		{"bad kind", `{"version":1,"kind":"model","fusion":{"policy":"any"},"scales":[]}`, "kind"},
+		{"bad policy", `{"version":1,"kind":"pyramid","fusion":{"policy":"psychic"},"scales":[{"factor":1,"model":{"version":1,"options":{"omega":3,"delta":1},"tree":{"normal":1,"anomaly":0}}}]}`, "fusion.policy"},
+		{"no scales", `{"version":1,"kind":"pyramid","fusion":{"policy":"any"},"scales":[]}`, "scales"},
+		{"missing base factor", `{"version":1,"kind":"pyramid","fusion":{"policy":"any"},"scales":[{"factor":2,"model":{"version":1,"options":{"omega":3,"delta":1},"tree":{"normal":1,"anomaly":0}}}]}`, "scales"},
+		{"broken scale model", `{"version":1,"kind":"pyramid","fusion":{"policy":"any"},"scales":[{"factor":1,"model":{"version":1,"options":{"omega":3,"delta":1}}}]}`, "scales[0].model.tree"},
+		{"mixed omega", `{"version":1,"kind":"pyramid","fusion":{"policy":"any"},"scales":[` +
+			`{"factor":1,"model":{"version":1,"options":{"omega":3,"delta":1},"tree":{"normal":1,"anomaly":0}}},` +
+			`{"factor":2,"model":{"version":1,"options":{"omega":4,"delta":1},"tree":{"normal":1,"anomaly":0}}}]}`, "scales[1].model.options"},
+	}
+	for _, tc := range cases {
+		_, err := LoadPyramid(strings.NewReader(tc.doc))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not name %q", tc.name, err, tc.wantErr)
+		}
+	}
+	// Sanity: the known-good document still loads.
+	if _, err := LoadPyramid(strings.NewReader(good)); err != nil {
+		t.Errorf("good document rejected: %v", err)
 	}
 }

@@ -1,0 +1,562 @@
+package cdt
+
+// Resolution-pyramid models: the same feed trained at several temporal
+// resolutions at once, built on the shared ensemble layer (fusion.go).
+// The paper's rules are single-scale — one (ω, δ, ε) labeling per model,
+// so a rule can only describe anomalies at the resolution it was trained
+// at. Following CRAFTIIF's observation that analyzing several
+// resolutions at once is what separates point, contextual, and
+// collective anomalies, a PyramidModel trains one CDT per downsampled
+// scale (through the Corpus cache — per-resolution corpora are just more
+// cache keys), fuses fired rules across scales at detection time, and
+// tags every detection with the anomaly type its rule-shape × scale
+// signature implies:
+//
+//	point       only the original resolution fired, with a peak-shaped
+//	            rule (PP/PN in a positive composition) — a single
+//	            extremal reading
+//	contextual  a single scale fired without a base-scale peak — a shape
+//	            abnormal for its local context (a slow-scale-only ECN,
+//	            or a fast-scale non-peak run)
+//	collective  two or more scales fired over overlapping points —
+//	            agreement across resolutions marks a sustained episode
+//
+// Scale geometry: the scale at factor f sees bucket b as the aggregate
+// of raw points [b·f, b·f+f−1], so its window w (covering downsampled
+// points w+1..w+ω) projects onto raw points [(w+1)·f, (w+ω+1)·f − 1].
+// Fusion happens at the raw-point level: a point is flagged when the
+// per-scale coverage verdicts satisfy the configured Fusion policy, and
+// consecutive flagged points merge into one fused detection carrying the
+// per-scale breakdown. With a single scale and the FuseAny default the
+// fused flags equal Model.PointFlags exactly (pinned by
+// TestPyramidSingleScaleGolden).
+
+import (
+	"fmt"
+	"strings"
+
+	"cdt/internal/evalmetrics"
+)
+
+// AnomalyType tags a pyramid detection with the anomaly class its
+// rule-shape × scale signature implies.
+type AnomalyType string
+
+const (
+	// TypePoint is a single extremal reading: only the original
+	// resolution fired, with a peak-shaped rule.
+	TypePoint AnomalyType = "point"
+	// TypeContextual is a shape abnormal for its context: a single scale
+	// fired, without a base-scale peak.
+	TypeContextual AnomalyType = "contextual"
+	// TypeCollective is a sustained episode: two or more scales fired
+	// over overlapping points.
+	TypeCollective AnomalyType = "collective"
+)
+
+// ScaleDetection is one scale's fired window inside a pyramid detection.
+type ScaleDetection struct {
+	// Factor is the scale's downsample factor (1 = original resolution).
+	Factor int
+	// Window is the scale-local sliding-window index (as in the scale
+	// model's DetectWindows over the downsampled series).
+	Window int
+	// Start and End delimit the covered original-resolution points
+	// (inclusive, 0-based).
+	Start, End int
+	// Fired lists the scale model's matching rule predicates.
+	Fired []FiredPredicate
+}
+
+// PyramidConfig configures a resolution pyramid.
+type PyramidConfig struct {
+	// Factors are the downsample factors, strictly increasing, starting
+	// at 1 (the original resolution is always a member — it anchors
+	// anomaly typing, streaming readiness, and drift baselines). 1–8
+	// scales.
+	Factors []int
+	// Aggregator names the downsampling bucket aggregation: "mean"
+	// (default) or "max". "sum" is excluded because it leaves the [0,1]
+	// normalization range.
+	Aggregator string
+	// Fusion combines per-scale point coverage into the fused verdict.
+	// The zero value is FuseAny: any scale firing flags the point.
+	Fusion Fusion
+}
+
+// maxPyramidScales bounds the pyramid height; more scales than this is
+// a configuration error, not a richer model.
+const maxPyramidScales = 8
+
+// Validate checks the configuration.
+func (cfg PyramidConfig) Validate() error {
+	if len(cfg.Factors) == 0 {
+		return fmt.Errorf("cdt: pyramid needs at least one factor")
+	}
+	if len(cfg.Factors) > maxPyramidScales {
+		return fmt.Errorf("cdt: %d pyramid scales, want at most %d", len(cfg.Factors), maxPyramidScales)
+	}
+	if cfg.Factors[0] != 1 {
+		return fmt.Errorf("cdt: pyramid factors must start at 1 (got %d): the original resolution anchors typing and streaming", cfg.Factors[0])
+	}
+	for i := 1; i < len(cfg.Factors); i++ {
+		if cfg.Factors[i] <= cfg.Factors[i-1] {
+			return fmt.Errorf("cdt: pyramid factors must be strictly increasing (%d after %d)", cfg.Factors[i], cfg.Factors[i-1])
+		}
+	}
+	if _, err := aggregatorOf(cfg.Aggregator); err != nil {
+		return err
+	}
+	return cfg.Fusion.Validate(len(cfg.Factors))
+}
+
+// PyramidModel is one trained CDT per resolution scale plus the fusion
+// policy — an Ensemble whose members resample instead of selecting
+// dimensions.
+type PyramidModel struct {
+	// Opts is the shared per-scale training configuration.
+	Opts Options
+	// Config is the pyramid shape.
+	Config PyramidConfig
+
+	ens Ensemble
+}
+
+// FitPyramid trains one CDT per resolution scale over the training
+// series. Each scale trains on the series downsampled by its factor
+// (anomaly annotations survive: a bucket is anomalous when any covered
+// point was), all sharing ω, δ, ε.
+func FitPyramid(train []*Series, opts Options, cfg PyramidConfig) (*PyramidModel, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("cdt: no training series")
+	}
+	c, err := NewCorpus(train)
+	if err != nil {
+		return nil, err
+	}
+	return c.FitPyramid(opts, cfg)
+}
+
+// FitPyramid trains a resolution pyramid over the corpus: each scale
+// pulls its derived corpus from the resolution cache (AtResolution), so
+// repeated pyramid fits — hyper-parameter sweeps, retraining — share
+// every preprocessing stage per scale.
+func (c *Corpus) FitPyramid(opts Options, cfg PyramidConfig) (*PyramidModel, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pm := &PyramidModel{Opts: opts, Config: cfg}
+	pm.ens.Fuse = cfg.Fusion
+	for _, f := range cfg.Factors {
+		rc, err := c.AtResolution(f, cfg.Aggregator)
+		if err != nil {
+			return nil, err
+		}
+		model, err := rc.Fit(opts)
+		if err != nil {
+			return nil, fmt.Errorf("cdt: pyramid scale x%d: %w", f, err)
+		}
+		pm.ens.Members = append(pm.ens.Members, Member{
+			Name:      fmt.Sprintf("x%d", f),
+			Model:     model,
+			Transform: ResampleTransform{Factor: f, Aggregator: cfg.Aggregator},
+		})
+	}
+	return pm, nil
+}
+
+// NumScales returns the number of resolution scales.
+func (pm *PyramidModel) NumScales() int { return len(pm.ens.Members) }
+
+// Scales returns the downsample factors, fastest first.
+func (pm *PyramidModel) Scales() []int {
+	out := make([]int, len(pm.Config.Factors))
+	copy(out, pm.Config.Factors)
+	return out
+}
+
+// ScaleModel returns scale i's trained CDT (i indexes Scales()).
+func (pm *PyramidModel) ScaleModel(i int) *Model { return pm.ens.Members[i].Model }
+
+// NumRules sums the rule counts of all scale models.
+func (pm *PyramidModel) NumRules() int { return pm.ens.NumRules() }
+
+// TrainingAnomalyRate returns the original-resolution model's training
+// anomaly rate — the baseline drift detection compares live fire rates
+// against. The base scale sees every window the feed produces, so its
+// rate is the comparable one.
+func (pm *PyramidModel) TrainingAnomalyRate() float64 {
+	return pm.ens.Members[0].Model.TrainingAnomalyRate()
+}
+
+// RuleText renders each scale's rules under a header.
+func (pm *PyramidModel) RuleText() string {
+	var b strings.Builder
+	for i, mem := range pm.ens.Members {
+		f := pm.Config.Factors[i]
+		fmt.Fprintf(&b, "scale x%d (1/%d resolution, %s):\n", f, f, canonicalAggregator(pm.Config.Aggregator))
+		for _, line := range strings.Split(strings.TrimRight(mem.Model.RuleText(), "\n"), "\n") {
+			b.WriteString("  ")
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Explain renders each scale's rules with shape sketches and
+// plain-language descriptions, under per-scale headers.
+func (pm *PyramidModel) Explain() string {
+	var b strings.Builder
+	for i, mem := range pm.ens.Members {
+		f := pm.Config.Factors[i]
+		fmt.Fprintf(&b, "scale x%d (1/%d resolution, %s):\n", f, f, canonicalAggregator(pm.Config.Aggregator))
+		for _, line := range strings.Split(strings.TrimRight(mem.Model.Explain(), "\n"), "\n") {
+			b.WriteString("  ")
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// anyPeak reports whether any of scale i's fired predicates is
+// peak-shaped.
+func (pm *PyramidModel) anyPeak(scale int, fired []FiredPredicate) bool {
+	peaks := pm.ens.Members[scale].Model.predPeaks
+	for _, fp := range fired {
+		if fp.Index >= 1 && fp.Index <= len(peaks) && peaks[fp.Index-1] {
+			return true
+		}
+	}
+	return false
+}
+
+// classifyScales derives the anomaly type of one fused detection from
+// its overlapping per-scale detections (ordered fastest scale first).
+func (pm *PyramidModel) classifyScales(scales []ScaleDetection) AnomalyType {
+	if len(scales) == 0 {
+		return TypeContextual
+	}
+	distinct := 1
+	for i := 1; i < len(scales); i++ {
+		if scales[i].Factor != scales[i-1].Factor {
+			distinct++
+		}
+	}
+	if distinct >= 2 {
+		return TypeCollective
+	}
+	if scales[0].Factor == 1 {
+		for _, sd := range scales {
+			if pm.anyPeak(0, sd.Fired) {
+				return TypePoint
+			}
+		}
+	}
+	return TypeContextual
+}
+
+// detect is the shared batch back end: per-scale sweeps projected onto
+// original-resolution points, fused per point, merged into ranges.
+func (pm *PyramidModel) detect(s *Series) ([]WindowDetection, []bool, error) {
+	ns, err := ensureNormalized(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := ns.Len()
+	numScales := len(pm.ens.Members)
+	coverage := make([][]bool, numScales)
+	perScale := make([][]ScaleDetection, numScales)
+	dims := []*Series{ns}
+	for i, mem := range pm.ens.Members {
+		f := pm.Config.Factors[i]
+		// Downsample after normalizing (mean/max keep [0,1], so the
+		// derived series is not re-stretched) — the same order training
+		// applies through AtResolution.
+		ds, err := mem.Transform.Apply(dims)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cdt: pyramid scale x%d: %w", f, err)
+		}
+		marks, err := mem.Model.detectMarks(ds)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cdt: pyramid scale x%d: %w", f, err)
+		}
+		cov := make([]bool, n)
+		var idxs []int
+		for w := 0; w < marks.NumWindows(); w++ {
+			if !marks.Fired(w) {
+				continue
+			}
+			idxs = marks.AppendFired(idxs[:0], w)
+			start := (w + 1) * f
+			end := (w+pm.Opts.Omega+1)*f - 1
+			if end >= n {
+				end = n - 1
+			}
+			perScale[i] = append(perScale[i], ScaleDetection{
+				Factor: f,
+				Window: w,
+				Start:  start,
+				End:    end,
+				Fired:  mem.Model.firedFromIndices(idxs),
+			})
+			for p := start; p <= end; p++ {
+				cov[p] = true
+			}
+		}
+		coverage[i] = cov
+	}
+	flags := make([]bool, n)
+	for p := 0; p < n; p++ {
+		count, weight := 0, 0.0
+		for i := range coverage {
+			if coverage[i][p] {
+				count++
+				weight += pm.ens.Fuse.weight(i)
+			}
+		}
+		flags[p] = pm.ens.Fuse.decide(count, weight, numScales)
+	}
+	var out []WindowDetection
+	for p := 0; p < n; {
+		if !flags[p] {
+			p++
+			continue
+		}
+		start := p
+		for p < n && flags[p] {
+			p++
+		}
+		end := p - 1
+		var scales []ScaleDetection
+		for i := range perScale {
+			for _, sd := range perScale[i] {
+				if sd.Start <= end && start <= sd.End {
+					scales = append(scales, sd)
+				}
+			}
+		}
+		var fired []FiredPredicate
+		if len(scales) > 0 {
+			// The fastest overlapping scale's first firing carries the
+			// headline explanation; the full breakdown is in Scales.
+			fired = scales[0].Fired
+		}
+		out = append(out, WindowDetection{
+			Window: len(out),
+			Start:  start,
+			End:    end,
+			Fired:  fired,
+			Type:   pm.classifyScales(scales),
+			Scales: scales,
+		})
+	}
+	return out, flags, nil
+}
+
+// DetectPyramid runs every scale over the series and returns the fused
+// detections. Each detection covers one maximal run of fused-flagged
+// points (Start/End are original-resolution indices, Window is the
+// detection's ordinal), carries the anomaly-type tag, the per-scale
+// breakdown in Scales, and the fastest firing scale's predicates as the
+// headline Fired set.
+func (pm *PyramidModel) DetectPyramid(s *Series) ([]WindowDetection, error) {
+	out, _, err := pm.detect(s)
+	return out, err
+}
+
+// DetectExplained is DetectPyramid under the shared Artifact surface, so
+// batch serving scores pyramids and plain models through one call.
+func (pm *PyramidModel) DetectExplained(s *Series) ([]WindowDetection, error) {
+	return pm.DetectPyramid(s)
+}
+
+// PointFlags returns the fused per-point anomaly flags — with a single
+// scale and the FuseAny default, exactly Model.PointFlags.
+func (pm *PyramidModel) PointFlags(s *Series) ([]bool, error) {
+	_, flags, err := pm.detect(s)
+	return flags, err
+}
+
+// Evaluate scores the fused detection on labeled series. Unlike
+// Model.Evaluate, which is window-level (scales are not window-aligned,
+// so there is no shared window clock to score on), pyramid evaluation is
+// point-level: fused point flags against the per-point annotations. Q
+// and FH are zero — rule quality is a per-scale notion; audit the scale
+// models individually for it.
+func (pm *PyramidModel) Evaluate(eval []*Series) (Report, error) {
+	if len(eval) == 0 {
+		return Report{}, fmt.Errorf("cdt: no evaluation series")
+	}
+	var conf evalmetrics.Confusion
+	for _, s := range eval {
+		if s.Anomalies == nil {
+			return Report{}, fmt.Errorf("cdt: series %q is unlabeled", s.Name)
+		}
+		flags, err := pm.PointFlags(s)
+		if err != nil {
+			return Report{}, err
+		}
+		for p := range flags {
+			conf.Add(flags[p], s.Anomalies[p])
+		}
+	}
+	return Report{
+		Confusion: conf,
+		F1:        conf.F1(),
+		NumRules:  pm.NumRules(),
+	}, nil
+}
+
+// recentRanges caps how many past detection ranges each scale keeps for
+// the streaming cross-scale overlap check.
+const recentRanges = 8
+
+// pyramidScaleStream is one scale's online state: a bucket accumulator
+// feeding the scale model's stream.
+type pyramidScaleStream struct {
+	factor int
+	stream *Stream
+	bucket []float64
+}
+
+// rawRange is a detection's covered original-resolution points.
+type rawRange struct{ start, end int }
+
+// PyramidStream is the online detector of a PyramidModel: one bucket
+// accumulator plus model stream per scale, detections projected back to
+// original-resolution indices and typed at emission. It is not safe for
+// concurrent use.
+//
+// Streaming semantics differ from batch in three documented ways:
+// scales emit as they become decidable (any-scale semantics — stricter
+// Fusion policies apply to batch detection, where all scales are known);
+// a trailing partial bucket is never scored (batch aggregates it); and a
+// detection emitted before a slower scale fires over the same points is
+// typed without that future knowledge (the slower scale's own detection,
+// arriving later, is typed collective). The base scale (factor 1)
+// behaves exactly like the plain model's Stream.
+type PyramidStream struct {
+	pm     *PyramidModel
+	scales []pyramidScaleStream
+	recent [][]rawRange
+
+	n          int
+	detections uint64
+	resets     uint64
+}
+
+// NewStream starts an online pyramid detector. The scale semantics are
+// those of Model.NewStream; every resolution shares the value range.
+// Normalize-then-aggregate (batch) and aggregate-then-normalize
+// (streaming) agree for mean and max under an affine scale; out-of-range
+// values clamp after aggregation here, per-point in batch.
+func (pm *PyramidModel) NewStream(scale Scale) (*PyramidStream, error) {
+	ps := &PyramidStream{pm: pm}
+	for i, mem := range pm.ens.Members {
+		f := pm.Config.Factors[i]
+		st, err := mem.Model.NewStream(scale)
+		if err != nil {
+			return nil, err
+		}
+		ps.scales = append(ps.scales, pyramidScaleStream{
+			factor: f,
+			stream: st,
+			bucket: make([]float64, 0, f),
+		})
+	}
+	ps.recent = make([][]rawRange, len(ps.scales))
+	return ps, nil
+}
+
+// classifyLive types a detection at emission from scale si over raw
+// points [rs, re].
+func (ps *PyramidStream) classifyLive(si, rs, re int, fired []FiredPredicate) AnomalyType {
+	for sj := range ps.recent {
+		if sj == si {
+			continue
+		}
+		for _, r := range ps.recent[sj] {
+			if r.start <= re && rs <= r.end {
+				return TypeCollective
+			}
+		}
+	}
+	if ps.pm.Config.Factors[si] == 1 && ps.pm.anyPeak(si, fired) {
+		return TypePoint
+	}
+	return TypeContextual
+}
+
+// remember records a detection range for future cross-scale checks,
+// keeping the last recentRanges per scale.
+func (ps *PyramidStream) remember(si, rs, re int) {
+	r := ps.recent[si]
+	if len(r) == recentRanges {
+		copy(r, r[1:])
+		r = r[:recentRanges-1]
+	}
+	ps.recent[si] = append(r, rawRange{start: rs, end: re})
+}
+
+// Push consumes the next original-resolution reading and returns every
+// scale detection that became decidable with it, fastest scale first.
+// Each detection carries original-resolution indices, the firing scale's
+// factor, and the anomaly-type tag.
+func (ps *PyramidStream) Push(value float64) []Detection {
+	ps.n++
+	var out []Detection
+	for si := range ps.scales {
+		acc := &ps.scales[si]
+		acc.bucket = append(acc.bucket, value)
+		if len(acc.bucket) < acc.factor {
+			continue
+		}
+		agg, _ := aggregatorOf(ps.pm.Config.Aggregator)
+		v := agg(acc.bucket)
+		acc.bucket = acc.bucket[:0]
+		for _, d := range acc.stream.Push(v) {
+			rs := d.WindowStart * acc.factor
+			re := d.WindowEnd*acc.factor + acc.factor - 1
+			typ := ps.classifyLive(si, rs, re, d.Fired)
+			ps.remember(si, rs, re)
+			ps.detections++
+			out = append(out, Detection{
+				WindowStart: rs,
+				WindowEnd:   re,
+				Fired:       d.Fired,
+				Scale:       acc.factor,
+				Type:        typ,
+			})
+		}
+	}
+	return out
+}
+
+// Points returns the number of original-resolution readings consumed.
+func (ps *PyramidStream) Points() int { return ps.n }
+
+// Ready reports whether the base scale has seen enough points to
+// evaluate full windows (slower scales need proportionally more).
+func (ps *PyramidStream) Ready() bool { return ps.scales[0].stream.Ready() }
+
+// Stats aggregates the per-scale streams' activity.
+func (ps *PyramidStream) Stats() StreamStats {
+	return StreamStats{Points: ps.n, Detections: ps.detections, Resets: ps.resets}
+}
+
+// Reset clears every scale's stream, bucket, and recent-detection state,
+// keeping the models and scale.
+func (ps *PyramidStream) Reset() {
+	ps.n = 0
+	ps.resets++
+	for si := range ps.scales {
+		ps.scales[si].bucket = ps.scales[si].bucket[:0]
+		ps.scales[si].stream.Reset()
+		ps.recent[si] = nil
+	}
+}

@@ -27,12 +27,19 @@ import (
 // Detection reports one fired window from a stream.
 type Detection struct {
 	// WindowStart and WindowEnd delimit the covered points (inclusive,
-	// 0-based indices into the stream).
+	// 0-based indices into the stream). For pyramid streams these are
+	// original-resolution indices regardless of the firing scale.
 	WindowStart, WindowEnd int
 	// Fired lists the rule predicates that matched the window, in rule
 	// order (1-based indices matching RuleText) — the interpretable
 	// payload a monitor shows next to the alert.
 	Fired []FiredPredicate
+	// Scale is the downsample factor of the scale that fired (pyramid
+	// streams); 0 for single-scale streams.
+	Scale int
+	// Type is the anomaly-type tag (pyramid streams); empty for
+	// single-scale streams.
+	Type AnomalyType
 }
 
 // Stream is an online anomaly detector backed by a trained model. It is
