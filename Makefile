@@ -14,7 +14,7 @@ FUZZ_TARGETS := \
 	./internal/engine:FuzzEngineMatch
 FUZZTIME ?= 10s
 
-.PHONY: all lint test bench fuzz-smoke fmt-check tidy-check vuln
+.PHONY: all lint lint-sarif test test-hammer bench fuzz-smoke fmt-check tidy-check vuln
 
 all: lint test
 
@@ -23,6 +23,13 @@ lint: fmt-check
 	$(GO) vet ./...
 	cd tools && $(GO) vet ./...
 	$(GO) run ./tools/cmd/cdtlint ./... ./tools/...
+
+# lint-sarif: the same cdtlint run, emitting SARIF 2.1.0 to
+# cdtlint.sarif for code-scanning upload. cdtlint exits 1 on findings;
+# the SARIF file is written either way so CI can upload before failing.
+lint-sarif:
+	@$(GO) run ./tools/cmd/cdtlint -format sarif ./... ./tools/... > cdtlint.sarif; \
+		status=$$?; echo "wrote cdtlint.sarif"; exit $$status
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -35,6 +42,12 @@ tidy-check:
 test:
 	$(GO) test -race ./...
 	$(GO) test ./tools/...
+
+# test-hammer: only the concurrency hammer tests (corpus sharing,
+# server lifecycle) under the race detector — the quick loop for lock
+# or sharing changes.
+test-hammer:
+	$(GO) test -race -run Hammer ./...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...

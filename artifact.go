@@ -121,8 +121,11 @@ func LoadAny(r io.Reader) (Artifact, error) {
 	switch probe.Kind {
 	case artifactKindPyramid:
 		return LoadPyramid(bytes.NewReader(raw))
-	case "":
+	case KindModel, "":
+		// Plain model documents either carry an explicit "model" kind or
+		// predate the discriminator entirely.
 		return Load(bytes.NewReader(raw))
+	default:
+		return nil, fmt.Errorf("cdt: kind: unknown artifact kind %q", probe.Kind)
 	}
-	return nil, fmt.Errorf("cdt: kind: unknown artifact kind %q", probe.Kind)
 }

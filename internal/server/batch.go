@@ -117,6 +117,10 @@ func (s *Server) scoreBatch(ctx context.Context, name string, model cdt.Artifact
 	shadow := s.shadows.Get(name)
 	omega := model.Info().Omega
 	results := make([]seriesResult, len(series))
+	// Per-slot anomaly-type tallies, merged into one Vec.With per
+	// distinct type after the fan-out (metriclabel: no child resolution
+	// inside the scoring loop).
+	typeCounts := make([]map[string]uint64, len(series))
 	var wg sync.WaitGroup
 	for i := range series {
 		wg.Add(1)
@@ -151,7 +155,10 @@ func (s *Server) scoreBatch(ctx context.Context, name string, model cdt.Artifact
 					Scales: scaleDetails(d.Scales),
 				}
 				if d.Type != "" {
-					s.tel.anomalyTypes.With(name, string(d.Type)).Inc()
+					if typeCounts[i] == nil {
+						typeCounts[i] = map[string]uint64{}
+					}
+					typeCounts[i][string(d.Type)]++
 				}
 			}
 			stats.Add("batch_series", 1)
@@ -178,5 +185,14 @@ func (s *Server) scoreBatch(ctx context.Context, name string, model cdt.Artifact
 		}(i)
 	}
 	wg.Wait()
+	merged := map[string]uint64{}
+	for _, tc := range typeCounts {
+		for typ, n := range tc {
+			merged[typ] += n
+		}
+	}
+	for typ, n := range merged {
+		s.tel.anomalyTypes.With(name, typ).Add(n)
+	}
 	return results
 }

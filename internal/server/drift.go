@@ -180,6 +180,7 @@ func (d *drift) resetAll() {
 	d.trackers = make(map[string]*driftTracker)
 	d.mu.Unlock()
 	for _, name := range names {
+		//cdtlint:ignore metriclabel cold path: resetAll runs once per full registry reload, not per observation
 		d.tel.staleModels.With(name).Set(0)
 	}
 }

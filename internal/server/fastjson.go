@@ -518,6 +518,8 @@ func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
 const hexDigits = "0123456789abcdef"
 
 // appendJSONString appends s as a quoted, escaped JSON string.
+//
+//cdtlint:hotpath
 func appendJSONString(dst []byte, s string) []byte {
 	dst = append(dst, '"')
 	start := 0
@@ -544,6 +546,7 @@ func appendJSONString(dst []byte, s string) []byte {
 	return append(dst, '"')
 }
 
+//cdtlint:hotpath
 func appendFiredRules(dst []byte, rules []firedRule) []byte {
 	if rules == nil {
 		return append(dst, "null"...)
@@ -569,6 +572,8 @@ func appendFiredRules(dst []byte, rules []firedRule) []byte {
 // appendBatchResponse encodes a batchResponse exactly as encoding/json
 // would (modulo indentation): nil slices render as null, and Error
 // keeps its omitempty behavior.
+//
+//cdtlint:hotpath
 func appendBatchResponse(dst []byte, v batchResponse) []byte {
 	dst = append(dst, `{"model":`...)
 	dst = appendJSONString(dst, v.Model)
@@ -588,6 +593,7 @@ func appendBatchResponse(dst []byte, v batchResponse) []byte {
 	return append(dst, '}', '\n')
 }
 
+//cdtlint:hotpath
 func appendSeriesResult(dst []byte, r *seriesResult) []byte {
 	dst = append(dst, `{"name":`...)
 	dst = appendJSONString(dst, r.Name)
@@ -628,6 +634,8 @@ func appendSeriesResult(dst []byte, r *seriesResult) []byte {
 }
 
 // appendScaleDetails encodes a pyramid detection's per-scale breakdown.
+//
+//cdtlint:hotpath
 func appendScaleDetails(dst []byte, scales []scaleDetail) []byte {
 	dst = append(dst, '[')
 	for i, sd := range scales {
@@ -651,6 +659,8 @@ func appendScaleDetails(dst []byte, scales []scaleDetail) []byte {
 
 // appendPushPointsResponse encodes a pushPointsResponse like
 // encoding/json would (modulo indentation).
+//
+//cdtlint:hotpath
 func appendPushPointsResponse(dst []byte, v pushPointsResponse) []byte {
 	dst = append(dst, `{"detections":`...)
 	if v.Detections == nil {

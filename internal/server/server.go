@@ -381,6 +381,7 @@ func (s *Server) handlePushPoints(w http.ResponseWriter, r *http.Request) {
 		PointsConsumed: consumed,
 		Ready:          ready,
 	}
+	typeCounts := map[string]uint64{}
 	for i, d := range dets {
 		resp.Detections[i] = streamDetection{
 			WindowStart: d.WindowStart,
@@ -390,8 +391,11 @@ func (s *Server) handlePushPoints(w http.ResponseWriter, r *http.Request) {
 			Type:        string(d.Type),
 		}
 		if d.Type != "" {
-			s.tel.anomalyTypes.With(sess.Model, string(d.Type)).Inc()
+			typeCounts[string(d.Type)]++
 		}
+	}
+	for typ, n := range typeCounts {
+		s.tel.anomalyTypes.With(sess.Model, typ).Add(n)
 	}
 	stats.Add("detections", int64(len(dets)))
 	s.tel.streamDetections.Add(uint64(len(dets)))

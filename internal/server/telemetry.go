@@ -227,6 +227,7 @@ func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
 	hist := s.tel.latency.With(endpoint)
 	var codes [len(codeClasses)]*telemetry.Counter
 	for i, class := range codeClasses {
+		//cdtlint:ignore metriclabel registration-time loop over the fixed status-class array; runs once per endpoint, not per request
 		codes[i] = s.tel.requests.With(endpoint, class)
 	}
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,59 @@
+package analysis
+
+import "testing"
+
+func TestCallGraph(t *testing.T) {
+	src := `package p
+
+type T struct{ n int }
+
+func (t *T) Leaf() { t.n++ }
+
+func helper(t *T) { t.Leaf() }
+
+func Root(t *T, xs []int) {
+	setup(t)
+	for range xs {
+		helper(t)
+	}
+	for i := 0; i < 3; i++ {
+		func() { t.Leaf() }()
+	}
+}
+
+func setup(t *T) {}
+`
+	fset, u := parseUnit(t, src)
+	g := NewProgram(fset, []*Unit{u}).CallGraph()
+
+	root, ok := g.Nodes["p.Root"]
+	if !ok {
+		t.Fatalf("no node for p.Root; have %v", keys(g.Nodes))
+	}
+	byCallee := make(map[string]CallSite)
+	for _, c := range root.Calls {
+		byCallee[c.Callee] = c
+	}
+	if c, ok := byCallee["p.setup"]; !ok || c.InLoop {
+		t.Errorf("setup call = %+v, want resolved outside any loop", c)
+	}
+	if c, ok := byCallee["p.helper"]; !ok || !c.InLoop {
+		t.Errorf("helper call = %+v, want resolved inside the range loop", c)
+	}
+	if c, ok := byCallee["(*p.T).Leaf"]; !ok || !c.InLoop {
+		t.Errorf("Leaf call via func literal = %+v, want attributed to Root inside the for loop", c)
+	}
+	if h, ok := g.Nodes["p.helper"]; !ok {
+		t.Error("no node for p.helper")
+	} else if len(h.Calls) != 1 || h.Calls[0].Callee != "(*p.T).Leaf" || h.Calls[0].InLoop {
+		t.Errorf("helper calls = %+v, want one non-loop call to (*p.T).Leaf", h.Calls)
+	}
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

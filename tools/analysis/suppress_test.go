@@ -1,0 +1,151 @@
+package analysis
+
+// In-package tests for the suppression layer: directives are parsed,
+// matched against findings in Run, diverted rather than dropped, and
+// malformed directives surface as findings of their own.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseUnit type-checks one in-memory file as a Lib unit, mirroring the
+// loader's check().
+func parseUnit(t *testing.T, src string) (*token.FileSet, *Unit) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, &Unit{
+		ImportPath: "p",
+		Kind:       Lib,
+		Files:      []*ast.File{f},
+		Pkg:        pkg,
+		Info:       info,
+		reportable: map[string]bool{"p.go": true},
+	}
+}
+
+// lineReporter reports one diagnostic per line that contains "BAD".
+var lineReporter = &Analyzer{
+	Name: "probe",
+	Doc:  "flags lines containing BAD",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if strings.Contains(c.Text, "BAD") {
+						p.Reportf(c.Pos(), "bad thing")
+					}
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestRunSuppression(t *testing.T) {
+	src := `package p
+
+var a = 1 // BAD
+var b = 2 //cdtlint:ignore probe reviewed: BAD but fine here
+
+//cdtlint:ignore probe standalone covers next line
+var c = 3 // BAD
+
+//cdtlint:ignore otherprobe wrong analyzer name
+var d = 4 // BAD
+`
+	fset, u := parseUnit(t, src)
+	findings, suppressed, err := Run(fset, []*Unit{u}, []*Analyzer{lineReporter}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %d (%v), want 2 (lines of a and d)", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Position.Line != 3 && f.Position.Line != 10 {
+			t.Errorf("unexpected surviving finding at line %d: %s", f.Position.Line, f.Message)
+		}
+	}
+	if len(suppressed) != 2 {
+		t.Fatalf("suppressed = %d (%v), want 2 (lines of b and c)", len(suppressed), suppressed)
+	}
+	wantReasons := map[int]string{4: "reviewed: BAD but fine here", 7: "standalone covers next line"}
+	for _, s := range suppressed {
+		if want, ok := wantReasons[s.Position.Line]; !ok || s.Reason != want {
+			t.Errorf("suppressed at line %d reason %q, want %q", s.Position.Line, s.Reason, want)
+		}
+	}
+}
+
+func TestRunMalformedDirective(t *testing.T) {
+	src := `package p
+
+//cdtlint:ignore probe
+var a = 1 // BAD
+`
+	fset, u := parseUnit(t, src)
+	findings, suppressed, err := Run(fset, []*Unit{u}, []*Analyzer{lineReporter}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reason-less directive suppresses nothing and is itself a
+	// finding, so the run carries two findings and no suppressions.
+	if len(suppressed) != 0 {
+		t.Fatalf("suppressed = %v, want none (directive is malformed)", suppressed)
+	}
+	var sawDirective, sawProbe bool
+	for _, f := range findings {
+		switch f.Analyzer {
+		case DirectiveAnalyzer:
+			sawDirective = true
+			if !strings.Contains(f.Message, "reason is mandatory") {
+				t.Errorf("directive finding message = %q", f.Message)
+			}
+		case "probe":
+			sawProbe = true
+		}
+	}
+	if !sawDirective || !sawProbe {
+		t.Fatalf("findings = %v, want both a cdtlint directive finding and the probe finding", findings)
+	}
+}
+
+func TestCollectSuppressionsTargetLine(t *testing.T) {
+	src := `package p
+
+var x = map[string]int{
+	"k": 1, //cdtlint:ignore probe trailing on literal element
+}
+`
+	fset, u := parseUnit(t, src)
+	sups, malformed := CollectSuppressions(fset, u.Files)
+	if len(malformed) != 0 {
+		t.Fatalf("malformed = %v", malformed)
+	}
+	if _, ok := sups.Match("probe", token.Position{Filename: "p.go", Line: 4}); !ok {
+		t.Error("trailing directive on a composite-literal element does not cover its own line")
+	}
+}

@@ -103,19 +103,35 @@ func runPackage(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
 		t.Fatalf("%s: %v", a.Name, err)
 	}
 
+	// Suppression directives apply in golden packages exactly as in a
+	// real run: a suppressed diagnostic is dropped before want-matching,
+	// so a testdata line carrying //cdtlint:ignore and no want comment
+	// asserts that suppression works. Malformed directives fail the
+	// test outright.
+	sups, malformed := analysis.CollectSuppressions(fset, files)
+	for _, m := range malformed {
+		t.Errorf("%s: %s: %s", a.Name, m.Position, m.Message)
+	}
+
 	var diags []analysis.Finding
+	unit := &analysis.Unit{ImportPath: pkgPath, Kind: analysis.Lib, Files: files, Pkg: pkg, Info: info}
 	pass := &analysis.Pass{
 		Analyzer:  a,
 		Fset:      fset,
 		Files:     files,
 		Pkg:       pkg,
 		TypesInfo: info,
+		Prog:      analysis.NewProgram(fset, []*analysis.Unit{unit}),
 		Report: func(d analysis.Diagnostic) {
-			diags = append(diags, analysis.Finding{
+			f := analysis.Finding{
 				Analyzer: a.Name,
 				Position: fset.Position(d.Pos),
 				Message:  d.Message,
-			})
+			}
+			if _, ok := sups.Match(a.Name, f.Position); ok {
+				return
+			}
+			diags = append(diags, f)
 		},
 	}
 	if err := a.Run(pass); err != nil {

@@ -1,0 +1,325 @@
+// Package corpusshare enforces the sharing contract of the training
+// corpus (root corpus.go): a Corpus is one RWMutex-guarded cache shared
+// across goroutines (OptimizeCorpus fans candidate fits over a worker
+// pool; cdtserve's retrainer re-optimizes over live corpora), and every
+// consumer must go through its locked API — the methods on *Corpus.
+// This was the ROADMAP's deferred "Corpus misuse across goroutines"
+// analyzer.
+//
+// The check is structural so it covers the real cdt.Corpus and test
+// fodder alike: a target is any struct type named "Corpus" carrying a
+// sync.Mutex/RWMutex field and at least one map field. Three misuse
+// shapes are reported:
+//
+//  1. Copy by value. A Corpus travelling by value duplicates the mutex
+//     and the cache maps' headers: two goroutines then "synchronize" on
+//     different locks over the same map storage. Flagged at value-typed
+//     declarations (params, results, struct fields, variables, value
+//     receivers) and at *p dereferences that copy the struct.
+//  2. Raw guarded-field access outside the API. The mutex and map
+//     fields may only be touched by methods of the Corpus itself;
+//     any other function reaching into c.labels or c.mu is bypassing
+//     the locked API (locksafe then cannot see the discipline either).
+//  3. Goroutine capture inside the API. Even within a method, a func
+//     literal spawned via `go` that touches a guarded field escapes the
+//     critical section that the enclosing method documents; the spawned
+//     goroutine must use the public methods instead.
+//
+// Immutable fields (series, limit) are deliberately not guarded:
+// sharing them read-only is the point of the corpus. sync.Once-driven
+// fill closures (entry.once.Do) touch entry state, not corpus maps, and
+// stay clean.
+package corpusshare
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cdt/tools/analysis"
+)
+
+// Analyzer is the corpusshare check.
+var Analyzer = &analysis.Analyzer{
+	Name: "corpusshare",
+	Doc:  "requires shared Corpus caches to be used via their locked API: no value copies, raw field access, or goroutine field capture",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	targets := targetStructs(pass)
+	if len(targets) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		checkValueDecls(pass, f, targets)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFieldAccess(pass, fd, targets)
+		}
+	}
+	return nil
+}
+
+// guardedStruct is one matched Corpus type: its named type plus the
+// names of the fields only its own methods may touch.
+type guardedStruct struct {
+	named   *types.Named
+	guarded map[string]bool
+}
+
+// targetStructs finds every struct type named Corpus with a mutex and a
+// map field, in the package being analyzed and in every package it
+// imports (the cdt.Corpus seen through internal/server is an imported
+// type).
+func targetStructs(pass *analysis.Pass) []*guardedStruct {
+	var out []*guardedStruct
+	seen := map[*types.Named]bool{}
+	add := func(scope *types.Scope) {
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.Name() != "Corpus" {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || seen[named] {
+				continue
+			}
+			if g := guardedOf(named); g != nil {
+				seen[named] = true
+				out = append(out, g)
+			}
+		}
+	}
+	add(pass.Pkg.Scope())
+	for _, imp := range pass.Pkg.Imports() {
+		add(imp.Scope())
+	}
+	return out
+}
+
+// guardedOf matches one named type against the structural Corpus shape,
+// returning its guarded fields (mutexes and maps) or nil.
+func guardedOf(named *types.Named) *guardedStruct {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	guarded := map[string]bool{}
+	hasMutex, hasMap := false, false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch {
+		case isSyncLock(f.Type()):
+			hasMutex = true
+			guarded[f.Name()] = true
+		case isMapType(f.Type()):
+			hasMap = true
+			guarded[f.Name()] = true
+		}
+	}
+	if !hasMutex || !hasMap {
+		return nil
+	}
+	return &guardedStruct{named: named, guarded: guarded}
+}
+
+func isSyncLock(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// matchTarget returns the guarded struct t denotes (value form), or nil.
+func matchTarget(targets []*guardedStruct, t types.Type) *guardedStruct {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	for _, g := range targets {
+		if g.named.Obj() == named.Obj() {
+			return g
+		}
+	}
+	return nil
+}
+
+// matchTargetPtrOrValue resolves t through one pointer level.
+func matchTargetPtrOrValue(targets []*guardedStruct, t types.Type) *guardedStruct {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return matchTarget(targets, t)
+}
+
+// checkValueDecls flags value-typed Corpus declarations and *p copy
+// dereferences anywhere in the file. The Corpus's own type declaration
+// is exempt (defining the struct is not copying it).
+func checkValueDecls(pass *analysis.Pass, f *ast.File, targets []*guardedStruct) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.TypeSpec:
+			// Walk only the fields of a struct definition: a field of
+			// type Corpus embeds a second mutex+caches by value.
+			if st, ok := n.Type.(*ast.StructType); ok {
+				for _, fld := range st.Fields.List {
+					reportValueType(pass, fld.Type, targets, "struct field")
+				}
+				return false
+			}
+			return true
+		case *ast.Field:
+			return true
+		case *ast.FuncDecl:
+			if n.Recv != nil {
+				for _, r := range n.Recv.List {
+					reportValueType(pass, r.Type, targets, "method receiver")
+				}
+			}
+			if n.Type.Params != nil {
+				for _, p := range n.Type.Params.List {
+					reportValueType(pass, p.Type, targets, "parameter")
+				}
+			}
+			if n.Type.Results != nil {
+				for _, p := range n.Type.Results.List {
+					reportValueType(pass, p.Type, targets, "result")
+				}
+			}
+			return true
+		case *ast.ValueSpec:
+			reportValueType(pass, n.Type, targets, "variable")
+			return true
+		case *ast.StarExpr:
+			// *p as a value copies the struct; *p in a selector chain or
+			// type position does not reach here with struct type.
+			if tv, ok := pass.TypesInfo.Types[n]; ok && tv.IsValue() {
+				if g := matchTarget(targets, tv.Type); g != nil {
+					pass.Reportf(n.Pos(), "dereferencing copies the %s by value; share the pointer (the RWMutex and cache maps must not be duplicated)", g.named.Obj().Name())
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// reportValueType flags a type expression denoting a bare (non-pointer)
+// Corpus.
+func reportValueType(pass *analysis.Pass, t ast.Expr, targets []*guardedStruct, where string) {
+	if t == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[t]
+	if !ok {
+		return
+	}
+	// Pointers, slices of pointers, maps to pointers are fine; only a
+	// bare value type (possibly nested in a container) is a copy hazard.
+	if g := valueCarrier(targets, tv.Type); g != nil {
+		pass.Reportf(t.Pos(), "%s holds a %s by value; use *%s (copying duplicates the RWMutex and cache-map headers)", where, g.named.Obj().Name(), g.named.Obj().Name())
+	}
+}
+
+// valueCarrier reports whether t stores a target struct by value,
+// looking through containers (slices, arrays, maps, channels) but not
+// pointers.
+func valueCarrier(targets []*guardedStruct, t types.Type) *guardedStruct {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return valueCarrier(targets, u.Elem())
+	case *types.Array:
+		return valueCarrier(targets, u.Elem())
+	case *types.Map:
+		return valueCarrier(targets, u.Elem())
+	case *types.Chan:
+		return valueCarrier(targets, u.Elem())
+	}
+	return matchTarget(targets, t)
+}
+
+// checkFieldAccess flags guarded-field selectors outside the Corpus's
+// own methods, and — inside those methods — guarded-field selectors
+// reached from goroutines the method spawns.
+func checkFieldAccess(pass *analysis.Pass, fd *ast.FuncDecl, targets []*guardedStruct) {
+	owner := methodOwner(pass, fd, targets)
+
+	// goLits collects the func literals this declaration starts with
+	// `go` (directly or via a named literal is out of scope — direct
+	// `go func(){...}()` is the pattern the repo uses).
+	goLits := map[*ast.FuncLit]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				goLits[lit] = true
+			}
+		}
+		return true
+	})
+
+	var walk func(n ast.Node, inGo bool)
+	walk = func(n ast.Node, inGo bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m == n {
+					return true
+				}
+				walk(m.Body, inGo || goLits[m])
+				return false
+			case *ast.SelectorExpr:
+				g, field := guardedSelector(pass, m, targets)
+				if g == nil {
+					return true
+				}
+				switch {
+				case owner != g:
+					pass.Reportf(m.Pos(), "raw access to %s.%s outside the %s's locked API; use its methods", g.named.Obj().Name(), field, g.named.Obj().Name())
+				case inGo:
+					pass.Reportf(m.Pos(), "%s.%s touched from a goroutine spawned inside a method; the goroutine must use the locked API", g.named.Obj().Name(), field)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(fd.Body, false)
+}
+
+// methodOwner returns the guarded struct fd is a method of (pointer or
+// value receiver), or nil.
+func methodOwner(pass *analysis.Pass, fd *ast.FuncDecl, targets []*guardedStruct) *guardedStruct {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	return matchTargetPtrOrValue(targets, tv.Type)
+}
+
+// guardedSelector resolves sel to (target, field) when it selects a
+// guarded field of a Corpus (through a value or pointer base).
+func guardedSelector(pass *analysis.Pass, sel *ast.SelectorExpr, targets []*guardedStruct) (*guardedStruct, string) {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	g := matchTargetPtrOrValue(targets, s.Recv())
+	if g == nil || !g.guarded[sel.Sel.Name] {
+		return nil, ""
+	}
+	return g, sel.Sel.Name
+}

@@ -1,0 +1,12 @@
+package corpusshare_test
+
+import (
+	"testing"
+
+	"cdt/tools/analysistest"
+	"cdt/tools/analyzers/corpusshare"
+)
+
+func TestCorpusShare(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), corpusshare.Analyzer, "corpusshare")
+}

@@ -1,0 +1,87 @@
+// Package corpusshare is lint-test fodder for the corpusshare analyzer:
+// a mutex-guarded cache-bearing Corpus must be shared by pointer and
+// used only through its methods.
+package corpusshare
+
+import "sync"
+
+// Corpus mirrors the structural shape of cdt.Corpus: a mutex plus
+// cache maps, and immutable configuration that is fine to read raw.
+type Corpus struct {
+	mu     sync.RWMutex
+	labels map[int][]string
+	limit  int
+}
+
+// Get is the locked API. Takes c.mu.
+func (c *Corpus) Get(k int) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.labels[k]
+}
+
+// fill is a locked mutator. Takes c.mu.
+func (c *Corpus) fill(k int, v []string) {
+	c.mu.Lock()
+	c.labels[k] = v
+	c.mu.Unlock()
+}
+
+// Spawn shares the corpus with a goroutine correctly: method calls only.
+func (c *Corpus) Spawn(k int) {
+	go func() {
+		_ = c.Get(k)
+	}()
+}
+
+// SpawnRaw leaks a guarded field into a goroutine it starts.
+func (c *Corpus) SpawnRaw(k int) {
+	go func() {
+		c.mu.RLock()    // want `Corpus\.mu touched from a goroutine spawned inside a method`
+		_ = c.labels[k] // want `Corpus\.labels touched from a goroutine spawned inside a method`
+		c.mu.RUnlock()  // want `Corpus\.mu touched from a goroutine spawned inside a method`
+	}()
+}
+
+// Limit reads immutable configuration — not guarded, methods may hand
+// it out and outsiders may not reach it anyway.
+func (c *Corpus) Limit() int { return c.limit }
+
+func useRaw(c *Corpus) {
+	_ = c.labels[1] // want `raw access to Corpus\.labels outside the Corpus's locked API`
+	c.mu.Lock()     // want `raw access to Corpus\.mu outside the Corpus's locked API`
+	c.mu.Unlock()   // want `raw access to Corpus\.mu outside the Corpus's locked API`
+}
+
+func useRawSuppressed(c *Corpus) {
+	_ = c.labels[1] //cdtlint:ignore corpusshare test fixture proves suppression works
+}
+
+func copyParam(c Corpus) {} // want `parameter holds a Corpus by value`
+
+func copyDeref(c *Corpus) {
+	d := *c // want `dereferencing copies the Corpus by value`
+	_ = d
+}
+
+func copyResult() (Corpus, error) { // want `result holds a Corpus by value`
+	return Corpus{}, nil
+}
+
+type holder struct {
+	c Corpus // want `struct field holds a Corpus by value`
+}
+
+type okHolder struct {
+	c *Corpus
+}
+
+var pool []Corpus // want `variable holds a Corpus by value`
+
+var okPool []*Corpus
+
+func (c Corpus) valueReceiver() {} // want `method receiver holds a Corpus by value`
+
+func okUse(c *Corpus) []string {
+	return c.Get(1)
+}

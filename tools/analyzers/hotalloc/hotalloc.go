@@ -1,0 +1,395 @@
+// Package hotalloc keeps allocations out of the hot paths: the engine's
+// sweep/cursor loops and the fastjson appenders, where a per-call or
+// per-iteration allocation turns into GC pressure at stream rates
+// (ROADMAP: "every allocation in the sweep loop is paid per window").
+//
+// Hot paths are declared in the source, not hardcoded in the analyzer:
+//
+//	//cdtlint:hotpath        — the whole function body is hot
+//	//cdtlint:hotpath loops  — only the function's loops are hot
+//
+// placed in a function's doc comment. Hotness then propagates through
+// the program call graph: everything a hot region statically calls is
+// itself fully hot, transitively (a helper called from a hot loop
+// cannot allocate either). For a loops-only function, calls outside its
+// loops stay cold — the engine's sweeps may allocate their result
+// slices up front, just not per window.
+//
+// Inside a hot region the analyzer flags the allocation shapes Go makes
+// easy to write and hard to see in a profile: make/new, slice and map
+// composite literals, &-literals, closures (func literals), go
+// statements, capacity-growing appends, string<->[]byte conversions,
+// and fmt/strconv formatting calls that return fresh strings.
+//
+// Three scratch-reuse idioms the repo already relies on are recognized
+// and exempt:
+//
+//   - self-append        x = append(x, ...)   (amortized growth)
+//   - reslice reuse      append(buf[:0], ...) (reuses capacity)
+//   - parameter append   append(dst, ...)     (caller owns amortization;
+//     the fastjson appenders' contract)
+//   - lazy init          if x == nil { x = make(...) }  (pays once;
+//     Marks.set's idiom)
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cdt/tools/analysis"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbids allocation in //cdtlint:hotpath functions and everything they call, modulo scratch-reuse idioms",
+	Run:  run,
+}
+
+// hotpathDirective marks a function as a hot-path root in its doc
+// comment.
+const hotpathDirective = "//cdtlint:hotpath"
+
+// hotness is a function's required allocation discipline, ordered so a
+// stricter requirement overrides a looser one.
+type hotness int
+
+const (
+	cold hotness = iota
+	loopsHot
+	bodyHot
+)
+
+func run(pass *analysis.Pass) error {
+	if pass.Prog == nil {
+		return nil
+	}
+	cg := pass.Prog.CallGraph()
+	hot := propagate(cg)
+	for id, h := range hot {
+		node := cg.Nodes[id]
+		if node == nil || h == cold || node.Unit.Pkg != pass.Pkg {
+			continue
+		}
+		for _, region := range regions(node.Decl, h) {
+			checkRegion(pass, node.Decl, region)
+		}
+	}
+	return nil
+}
+
+// markerOf reads the function's hotpath directive, if any.
+func markerOf(fd *ast.FuncDecl) hotness {
+	if fd.Doc == nil {
+		return cold
+	}
+	for _, c := range fd.Doc.List {
+		if !strings.HasPrefix(c.Text, hotpathDirective) {
+			continue
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(c.Text, hotpathDirective))
+		if rest == "loops" {
+			return loopsHot
+		}
+		return bodyHot
+	}
+	return cold
+}
+
+// propagate seeds hotness from source markers and floods it through the
+// call graph: any call site inside a hot region makes its callee
+// whole-body hot.
+func propagate(cg *analysis.CallGraph) map[string]hotness {
+	hot := make(map[string]hotness)
+	var queue []string
+	raise := func(id string, h hotness) {
+		if h > hot[id] {
+			hot[id] = h
+			queue = append(queue, id)
+		}
+	}
+	for id, node := range cg.Nodes {
+		raise(id, markerOf(node.Decl))
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		node := cg.Nodes[id]
+		if node == nil {
+			continue
+		}
+		h := hot[id]
+		for _, cs := range node.Calls {
+			if h == bodyHot || cs.InLoop {
+				raise(cs.Callee, bodyHot)
+			}
+		}
+	}
+	return hot
+}
+
+// regions selects the parts of fd's body the discipline applies to: the
+// whole body, or each loop statement (the loop in its entirety — its
+// condition, post statement, and body all run per iteration).
+func regions(fd *ast.FuncDecl, h hotness) []ast.Node {
+	if fd.Body == nil {
+		return nil
+	}
+	if h == bodyHot {
+		return []ast.Node{fd.Body}
+	}
+	var out []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			out = append(out, n)
+			return false // the whole loop is one region; don't double-count nested loops
+		}
+		return true
+	})
+	return out
+}
+
+// checkRegion reports every disallowed allocation site inside region.
+func checkRegion(pass *analysis.Pass, fd *ast.FuncDecl, region ast.Node) {
+	allowed := allowedCalls(pass, region)
+	params := paramObjects(pass, fd, region)
+	ast.Inspect(region, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement on a hot path spawns a goroutine per call; use a worker pool")
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "func literal allocates a closure on a hot path; hoist it or use a named function")
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&-literal escapes to the heap on a hot path; hoist it or reuse a struct")
+					return false // don't re-flag the literal itself
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "%s composite literal allocates on a hot path; hoist it or reuse scratch", kindWord(tv.Type))
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, allowed, params)
+		}
+		return true
+	})
+}
+
+func kindWord(t types.Type) string {
+	if _, ok := t.Underlying().(*types.Map); ok {
+		return "map"
+	}
+	return "slice"
+}
+
+// checkCall flags one call expression: builtins make/new/append,
+// string<->[]byte conversions, and fmt/strconv formatting.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, allowed map[*ast.CallExpr]bool, params map[types.Object]bool) {
+	if allowed[call] {
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch pass.TypesInfo.Uses[fun].(type) {
+		case *types.Builtin:
+			switch fun.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates on a hot path; hoist it or reuse a scratch buffer (lazy `if x == nil` init is exempt)")
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates on a hot path; hoist the allocation")
+			case "append":
+				if !appendReusesCapacity(pass, call, params) {
+					pass.Reportf(call.Pos(), "append into a fresh slice grows on a hot path; self-append, append into buf[:0], or append to a parameter to reuse capacity")
+				}
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if pkg := packageOf(pass, fun); pkg != "" {
+			name := fun.Sel.Name
+			switch {
+			case pkg == "fmt":
+				pass.Reportf(call.Pos(), "fmt.%s allocates on a hot path; use strconv.Append* into a scratch buffer", name)
+			case pkg == "strconv" && (name == "Itoa" || strings.HasPrefix(name, "Format") || strings.HasPrefix(name, "Quote")):
+				suffix := strings.TrimPrefix(name, "Format")
+				if name == "Itoa" {
+					suffix = "Int"
+				}
+				pass.Reportf(call.Pos(), "strconv.%s returns a fresh string on a hot path; use strconv.Append%s into a scratch buffer", name, suffix)
+			}
+			return
+		}
+	}
+	checkConversion(pass, call)
+}
+
+// packageOf resolves a selector's base to an imported package path, or
+// "" when the selector is not package-qualified.
+func packageOf(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// checkConversion flags string<->[]byte/[]rune conversions, which copy.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	argTV, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	dst, src := tv.Type, argTV.Type
+	if isString(dst) && isByteOrRuneSlice(src) || isByteOrRuneSlice(dst) && isString(src) {
+		pass.Reportf(call.Pos(), "string/[]byte conversion copies on a hot path; keep one representation or append into scratch")
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// allowedCalls pre-walks the region and exempts the recognized reuse
+// idioms: self-appends and lazily-initialized makes guarded by a nil
+// check on the same expression.
+func allowedCalls(pass *analysis.Pass, region ast.Node) map[*ast.CallExpr]bool {
+	allowed := make(map[*ast.CallExpr]bool)
+	ast.Inspect(region, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+					if types.ExprString(n.Lhs[i]) == types.ExprString(call.Args[0]) {
+						allowed[call] = true
+					}
+				}
+			}
+		case *ast.IfStmt:
+			target, ok := nilCheckTarget(n.Cond)
+			if !ok {
+				return true
+			}
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				as, ok := m.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != len(as.Rhs) {
+					return true
+				}
+				for i, rhs := range as.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" &&
+						types.ExprString(as.Lhs[i]) == target {
+						allowed[call] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return allowed
+}
+
+// nilCheckTarget matches `x == nil` (either order) and returns x's
+// expression string.
+func nilCheckTarget(cond ast.Expr) (string, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op.String() != "==" {
+		return "", false
+	}
+	if isNilIdent(be.Y) {
+		return types.ExprString(be.X), true
+	}
+	if isNilIdent(be.X) {
+		return types.ExprString(be.Y), true
+	}
+	return "", false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// appendReusesCapacity reports whether the append's destination is an
+// existing buffer: a reslice (buf[:0]) or a parameter of the enclosing
+// function (the fastjson appender contract — the caller amortizes).
+// Self-appends were already exempted by allowedCalls.
+func appendReusesCapacity(pass *analysis.Pass, call *ast.CallExpr, params map[types.Object]bool) bool {
+	if len(call.Args) == 0 {
+		return true // type error; not ours
+	}
+	switch dst := ast.Unparen(call.Args[0]).(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[dst]; obj != nil && params[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// paramObjects collects the parameter objects of fd and of every func
+// literal in the region; appending to any of them is the caller's
+// amortization to manage.
+func paramObjects(pass *analysis.Pass, fd *ast.FuncDecl, region ast.Node) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	addFieldList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	addFieldList(fd.Type.Params)
+	ast.Inspect(region, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			addFieldList(lit.Type.Params)
+		}
+		return true
+	})
+	return params
+}

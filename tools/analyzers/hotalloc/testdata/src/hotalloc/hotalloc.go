@@ -1,0 +1,122 @@
+// Package hotalloc is lint-test fodder for the hotalloc analyzer:
+// functions marked //cdtlint:hotpath must not allocate, hotness
+// propagates through calls, and the scratch-reuse idioms stay clean.
+package hotalloc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type sink struct {
+	buf []byte
+	m   map[int]int
+	tmp []int
+}
+
+var global []int
+
+// hotBody exercises every flagged allocation shape inside a whole-body
+// hot function, interleaved with the exempt reuse idioms.
+//
+//cdtlint:hotpath
+func hotBody(s *sink, dst []byte, v int) []byte {
+	x := make([]int, 4) // want `make allocates on a hot path`
+	_ = x
+	p := new(int) // want `new allocates on a hot path`
+	_ = p
+	l := []int{1, 2} // want `slice composite literal allocates on a hot path`
+	_ = l
+	mm := map[int]int{} // want `map composite literal allocates on a hot path`
+	_ = mm
+	pt := &sink{} // want `&-literal escapes to the heap on a hot path`
+	_ = pt
+	go work()      // want `go statement on a hot path`
+	f := func() {} // want `func literal allocates a closure on a hot path`
+	f()
+	y := append(s.tmp, v) // want `append into a fresh slice grows on a hot path`
+	_ = y
+	str := string(dst) // want `string/\[\]byte conversion copies on a hot path`
+	_ = str
+	raw := []byte("x") // want `string/\[\]byte conversion copies on a hot path`
+	_ = raw
+	_ = fmt.Sprintf("%d", v) // want `fmt\.Sprintf allocates on a hot path`
+	_ = strconv.Itoa(v)      // want `strconv\.Itoa returns a fresh string on a hot path`
+
+	global = append(global, v)      // exempt: self-append
+	s.buf = append(s.buf, byte(v))  // exempt: self-append
+	dst = append(dst, byte(v))      // exempt: self-append to parameter
+	out := append(dst[:0], byte(v)) // exempt: reslice reuses capacity
+	dst = strconv.AppendInt(dst, int64(v), 10)
+	return out
+}
+
+// work is reached from hotBody's go statement, so it is hot too and
+// must stay alloc-free.
+func work() {}
+
+// lazy init under a nil guard pays once, not per call: exempt.
+//
+//cdtlint:hotpath
+func (s *sink) lazy(k int) {
+	if s.m == nil {
+		s.m = make(map[int]int)
+	}
+	s.m[k] = k
+}
+
+// hotLoops is loops-only hot: the up-front result allocation is fine,
+// per-iteration allocation is not, and a call inside the loop makes its
+// callee whole-body hot.
+//
+//cdtlint:hotpath loops
+func hotLoops(n int) []int {
+	out := make([]int, 0, n) // exempt: outside the loops
+	for i := 0; i < n; i++ {
+		t := make([]int, 1) // want `make allocates on a hot path`
+		_ = t
+		out = append(out, i) // exempt: self-append
+		helper()
+	}
+	for _, v := range out {
+		_ = v
+	}
+	return out
+}
+
+// helper is hot via the call from hotLoops's loop; hotness continues
+// transitively into helper2.
+func helper() {
+	_ = make([]int, 2) // want `make allocates on a hot path`
+	helper2()
+}
+
+func helper2() {
+	_ = new(int) // want `new allocates on a hot path`
+}
+
+// loopsColdCall calls its helper outside any loop, so the helper stays
+// cold under the loops-only discipline.
+//
+//cdtlint:hotpath loops
+func loopsColdCall(n int) {
+	coldAlloc()
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}
+
+func coldAlloc() {
+	_ = make([]int, 1)
+}
+
+// cold has no marker and is reached by nothing hot: allocate freely.
+func cold() {
+	_ = make([]int, 3)
+	_ = fmt.Sprintf("cold")
+}
+
+//cdtlint:hotpath
+func hotSuppressed() {
+	_ = make([]int, 8) //cdtlint:ignore hotalloc test fixture proves suppression works
+}

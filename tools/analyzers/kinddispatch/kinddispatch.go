@@ -1,0 +1,267 @@
+// Package kinddispatch enforces exhaustive dispatch over deployable
+// artifact kinds. Since PR 7 the repo serves two artifact flavors
+// (plain models and resolution pyramids, cdt.KindModel/KindPyramid,
+// dispatched by LoadAny), and the standing footgun is a switch written
+// for one kind silently falling through when handed the other — a
+// pyramid riding a plain-model path loses its typing and scales without
+// any error.
+//
+// Two dispatch shapes are checked:
+//
+//  1. String switches on a kind value. A switch is a kind switch when
+//     any case references a registered kind constant — a package-level
+//     string constant whose name contains "Kind" (KindModel,
+//     KindPyramid, artifactKindPyramid). The registry is every such
+//     constant in the referenced constant's package, deduplicated by
+//     value; the switch must cover every registered value or carry an
+//     explicit default.
+//  2. Type switches on an interface named Artifact. The implementation
+//     set is discovered from the program, not hardcoded: every named
+//     type in the interface's defining package and in the analyzed
+//     package whose value or pointer implements the interface. The
+//     switch must name them all or carry an explicit default.
+//
+// Both rules accept `default:` as the escape hatch because the repo's
+// convention is an explicit "unknown kind" error — the analyzer's job
+// is to make silence impossible, not to force case-per-kind style.
+package kinddispatch
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"cdt/tools/analysis"
+)
+
+// Analyzer is the kinddispatch check.
+var Analyzer = &analysis.Analyzer{
+	Name: "kinddispatch",
+	Doc:  "requires switches on artifact kinds (string or type switches) to handle every registered kind or declare a default",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				checkKindSwitch(pass, n)
+			case *ast.TypeSwitchStmt:
+				checkArtifactTypeSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isKindConst matches the naming convention of artifact-kind constants.
+func isKindConst(c *types.Const) bool {
+	if c.Pkg() == nil {
+		return false
+	}
+	b, ok := c.Type().Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsString == 0 {
+		return false
+	}
+	return strings.Contains(c.Name(), "Kind") || strings.HasPrefix(c.Name(), "kind")
+}
+
+// checkKindSwitch applies rule 1: find a referenced kind constant, then
+// demand value coverage of its package's kind registry or a default.
+func checkKindSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	var anchor *types.Const
+	covered := map[string]bool{}
+	hasDefault := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				continue
+			}
+			covered[constant.StringVal(tv.Value)] = true
+			if anchor == nil {
+				if c := referencedConst(pass, e); c != nil && isKindConst(c) {
+					anchor = c
+				}
+			}
+		}
+	}
+	if anchor == nil || hasDefault {
+		return
+	}
+	var missing []string
+	seen := map[string]bool{}
+	scope := anchor.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !isKindConst(c) {
+			continue
+		}
+		v := constant.StringVal(c.Val())
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if !covered[v] {
+			missing = append(missing, v)
+		}
+	}
+	sort.Strings(missing)
+	for _, v := range missing {
+		pass.Reportf(sw.Switch,
+			"switch on artifact kind does not handle registered kind %q and has no default (a new kind would fall through silently)", v)
+	}
+}
+
+// referencedConst resolves a case expression to the constant object it
+// names, unwrapping a package qualifier.
+func referencedConst(pass *analysis.Pass, e ast.Expr) *types.Const {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		c, _ := pass.TypesInfo.Uses[e].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := pass.TypesInfo.Uses[e.Sel].(*types.Const)
+		return c
+	}
+	return nil
+}
+
+// checkArtifactTypeSwitch applies rule 2.
+func checkArtifactTypeSwitch(pass *analysis.Pass, sw *ast.TypeSwitchStmt) {
+	named := switchedInterface(pass, sw)
+	if named == nil || named.Obj().Name() != "Artifact" {
+		return
+	}
+	impls := implementations(pass, named)
+	if len(impls) == 0 {
+		return
+	}
+	hasDefault := false
+	covered := map[*types.TypeName]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok {
+				continue
+			}
+			t := tv.Type
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				covered[named.Obj()] = true
+			}
+		}
+	}
+	if hasDefault {
+		return
+	}
+	var missing []string
+	for _, impl := range impls {
+		if !covered[impl] {
+			missing = append(missing, impl.Pkg().Name()+"."+impl.Name())
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		pass.Reportf(sw.Switch,
+			"type switch on Artifact does not handle implementation %s and has no default (a new artifact kind would fall through silently)", name)
+	}
+}
+
+// switchedInterface returns the named interface type of the type
+// switch's subject, or nil.
+func switchedInterface(pass *analysis.Pass, sw *ast.TypeSwitchStmt) *types.Named {
+	var x ast.Expr
+	switch s := sw.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return nil
+		}
+		ta, ok := s.Rhs[0].(*ast.TypeAssertExpr)
+		if !ok {
+			return nil
+		}
+		x = ta.X
+	case *ast.ExprStmt:
+		ta, ok := s.X.(*ast.TypeAssertExpr)
+		if !ok {
+			return nil
+		}
+		x = ta.X
+	default:
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[x]
+	if !ok {
+		return nil
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || !types.IsInterface(named) {
+		return nil
+	}
+	return named
+}
+
+// implementations discovers the registered artifact types: named
+// non-interface types in the interface's defining package and the
+// analyzed package whose value or pointer satisfies the interface.
+func implementations(pass *analysis.Pass, ifaceNamed *types.Named) []*types.TypeName {
+	iface, ok := ifaceNamed.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*types.TypeName
+	seen := map[*types.TypeName]bool{}
+	scan := func(scope *types.Scope) {
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() || seen[tn] {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+				seen[tn] = true
+				out = append(out, tn)
+			}
+		}
+	}
+	// The interface's own package first (cdt declares Model and
+	// PyramidModel beside Artifact), then the package under analysis
+	// (which may add local implementations).
+	if p := ifaceNamed.Obj().Pkg(); p != nil {
+		scan(p.Scope())
+	}
+	if ifaceNamed.Obj().Pkg() != pass.Pkg {
+		scan(pass.Pkg.Scope())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}

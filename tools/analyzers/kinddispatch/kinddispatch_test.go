@@ -1,0 +1,12 @@
+package kinddispatch_test
+
+import (
+	"testing"
+
+	"cdt/tools/analysistest"
+	"cdt/tools/analyzers/kinddispatch"
+)
+
+func TestKindDispatch(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), kinddispatch.Analyzer, "kinddispatch")
+}

@@ -1,0 +1,199 @@
+// Package metriclabel guards the telemetry Vec discipline
+// (internal/telemetry): Vec.With is a mutex-guarded lookup meant to run
+// at registration/setup time, and label values index a child map that
+// lives for the process's lifetime.
+//
+// Two misuse shapes are reported, for any method named With on a
+// *SomethingVec type (structurally matched, so the real telemetry
+// package and test fodder both qualify):
+//
+//  1. With inside a loop. Each call re-locks the registry and re-hashes
+//     the label tuple; detection loops run per observation. The child
+//     must be resolved before the loop, or counts accumulated and
+//     applied after it. The apply half of that idiom — ranging over the
+//     accumulation map and calling With once per distinct label — is
+//     recognized and exempt: a range over a map is bounded by distinct
+//     keys, not by observations. (A map range nested inside an
+//     observation loop stays flagged: it inherits the outer loop's
+//     per-iteration cost.)
+//  2. Unbounded label values. A label minted from fmt/strconv
+//     formatting, an error message, or a numeric conversion gives the
+//     metric unbounded cardinality — every new value is a new child
+//     that is never dropped. Conversions from named string types
+//     (string(d.Type) on an AnomalyType) are the sanctioned idiom: the
+//     value set is a small enum by construction.
+package metriclabel
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cdt/tools/analysis"
+)
+
+// Analyzer is the metriclabel check.
+var Analyzer = &analysis.Analyzer{
+	Name: "metriclabel",
+	Doc:  "requires telemetry Vec children to be resolved outside loops and label values to come from bounded sets",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walk(pass, fd.Body, false)
+		}
+	}
+	return nil
+}
+
+// walk visits n tracking loop depth, mirroring the call-graph walker: a
+// With reached inside a for/range body (even via a func literal defined
+// there) runs per iteration.
+func walk(pass *analysis.Pass, n ast.Node, inLoop bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.ForStmt:
+			if m.Init != nil {
+				walk(pass, m.Init, inLoop)
+			}
+			if m.Cond != nil {
+				walk(pass, m.Cond, true)
+			}
+			if m.Post != nil {
+				walk(pass, m.Post, true)
+			}
+			walk(pass, m.Body, true)
+			return false
+		case *ast.RangeStmt:
+			walk(pass, m.X, inLoop)
+			// Ranging over a map is the accumulate-then-apply idiom's
+			// second half: iterations are bounded by distinct keys. It
+			// does not introduce per-observation cost, but it does not
+			// clear hotness inherited from an enclosing loop either.
+			walk(pass, m.Body, inLoop || !rangesOverMap(pass, m))
+			return false
+		case *ast.CallExpr:
+			checkWith(pass, m, inLoop)
+			return true
+		}
+		return true
+	})
+}
+
+// rangesOverMap reports whether the range statement iterates a map.
+func rangesOverMap(pass *analysis.Pass, r *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[r.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkWith applies both rules to one call expression, if it is a
+// Vec.With call.
+func checkWith(pass *analysis.Pass, call *ast.CallExpr, inLoop bool) {
+	vec := vecName(pass, call)
+	if vec == "" {
+		return
+	}
+	if inLoop {
+		pass.Reportf(call.Pos(), "%s.With inside a loop re-resolves the child per iteration; hoist the lookup out of the loop (or accumulate and apply once after it)", vec)
+	}
+	for _, arg := range call.Args {
+		if reason := unboundedReason(pass, arg); reason != "" {
+			pass.Reportf(arg.Pos(), "unbounded label value (%s) passed to %s.With; label cardinality must be bounded — use a small named-string enum", reason, vec)
+		}
+	}
+}
+
+// vecName matches a call of the form x.With(...) where x is a (pointer
+// to a) named struct whose name ends in "Vec", returning the type name.
+func vecName(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "With" {
+		return ""
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return ""
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || !strings.HasSuffix(named.Obj().Name(), "Vec") {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// unboundedReason classifies a label argument minted from an unbounded
+// source, returning "" for bounded shapes.
+func unboundedReason(pass *analysis.Pass, arg ast.Expr) string {
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	// Conversion: string(x). Named string types are the bounded enum
+	// idiom; numeric conversions mint a fresh value per input.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if !isStringType(tv.Type) || len(call.Args) != 1 {
+			return ""
+		}
+		argTV, ok := pass.TypesInfo.Types[call.Args[0]]
+		if !ok {
+			return ""
+		}
+		if b, ok := argTV.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsNumeric != 0 {
+			return "numeric conversion"
+		}
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		if sel.Sel.Name == "Error" && len(call.Args) == 0 {
+			return "error message"
+		}
+		return ""
+	}
+	switch pkg := packagePathOf(pass, sel); pkg {
+	case "fmt":
+		return "fmt-formatted value"
+	case "strconv":
+		name := sel.Sel.Name
+		if name == "Itoa" || strings.HasPrefix(name, "Format") || strings.HasPrefix(name, "Quote") {
+			return "strconv-formatted value"
+		}
+	}
+	return ""
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// packagePathOf resolves a selector's base to an imported package path,
+// or "".
+func packagePathOf(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}

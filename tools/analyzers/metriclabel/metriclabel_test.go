@@ -1,0 +1,12 @@
+package metriclabel_test
+
+import (
+	"testing"
+
+	"cdt/tools/analysistest"
+	"cdt/tools/analyzers/metriclabel"
+)
+
+func TestMetricLabel(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), metriclabel.Analyzer, "metriclabel")
+}

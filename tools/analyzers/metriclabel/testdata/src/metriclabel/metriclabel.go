@@ -1,0 +1,136 @@
+// Package metriclabel is lint-test fodder for the metriclabel
+// analyzer: Vec children resolved outside loops, label values bounded.
+package metriclabel
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Counter and CounterVec mirror the structural shape of the telemetry
+// package's labeled families.
+type Counter struct{ n float64 }
+
+// Inc bumps the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add bumps the counter by d.
+func (c *Counter) Add(d float64) { c.n += d }
+
+// CounterVec is a counter family; With resolves a child.
+type CounterVec struct{ children map[string]*Counter }
+
+// With resolves the child for the label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	c, ok := v.children[values[0]]
+	if !ok {
+		c = &Counter{}
+		v.children[values[0]] = c
+	}
+	return c
+}
+
+// anomalyType is the bounded named-string enum idiom.
+type anomalyType string
+
+const typeSpike anomalyType = "spike"
+
+type det struct{ t anomalyType }
+
+func withInLoop(vec *CounterVec, dets []det) {
+	for _, d := range dets {
+		vec.With("anomaly", string(d.t)).Inc() // want `CounterVec\.With inside a loop re-resolves the child per iteration`
+	}
+}
+
+func withInLoopSuppressed(vec *CounterVec, dets []det) {
+	for _, d := range dets {
+		vec.With("anomaly", string(d.t)).Inc() //cdtlint:ignore metriclabel test fixture proves suppression works
+	}
+}
+
+func withInForLoop(vec *CounterVec, n int) {
+	for i := 0; i < n; i++ {
+		vec.With("bucket").Inc() // want `CounterVec\.With inside a loop re-resolves the child per iteration`
+	}
+}
+
+func withInClosureInLoop(vec *CounterVec, fns []func(func())) {
+	for _, apply := range fns {
+		apply(func() {
+			vec.With("cb").Inc() // want `CounterVec\.With inside a loop re-resolves the child per iteration`
+		})
+	}
+}
+
+func hoisted(vec *CounterVec, dets []det) {
+	c := vec.With("anomaly", string(typeSpike))
+	for range dets {
+		c.Inc()
+	}
+}
+
+// accumulateApply is the sanctioned shape for dynamic-but-bounded
+// labels: count per distinct type, then apply once per key. The map
+// range is exempt from the loop rule.
+func accumulateApply(vec *CounterVec, dets []det) {
+	byType := map[anomalyType]float64{}
+	for _, d := range dets {
+		byType[d.t]++
+	}
+	for t, n := range byType {
+		vec.With("anomaly", string(t)).Add(n)
+	}
+}
+
+// mapRangeInObservationLoop inherits the outer loop's per-iteration
+// cost; the map range does not launder it.
+func mapRangeInObservationLoop(vec *CounterVec, batches []map[anomalyType]float64) {
+	for _, byType := range batches {
+		for t, n := range byType {
+			vec.With("anomaly", string(t)).Add(n) // want `CounterVec\.With inside a loop re-resolves the child per iteration`
+		}
+	}
+}
+
+func unboundedFmt(vec *CounterVec, i int) {
+	vec.With(fmt.Sprintf("shard-%d", i)).Inc() // want `unbounded label value \(fmt-formatted value\) passed to CounterVec\.With`
+}
+
+func unboundedStrconv(vec *CounterVec, i int) {
+	vec.With(strconv.Itoa(i)).Inc() // want `unbounded label value \(strconv-formatted value\) passed to CounterVec\.With`
+}
+
+func unboundedError(vec *CounterVec) {
+	err := errors.New("boom")
+	vec.With(err.Error()).Inc() // want `unbounded label value \(error message\) passed to CounterVec\.With`
+}
+
+func unboundedNumeric(vec *CounterVec, code int) {
+	vec.With(string(rune(code))).Inc() // want `unbounded label value \(numeric conversion\) passed to CounterVec\.With`
+}
+
+func boundedEnum(vec *CounterVec, d det) {
+	vec.With(string(d.t)).Inc()
+	vec.With("constant-label").Inc()
+}
+
+// bothAtOnce trips the loop rule and the cardinality rule on one call.
+func bothAtOnce(vec *CounterVec, errs []error) {
+	for _, err := range errs {
+		vec.With(err.Error()).Inc() // want `CounterVec\.With inside a loop re-resolves the child per iteration` `unbounded label value \(error message\) passed to CounterVec\.With`
+	}
+}
+
+// notAVec has a With method too, but the type name does not end in Vec:
+// out of scope.
+type registry struct{}
+
+func (r *registry) With(values ...string) *Counter { return &Counter{} }
+
+func otherWith(r *registry, msgs []error) {
+	for _, m := range msgs {
+		r.With(m.Error()).Inc()
+	}
+}

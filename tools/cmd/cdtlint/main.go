@@ -3,23 +3,38 @@
 // applies the repository-specific analyzers that machine-check the
 // contracts the concurrent pipeline depends on:
 //
-//	immutview  mutations of shared Corpus/labeling views
-//	locksafe   unreleased locks, RWMutex upgrades, blocking under a lock
-//	detfloat   nondeterminism in the training hot path
-//	lockdoc    undocumented locking on mutex-guarded state mutators
+//	immutview     mutations of shared Corpus/labeling views
+//	locksafe      unreleased locks, RWMutex upgrades, blocking under a lock
+//	detfloat      nondeterminism in the training hot path
+//	lockdoc       undocumented locking on mutex-guarded state mutators
+//	corpusshare   Corpus copies, raw field access, goroutine capture
+//	hotalloc      allocation in //cdtlint:hotpath functions and callees
+//	kinddispatch  non-exhaustive switches over artifact kinds
+//	metriclabel   Vec.With in loops, unbounded metric label values
 //
-// Test files are analyzed too — a test that corrupts a cached view
-// poisons every later test sharing the corpus. detfloat is scoped to the
-// training hot path (cdt, internal/core, internal/pattern,
-// internal/quality, internal/bayesopt) and to library code: wall clocks
-// and global randomness are legitimate in servers, example binaries, and
-// tests. lockdoc is scoped to internal/modelstore library code, where
-// the cached manifest and audit sequence make an undocumented mutator a
-// standing invitation to an unguarded write.
+// Test files are analyzed by the view/lock analyzers too — a test that
+// corrupts a cached view poisons every later test sharing the corpus.
+// The invariant-specific analyzers are scoped: detfloat to the training
+// hot path (cdt, internal/core, internal/pattern, internal/quality,
+// internal/bayesopt), lockdoc to internal/modelstore, and the PR 8
+// analyzers (corpusshare, hotalloc, kinddispatch, metriclabel) to
+// library code, where the contracts they check actually bind.
+//
+// A finding can be suppressed in source with a justified directive:
+//
+//	//cdtlint:ignore <analyzer> <reason>
+//
+// trailing the offending line, or standing alone on the line above it.
+// Suppressed findings do not fail the run but are carried (with their
+// justifications) in the -format json and sarif outputs.
 //
 // Usage, from the repository root:
 //
 //	go run ./tools/cmd/cdtlint ./...
+//	go run ./tools/cmd/cdtlint -format sarif ./... > cdtlint.sarif
+//
+// -format sarif emits SARIF 2.1.0 for GitHub code-scanning upload, with
+// file URIs relative to the working directory (%SRCROOT%).
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure.
 package main
@@ -31,10 +46,14 @@ import (
 	"path/filepath"
 
 	"cdt/tools/analysis"
+	"cdt/tools/analyzers/corpusshare"
 	"cdt/tools/analyzers/detfloat"
+	"cdt/tools/analyzers/hotalloc"
 	"cdt/tools/analyzers/immutview"
+	"cdt/tools/analyzers/kinddispatch"
 	"cdt/tools/analyzers/lockdoc"
 	"cdt/tools/analyzers/locksafe"
+	"cdt/tools/analyzers/metriclabel"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -42,6 +61,10 @@ var analyzers = []*analysis.Analyzer{
 	locksafe.Analyzer,
 	detfloat.Analyzer,
 	lockdoc.Analyzer,
+	corpusshare.Analyzer,
+	hotalloc.Analyzer,
+	kinddispatch.Analyzer,
+	metriclabel.Analyzer,
 }
 
 // detfloatScope is the training hot path: the packages whose results the
@@ -60,19 +83,47 @@ var lockdocScope = map[string]bool{
 	"cdt/internal/modelstore": true,
 }
 
+// libOnly marks the analyzers that check library contracts: tests may
+// copy corpora into fixtures, allocate in marked paths they stub out,
+// and mint throwaway metric labels without weakening the shipped
+// binaries' invariants.
+var libOnly = map[*analysis.Analyzer]bool{
+	corpusshare.Analyzer:  true,
+	hotalloc.Analyzer:     true,
+	kinddispatch.Analyzer: true,
+	metriclabel.Analyzer:  true,
+}
+
+func scope(a *analysis.Analyzer, u *analysis.Unit) bool {
+	switch {
+	case a == detfloat.Analyzer:
+		return u.Kind == analysis.Lib && detfloatScope[u.ImportPath]
+	case a == lockdoc.Analyzer:
+		return u.Kind == analysis.Lib && lockdocScope[u.ImportPath]
+	case libOnly[a]:
+		return u.Kind == analysis.Lib
+	}
+	return true
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: cdtlint [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cdtlint [-list] [-format text|json|sarif] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "cdtlint: unknown format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
 	}
 
 	patterns := flag.Args()
@@ -85,32 +136,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cdtlint: %v\n", err)
 		os.Exit(2)
 	}
-	findings, err := analysis.Run(fset, units, analyzers, func(a *analysis.Analyzer, u *analysis.Unit) bool {
-		if a == detfloat.Analyzer {
-			return u.Kind == analysis.Lib && detfloatScope[u.ImportPath]
-		}
-		if a == lockdoc.Analyzer {
-			return u.Kind == analysis.Lib && lockdocScope[u.ImportPath]
-		}
-		return true
-	})
+	findings, suppressed, err := analysis.Run(fset, units, analyzers, scope)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cdtlint: %v\n", err)
 		os.Exit(2)
 	}
 
 	cwd, _ := os.Getwd()
-	for _, f := range findings {
-		name := f.Position.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil {
-				name = rel
-			}
+	switch *format {
+	case "json":
+		out, err := renderJSON(findings, suppressed, cwd)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdtlint: %v\n", err)
+			os.Exit(2)
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", name, f.Position.Line, f.Position.Column, f.Analyzer, f.Message)
+		os.Stdout.Write(out)
+	case "sarif":
+		out, err := renderSARIF(findings, suppressed, analyzers, cwd)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdtlint: %v\n", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(out)
+	default:
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", relPath(cwd, f.Position.Filename), f.Position.Line, f.Position.Column, f.Analyzer, f.Message)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "cdtlint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// relPath makes name relative to root for display and SARIF URIs,
+// falling back to the absolute name outside the tree.
+func relPath(root, name string) string {
+	if root == "" {
+		return name
+	}
+	rel, err := filepath.Rel(root, name)
+	if err != nil || rel == ".." || len(rel) > 1 && rel[0] == '.' && rel[1] == '.' {
+		return name
+	}
+	return rel
 }
