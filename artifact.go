@@ -32,6 +32,27 @@ type ArtifactInfo struct {
 	// Scales holds the pyramid's downsample factors; nil for plain
 	// models.
 	Scales []int
+	// Fusion renders a pyramid's fusion policy with its parameters
+	// ("any", "2-of-n", "weighted(>=0.8)"); empty for plain models.
+	Fusion string
+	// FusionWeights holds a weighted pyramid's learned (or hand-set)
+	// per-scale weights, aligned with Scales; nil otherwise.
+	FusionWeights []float64
+}
+
+// RangeStats is the lean scoring result shadow evaluation consumes:
+// detection point ranges plus, for pyramids, per-scale fire counts.
+// Candidate scoring is pure overhead while a shadow is active, so this
+// surface carries only what range comparison reads — no rule-text
+// rendering, no per-window explanation assembly.
+type RangeStats struct {
+	// Ranges holds one [start, end] point range per detection,
+	// ascending — exactly the ranges DetectExplained reports.
+	Ranges [][2]int
+	// ScaleFired and ScaleWindows count, per pyramid scale (aligned
+	// with ArtifactInfo.Scales), the windows that fired and the windows
+	// swept at that scale. Nil for plain models.
+	ScaleFired, ScaleWindows []int
 }
 
 // StreamHandle is the online-detector surface shared by Stream and
@@ -67,6 +88,10 @@ type Artifact interface {
 	// their explanations (and, for pyramids, type tags and per-scale
 	// breakdowns).
 	DetectExplained(s *Series) ([]WindowDetection, error)
+	// ScoreRanges scores one series for range-level comparison: the
+	// same detection ranges DetectExplained reports, without the
+	// explanation rendering. Shadow evaluation's scoring path.
+	ScoreRanges(s *Series) (RangeStats, error)
 	// OpenStream starts an online detector under the given value scale.
 	OpenStream(scale Scale) (StreamHandle, error)
 }
@@ -89,12 +114,19 @@ func (m *Model) OpenStream(scale Scale) (StreamHandle, error) {
 
 // Info summarizes the pyramid.
 func (pm *PyramidModel) Info() ArtifactInfo {
+	var weights []float64
+	if len(pm.ens.Fuse.Weights) > 0 {
+		weights = make([]float64, len(pm.ens.Fuse.Weights))
+		copy(weights, pm.ens.Fuse.Weights)
+	}
 	return ArtifactInfo{
-		Kind:     KindPyramid,
-		Omega:    pm.Opts.Omega,
-		Delta:    pm.Opts.Delta,
-		NumRules: pm.NumRules(),
-		Scales:   pm.Scales(),
+		Kind:          KindPyramid,
+		Omega:         pm.Opts.Omega,
+		Delta:         pm.Opts.Delta,
+		NumRules:      pm.NumRules(),
+		Scales:        pm.Scales(),
+		Fusion:        pm.ens.Fuse.String(),
+		FusionWeights: weights,
 	}
 }
 

@@ -6,23 +6,34 @@
 //	cdt label    -in data.csv -delta 2
 //	cdt train    -in labeled.csv -omega 5 -delta 2 [-explain] [-save model.json]
 //	cdt train    -in labeled.csv -scales 1,4,16 [-agg max] [-fusion any] [-save pyramid.json]
+//	cdt train    -in multi.csv -scales 1,4,16 -dim 1 -fusion weighted [-save pyramid.json]
 //	cdt detect   -train labeled.csv -in fresh.csv -omega 5 -delta 2
-//	cdt detect   -model model.json -in fresh.csv
+//	cdt detect   -model model.json -in fresh.csv [-dim 1]
 //	cdt optimize -in labeled.csv [-objective fh] [-iters 25]
 //	cdt audit    -train labeled.csv -eval other.csv -omega 5 -delta 2
 //	cdt plot     -in data.csv [-detect -train labeled.csv]
-//	cdt stream   -model model.json -in feed.csv -min 0 -max 100
+//	cdt stream   -model model.json -in feed.csv -min 0 -max 100 [-dim 1]
 //	cdt store    <versions|audit|publish|promote|rollback|gc|diff> -dir store [flags]
 //
 // Passing -scales to train fits a resolution pyramid — one rule model
 // per downsample factor, fused at detection time — whose detections
 // carry an anomaly-type tag (point, contextual, collective). Saved
 // pyramid artifacts load anywhere a plain model does (detect, stream,
-// the store, cdtserve).
+// the store, cdtserve). The fusion policy is pluggable: "any",
+// "majority", and "all" are fixed votes; "k-of-n" and "weighted" are
+// trainable — without an explicit -k or -threshold, train learns the
+// quorum (best point-level F1) or the per-scale weights and threshold
+// (deterministic logistic fit) from the training labels.
 //
-// CSV files carry one "value[,is_anomaly]" row per point after an
-// optional header (the format written by cmd/datagen and
-// datasets.WriteCSV).
+// Passing -dim additionally trains the pyramid over one column of a
+// multivariate CSV; detect and stream then read multivariate input and
+// score that column (a saved pyramid remembers its dimension).
+//
+// Univariate CSV files carry one "value[,is_anomaly]" row per point
+// after an optional header (the format written by cmd/datagen and
+// datasets.WriteCSV). Multivariate CSVs require a header naming each
+// column, one float per column per row, optionally ending in an
+// "is_anomaly" label column.
 package main
 
 import (
@@ -82,6 +93,21 @@ func loadSeries(path string) (*timeseries.Series, error) {
 	return datasets.ReadCSV(f, path)
 }
 
+// loadMultiSeries reads a multivariate CSV (header required, optional
+// trailing is_anomaly column) as one feed.
+func loadMultiSeries(path string) (*cdt.MultiSeries, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dims, labels, err := datasets.ReadMultiCSV(f, path)
+	if err != nil {
+		return nil, err
+	}
+	return &cdt.MultiSeries{Name: path, Dims: dims, Anomalies: labels}, nil
+}
+
 func runLabel(args []string) error {
 	fs := flag.NewFlagSet("label", flag.ContinueOnError)
 	in := fs.String("in", "", "input CSV (value[,is_anomaly] rows)")
@@ -124,22 +150,50 @@ func runTrain(args []string) error {
 	savePath := fs.String("save", "", "write the trained model as JSON to this path")
 	scales := fs.String("scales", "", `comma-separated downsample factors for a resolution pyramid (e.g. "1,4,16"; must start with 1)`)
 	agg := fs.String("agg", "mean", `pyramid downsample aggregator: "mean" or "max"`)
-	fusion := fs.String("fusion", "any", `pyramid fusion policy: "any", "majority", or "all"`)
+	fusion := fs.String("fusion", "any", `pyramid fusion policy: "any", "majority", "all", "k-of-n", or "weighted"`)
+	dim := fs.Int("dim", -1, "0-based column of a multivariate CSV to train the pyramid over (requires -scales)")
+	quorum := fs.Int("k", 0, `firing-scale quorum for -fusion k-of-n (0 learns the best quorum from the training labels)`)
+	threshold := fs.Float64("threshold", 0, `firing weight sum for -fusion weighted (0 learns weights and threshold from the training labels)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("train: -in is required")
 	}
-	s, err := loadSeries(*in)
-	if err != nil {
-		return err
+	if *dim >= 0 && *scales == "" {
+		return fmt.Errorf("train: -dim requires -scales (dimension selection is a pyramid feature)")
 	}
-	if !s.Labeled() {
-		return fmt.Errorf("train: %s has no is_anomaly column", *in)
+	var s *cdt.Series
+	var ms *cdt.MultiSeries
+	var err error
+	if *dim >= 0 {
+		ms, err = loadMultiSeries(*in)
+		if err != nil {
+			return err
+		}
+		if ms.Anomalies == nil {
+			return fmt.Errorf("train: %s has no is_anomaly column", *in)
+		}
+		if *dim >= len(ms.Dims) {
+			return fmt.Errorf("train: -dim %d, but %s has %d value columns", *dim, *in, len(ms.Dims))
+		}
+	} else {
+		s, err = loadSeries(*in)
+		if err != nil {
+			return err
+		}
+		if !s.Labeled() {
+			return fmt.Errorf("train: %s has no is_anomaly column", *in)
+		}
 	}
 	if *scales != "" {
-		return trainPyramid(s, *omega, *delta, *scales, *agg, *fusion, *explain, *savePath)
+		return trainPyramid(pyramidTrainArgs{
+			s: s, ms: ms,
+			omega: *omega, delta: *delta, dim: *dim,
+			scales: *scales, agg: *agg, fusion: *fusion,
+			k: *quorum, threshold: *threshold,
+			explain: *explain, savePath: *savePath,
+		})
 	}
 	model, err := cdt.Fit([]*cdt.Series{s}, cdt.Options{Omega: *omega, Delta: *delta})
 	if err != nil {
@@ -197,42 +251,112 @@ func parseScales(spec string) ([]int, error) {
 	return out, nil
 }
 
+// pyramidTrainArgs carries `cdt train -scales ...` inputs: exactly one
+// of s (univariate) or ms (multivariate, -dim) is set.
+type pyramidTrainArgs struct {
+	s            *cdt.Series
+	ms           *cdt.MultiSeries
+	omega, delta int
+	dim          int
+	scales       string
+	agg          string
+	fusion       string
+	k            int
+	threshold    float64
+	explain      bool
+	savePath     string
+}
+
 // trainPyramid handles `cdt train -scales ...`: fit one rule model per
-// downsample factor and report the fused result.
-func trainPyramid(s *cdt.Series, omega, delta int, scales, agg, fusion string, explain bool, savePath string) error {
-	factors, err := parseScales(scales)
+// downsample factor, learn any trainable fusion parameters from the
+// labels, and report the fused result.
+func trainPyramid(a pyramidTrainArgs) error {
+	factors, err := parseScales(a.scales)
 	if err != nil {
 		return err
 	}
-	policy, err := cdt.ParseFusionPolicy(fusion)
+	policy, err := cdt.ParseFusionPolicy(a.fusion)
 	if err != nil {
 		return fmt.Errorf("train: -fusion: %w", err)
 	}
-	pm, err := cdt.FitPyramid([]*cdt.Series{s}, cdt.Options{Omega: omega, Delta: delta}, cdt.PyramidConfig{
-		Factors:    factors,
-		Aggregator: agg,
-		Fusion:     cdt.Fusion{Policy: policy},
-	})
+	// Trainable policies without explicit parameters start from
+	// placeholders that pass config validation; TrainFusion overwrites
+	// them with the learned fit below.
+	fuse := cdt.Fusion{Policy: policy}
+	learn := false
+	switch policy {
+	case cdt.FuseKOfN:
+		if a.k > 0 {
+			fuse.K = a.k
+		} else {
+			fuse.K = 1
+			learn = true
+		}
+	case cdt.FuseWeighted:
+		if a.threshold > 0 {
+			fuse.Threshold = a.threshold
+		} else {
+			fuse.Threshold = 1
+			learn = true
+		}
+	}
+	cfg := cdt.PyramidConfig{Factors: factors, Aggregator: a.agg, Fusion: fuse}
+	opts := cdt.Options{Omega: a.omega, Delta: a.delta}
+	var pm *cdt.PyramidModel
+	if a.ms != nil {
+		cfg.Dim = a.dim
+		pm, err = cdt.FitPyramidMulti([]*cdt.MultiSeries{a.ms}, opts, cfg)
+	} else {
+		pm, err = cdt.FitPyramid([]*cdt.Series{a.s}, opts, cfg)
+	}
 	if err != nil {
 		return err
 	}
-	rep, err := pm.Evaluate([]*cdt.Series{s})
+	if learn {
+		if a.ms != nil {
+			err = pm.TrainFusionMulti([]*cdt.MultiSeries{a.ms})
+		} else {
+			err = pm.TrainFusion([]*cdt.Series{a.s})
+		}
+		if err != nil {
+			return err
+		}
+	}
+	var rep cdt.Report
+	if a.ms != nil {
+		rep, err = pm.EvaluateMulti([]*cdt.MultiSeries{a.ms})
+	} else {
+		rep, err = pm.Evaluate([]*cdt.Series{a.s})
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("trained CDT pyramid: omega=%d delta=%d scales=%s fusion=%s rules=%d\n",
-		omega, delta, scales, policy, pm.NumRules())
+		a.omega, a.delta, a.scales, pm.Config.Fusion, pm.NumRules())
+	if a.ms != nil {
+		fmt.Printf("scoring dimension %d (%q) of %d\n", a.dim, a.ms.Dims[a.dim].Name, len(a.ms.Dims))
+	}
+	if learn {
+		switch policy {
+		case cdt.FuseWeighted:
+			fmt.Printf("learned fusion: threshold=%g weights=%v\n",
+				pm.Config.Fusion.Threshold, pm.Config.Fusion.Weights)
+		case cdt.FuseKOfN:
+			fmt.Printf("learned fusion: quorum %d of %d scales\n",
+				pm.Config.Fusion.K, pm.NumScales())
+		}
+	}
 	// Pyramid evaluation is point-level; recall is the meaningful fit
 	// number (window flags over-cover single points by construction).
 	fmt.Printf("training fit: precision=%.3f recall=%.3f F1=%.3f\n\n",
 		rep.Confusion.Precision(), rep.Confusion.Recall(), rep.F1)
 	fmt.Print(pm.RuleText())
-	if explain {
+	if a.explain {
 		fmt.Println()
 		fmt.Print(pm.Explain())
 	}
-	if savePath != "" {
-		return saveArtifact(pm, savePath)
+	if a.savePath != "" {
+		return saveArtifact(pm, a.savePath)
 	}
 	return nil
 }
@@ -244,6 +368,7 @@ func runDetect(args []string) error {
 	in := fs.String("in", "", "series to scan")
 	omega := fs.Int("omega", 5, "window size ω (with -train)")
 	delta := fs.Int("delta", 2, "magnitude granularity δ (with -train)")
+	dim := fs.Int("dim", -1, "treat -in as a multivariate CSV and score this 0-based column (must match a pyramid model's trained dimension)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -274,9 +399,31 @@ func runDetect(args []string) error {
 			return err
 		}
 	}
-	target, err := loadSeries(*in)
-	if err != nil {
-		return err
+	// A pyramid trained over one dimension of a multivariate feed needs
+	// the whole feed (and remembers its dimension); otherwise -dim just
+	// selects a column to score univariately.
+	if pm, ok := model.(*cdt.PyramidModel); ok && (*dim >= 0 || pm.Config.Dim > 0) {
+		if *dim >= 0 && *dim != pm.Config.Dim {
+			return fmt.Errorf("detect: -dim %d, but the pyramid was trained over dimension %d", *dim, pm.Config.Dim)
+		}
+		return detectMulti(pm, *in)
+	}
+	var target *cdt.Series
+	if *dim >= 0 {
+		ms, err := loadMultiSeries(*in)
+		if err != nil {
+			return err
+		}
+		if *dim >= len(ms.Dims) {
+			return fmt.Errorf("detect: -dim %d, but %s has %d value columns", *dim, *in, len(ms.Dims))
+		}
+		target = ms.Dims[*dim]
+	} else {
+		var err error
+		target, err = loadSeries(*in)
+		if err != nil {
+			return err
+		}
 	}
 	// Every artifact kind flags points; pyramids additionally classify
 	// each fused detection, reported below the per-point listing.
@@ -303,12 +450,49 @@ func runDetect(args []string) error {
 		if err != nil {
 			return err
 		}
-		for _, d := range dets {
-			fmt.Printf("%s anomaly spanning points %d..%d (fired at %s)\n",
-				d.Type, d.Start, d.End, scaleList(d.Scales))
-		}
+		printPyramidDetections(dets)
 	}
 	return nil
+}
+
+// detectMulti scans a multivariate CSV with a pyramid, scoring the
+// model's configured dimension.
+func detectMulti(pm *cdt.PyramidModel, path string) error {
+	ms, err := loadMultiSeries(path)
+	if err != nil {
+		return err
+	}
+	if pm.Config.Dim >= len(ms.Dims) {
+		return fmt.Errorf("detect: pyramid scores dimension %d, but %s has %d value columns", pm.Config.Dim, path, len(ms.Dims))
+	}
+	scored := ms.Dims[pm.Config.Dim]
+	flags, err := pm.PointFlagsMulti(ms)
+	if err != nil {
+		return err
+	}
+	n := 0
+	for i, flagged := range flags {
+		if flagged {
+			fmt.Printf("anomaly at point %d (value %g)\n", i, scored.Values[i])
+			n++
+		}
+	}
+	fmt.Printf("%d/%d points flagged on dimension %d (%q)\n", n, len(flags), pm.Config.Dim, scored.Name)
+	dets, err := pm.DetectPyramidMulti(ms)
+	if err != nil {
+		return err
+	}
+	printPyramidDetections(dets)
+	return nil
+}
+
+// printPyramidDetections lists fused pyramid detections with their
+// anomaly type and firing scales.
+func printPyramidDetections(dets []cdt.WindowDetection) {
+	for _, d := range dets {
+		fmt.Printf("%s anomaly spanning points %d..%d (fired at %s)\n",
+			d.Type, d.Start, d.End, scaleList(d.Scales))
+	}
 }
 
 // scaleList renders the firing scales of a fused detection ("x1, x4").
@@ -431,6 +615,7 @@ func runStream(args []string) error {
 	in := fs.String("in", "", "CSV feed to replay point-by-point")
 	min := fs.Float64("min", 0, "expected minimum sensor value")
 	max := fs.Float64("max", 0, "expected maximum sensor value")
+	dim := fs.Int("dim", -1, "treat -in as a multivariate CSV and stream this 0-based column (must match a pyramid model's trained dimension)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -446,9 +631,31 @@ func runStream(args []string) error {
 	if err != nil {
 		return err
 	}
-	feed, err := loadSeries(*in)
-	if err != nil {
-		return err
+	// Streaming is scalar by construction: a pyramid trained over one
+	// dimension streams that column's readings (the dimension selection
+	// happens at the feed boundary, not per push).
+	column := *dim
+	if pm, ok := model.(*cdt.PyramidModel); ok && pm.Config.Dim > 0 {
+		if column >= 0 && column != pm.Config.Dim {
+			return fmt.Errorf("stream: -dim %d, but the pyramid was trained over dimension %d", column, pm.Config.Dim)
+		}
+		column = pm.Config.Dim
+	}
+	var feed *cdt.Series
+	if column >= 0 {
+		ms, err := loadMultiSeries(*in)
+		if err != nil {
+			return err
+		}
+		if column >= len(ms.Dims) {
+			return fmt.Errorf("stream: dimension %d, but %s has %d value columns", column, *in, len(ms.Dims))
+		}
+		feed = ms.Dims[column]
+	} else {
+		feed, err = loadSeries(*in)
+		if err != nil {
+			return err
+		}
 	}
 	scale := cdt.Scale{Min: *min, Max: *max}
 	if scale.Max <= scale.Min {

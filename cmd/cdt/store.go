@@ -201,6 +201,9 @@ func storeDiff(st *modelstore.Store, args []string) error {
 	}
 	removed, added, changed := diffRules(ruleLines(a), ruleLines(b))
 	fmt.Printf("%s: v%d (%d rules) -> v%d (%d rules)\n", name, v1, a.NumRules(), v2, b.NumRules())
+	if fa, fb := fusionDesc(a), fusionDesc(b); fa != fb {
+		fmt.Printf("fusion: %s -> %s\n", fa, fb)
+	}
 	if len(removed)+len(added)+len(changed) == 0 {
 		fmt.Println("no rule changes")
 		return nil
@@ -215,6 +218,24 @@ func storeDiff(st *modelstore.Store, args []string) error {
 		fmt.Printf("+ %s\n", r)
 	}
 	return nil
+}
+
+// fusionDesc renders an artifact's fusion policy for the diff header,
+// including learned per-scale weights when present ("none" for plain
+// models, so a kind change between versions reads clearly).
+func fusionDesc(art cdt.Artifact) string {
+	info := art.Info()
+	if info.Fusion == "" {
+		return "none"
+	}
+	if len(info.FusionWeights) == 0 {
+		return info.Fusion
+	}
+	parts := make([]string, len(info.FusionWeights))
+	for i, w := range info.FusionWeights {
+		parts[i] = strconv.FormatFloat(w, 'g', 6, 64)
+	}
+	return fmt.Sprintf("%s weights=[%s]", info.Fusion, strings.Join(parts, " "))
 }
 
 // ruleLines flattens an artifact's RuleText into one rule body per

@@ -140,3 +140,20 @@ func (m *Model) DetectExplained(s *Series) ([]WindowDetection, error) {
 	}
 	return out, nil
 }
+
+// ScoreRanges reports the same per-window point ranges DetectExplained
+// would, skipping the fired-predicate rendering — the lean surface
+// shadow scoring runs a candidate through.
+func (m *Model) ScoreRanges(s *Series) (RangeStats, error) {
+	marks, err := m.detectMarks(s)
+	if err != nil {
+		return RangeStats{}, err
+	}
+	var st RangeStats
+	for w := 0; w < marks.NumWindows(); w++ {
+		if marks.Fired(w) {
+			st.Ranges = append(st.Ranges, [2]int{w + 1, w + m.Opts.Omega})
+		}
+	}
+	return st, nil
+}

@@ -19,6 +19,8 @@ package cdt
 
 import (
 	"fmt"
+	"math"
+	"strings"
 
 	"cdt/internal/timeseries"
 )
@@ -88,25 +90,43 @@ type Fusion struct {
 }
 
 // Validate checks the policy parameters against the member count.
-func (f Fusion) Validate(members int) error {
+// context names the owning model and its members (a pyramid's scales, an
+// ensemble's dimensions), so a rejection says whose fusion is broken —
+// the model store's audit log and the CLI relay these verbatim.
+func (f Fusion) Validate(context string, members int) error {
 	if members < 1 {
-		return fmt.Errorf("cdt: fusion needs at least one member")
+		return fmt.Errorf("cdt: %s: fusion needs at least one member", context)
 	}
 	switch f.Policy {
 	case FuseKOfN:
 		if f.K < 1 || f.K > members {
-			return fmt.Errorf("cdt: fusion quorum k=%d outside [1,%d]", f.K, members)
+			return fmt.Errorf("cdt: %s: fusion quorum k=%d outside [1,%d]", context, f.K, members)
 		}
 	case FuseWeighted:
-		if f.Weights != nil && len(f.Weights) != members {
-			return fmt.Errorf("cdt: %d fusion weights for %d members", len(f.Weights), members)
+		if f.Weights != nil {
+			if len(f.Weights) != members {
+				return fmt.Errorf("cdt: %s: %d fusion weights for %d members", context, len(f.Weights), members)
+			}
+			allZero := true
+			for _, w := range f.Weights {
+				if w != 0 {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				// An all-zero weight vector never reaches a positive
+				// threshold: the model would silently never fire. Reject it
+				// here instead of at the first missed anomaly.
+				return fmt.Errorf("cdt: %s: all %d fusion weights are zero; weighted fusion would never fire", context, members)
+			}
 		}
 		if f.Threshold <= 0 {
-			return fmt.Errorf("cdt: fusion threshold %v, want > 0", f.Threshold)
+			return fmt.Errorf("cdt: %s: fusion threshold %v, want > 0", context, f.Threshold)
 		}
 	case FuseAny, FuseMajority, FuseAll:
 	default:
-		return fmt.Errorf("cdt: unknown fusion policy %d", f.Policy)
+		return fmt.Errorf("cdt: %s: unknown fusion policy %d", context, f.Policy)
 	}
 	return nil
 }
@@ -244,6 +264,195 @@ func (t ResampleTransform) String() string {
 	return fmt.Sprintf("resample(%d,%s)", t.Factor, agg)
 }
 
+// ChainTransform composes transforms left to right, closing Transform
+// under composition: the first stage sees the full ensemble input, every
+// subsequent stage sees the previous stage's output as a single-
+// dimension input. ChainTransform{DimTransform{1}, ResampleTransform{4,
+// "max"}} selects dimension 1 and downsamples it — the member shape that
+// lets resolution pyramids ride multivariate feeds.
+type ChainTransform []Transform
+
+// Apply runs the stages in order.
+func (t ChainTransform) Apply(dims []*Series) (*Series, error) {
+	if len(t) == 0 {
+		return nil, fmt.Errorf("cdt: empty transform chain")
+	}
+	s, err := t[0].Apply(dims)
+	if err != nil {
+		return nil, err
+	}
+	for _, stage := range t[1:] {
+		s, err = stage.Apply([]*Series{s})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// String renders the stages left to right ("dim(1)|resample(4,max)").
+func (t ChainTransform) String() string {
+	parts := make([]string, len(t))
+	for i, stage := range t {
+		parts[i] = stage.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+// validFusionSamples checks a labeled fire-indicator matrix and returns
+// the member count.
+func validFusionSamples(fired [][]bool, truth []bool) (int, error) {
+	if len(fired) == 0 {
+		return 0, fmt.Errorf("cdt: no fusion training samples")
+	}
+	if len(truth) != len(fired) {
+		return 0, fmt.Errorf("cdt: %d fusion labels for %d samples", len(truth), len(fired))
+	}
+	n := len(fired[0])
+	if n < 1 {
+		return 0, fmt.Errorf("cdt: fusion samples have no members")
+	}
+	for t, row := range fired {
+		if len(row) != n {
+			return 0, fmt.Errorf("cdt: fusion sample %d has %d members, want %d", t, len(row), n)
+		}
+	}
+	return n, nil
+}
+
+// FitFusionWeights learns FuseWeighted parameters from labeled
+// per-member fire indicators: a full-batch logistic fit with a fixed
+// iteration budget and slice-ordered accumulation — no randomness, no
+// map iteration, no wall-clock — so refitting the same corpus
+// reproduces the same weights bit for bit. fired[t][i] reports whether
+// member i fired on sample t; truth[t] is the sample's label.
+//
+// The logistic decision boundary w·x + b >= 0 maps onto weighted
+// fusion's monotone form as weights w with Threshold −b. Negative
+// weights ("this member firing argues against anomaly") are clamped to
+// zero — the monotone weight sum cannot express them and an operator
+// cannot read them — and the result is scaled so the largest weight is
+// 1 (scaling both sides of the inequality preserves every decision). A
+// degenerate fit (no positive weight, or a non-positive threshold)
+// falls back to uniform weights with threshold 1 — FuseAny in weighted
+// clothing — never an all-zero vector, which Validate rejects.
+func FitFusionWeights(fired [][]bool, truth []bool) (Fusion, error) {
+	n, err := validFusionSamples(fired, truth)
+	if err != nil {
+		return Fusion{}, err
+	}
+	// Full-batch gradient descent on the logistic loss. Step count and
+	// rate are fixed: the inputs are 0/1 indicators over at most
+	// maxPyramidScales members, so convergence is quick and determinism
+	// matters more than the last decimal of the fit.
+	const (
+		fitIters = 200
+		fitRate  = 0.5
+	)
+	w := make([]float64, n)
+	grad := make([]float64, n)
+	bias := 0.0
+	for it := 0; it < fitIters; it++ {
+		for i := range grad {
+			grad[i] = 0
+		}
+		gBias := 0.0
+		for t, row := range fired {
+			z := bias
+			for i, fi := range row {
+				if fi {
+					z += w[i]
+				}
+			}
+			d := 1 / (1 + math.Exp(-z))
+			if truth[t] {
+				d--
+			}
+			gBias += d
+			for i, fi := range row {
+				if fi {
+					grad[i] += d
+				}
+			}
+		}
+		step := fitRate / float64(len(fired))
+		bias -= step * gBias
+		for i := range w {
+			w[i] -= step * grad[i]
+		}
+	}
+	maxW := 0.0
+	for i := range w {
+		if w[i] < 0 {
+			w[i] = 0
+		}
+		if w[i] > maxW {
+			maxW = w[i]
+		}
+	}
+	threshold := -bias
+	if maxW == 0 || threshold <= 0 {
+		uniform := make([]float64, n)
+		for i := range uniform {
+			uniform[i] = 1
+		}
+		return Fusion{Policy: FuseWeighted, Weights: uniform, Threshold: 1}, nil
+	}
+	total := 0.0
+	for i := range w {
+		w[i] /= maxW
+		total += w[i]
+	}
+	threshold /= maxW
+	if threshold > total {
+		// A threshold above the total weight can never fire; cap it at
+		// "every member agrees" so the learned rule stays reachable.
+		threshold = total
+	}
+	return Fusion{Policy: FuseWeighted, Weights: w, Threshold: threshold}, nil
+}
+
+// FitFusionK picks the FuseKOfN quorum maximizing F1 over labeled
+// per-member fire indicators — the counting-policy counterpart of
+// FitFusionWeights, equally deterministic (an exhaustive sweep of
+// k=1..n in order, ties kept at the smaller, more sensitive k).
+func FitFusionK(fired [][]bool, truth []bool) (Fusion, error) {
+	n, err := validFusionSamples(fired, truth)
+	if err != nil {
+		return Fusion{}, err
+	}
+	counts := make([]int, len(fired))
+	for t, row := range fired {
+		for _, fi := range row {
+			if fi {
+				counts[t]++
+			}
+		}
+	}
+	bestK, bestF1 := 1, -1.0
+	for k := 1; k <= n; k++ {
+		tp, fp, fn := 0, 0, 0
+		for t, c := range counts {
+			switch pred := c >= k; {
+			case pred && truth[t]:
+				tp++
+			case pred:
+				fp++
+			case truth[t]:
+				fn++
+			}
+		}
+		f1 := 0.0
+		if 2*tp+fp+fn > 0 {
+			f1 = 2 * float64(tp) / float64(2*tp+fp+fn)
+		}
+		if f1 > bestF1 {
+			bestK, bestF1 = k, f1
+		}
+	}
+	return Fusion{Policy: FuseKOfN, K: bestK}, nil
+}
+
 // Member is one model in an ensemble plus the transform that feeds it.
 type Member struct {
 	// Name identifies the member in rule listings (a dimension name, a
@@ -269,6 +478,7 @@ func (e *Ensemble) Validate() error {
 	if len(e.Members) == 0 {
 		return fmt.Errorf("cdt: ensemble has no members")
 	}
+	names := make([]string, len(e.Members))
 	for i, m := range e.Members {
 		if m.Model == nil {
 			return fmt.Errorf("cdt: ensemble member %d has no model", i)
@@ -276,8 +486,9 @@ func (e *Ensemble) Validate() error {
 		if m.Transform == nil {
 			return fmt.Errorf("cdt: ensemble member %d has no transform", i)
 		}
+		names[i] = m.Name
 	}
-	return e.Fuse.Validate(len(e.Members))
+	return e.Fuse.Validate("ensemble["+strings.Join(names, ",")+"]", len(e.Members))
 }
 
 // DetectAligned sweeps every member over its transformed input and

@@ -47,6 +47,20 @@ func FuzzLoad(f *testing.F) {
 			f.Add(artifact[:len(artifact)/frac])
 		}
 	}
+	// Composed-transform / trainable-fusion documents: malformed weighted
+	// and dim shapes must be rejected cleanly, and a real learned-weights
+	// artifact (plus truncations) must round-trip through the fuzz body.
+	f.Add(`{"version": 1, "kind": "pyramid", "fusion": {"policy": "weighted", "threshold": 0}, "scales": [{"factor": 1, "model": {"version": 1, "options": {"omega": 3, "delta": 2}, "tree": {"normal": 1, "anomaly": 0}}}]}`)
+	f.Add(`{"version": 1, "kind": "pyramid", "fusion": {"policy": "weighted", "weights": [1, 1, 1], "threshold": 1}, "scales": [{"factor": 1, "model": {"version": 1, "options": {"omega": 3, "delta": 2}, "tree": {"normal": 1, "anomaly": 0}}}]}`)
+	f.Add(`{"version": 1, "kind": "pyramid", "fusion": {"policy": "weighted", "weights": [0], "threshold": 1}, "scales": [{"factor": 1, "model": {"version": 1, "options": {"omega": 3, "delta": 2}, "tree": {"normal": 1, "anomaly": 0}}}]}`)
+	f.Add(`{"version": 1, "kind": "pyramid", "fusion": {"policy": "any"}, "dim": -1, "scales": [{"factor": 1, "model": {"version": 1, "options": {"omega": 3, "delta": 2}, "tree": {"normal": 1, "anomaly": 0}}}]}`)
+	f.Add(`{"version": 1, "kind": "pyramid", "fusion": {"policy": "any"}, "dim": 9000000000000000000, "scales": [{"factor": 1, "model": {"version": 1, "options": {"omega": 3, "delta": 2}, "tree": {"normal": 1, "anomaly": 0}}}]}`)
+	if artifact := savedWeightedPyramidJSON(f); artifact != "" {
+		f.Add(artifact)
+		for _, frac := range []int{4, 2, 3} {
+			f.Add(artifact[:len(artifact)/frac])
+		}
+	}
 	f.Fuzz(func(t *testing.T, doc string) {
 		// LoadAny must never panic, and any artifact it accepts must
 		// detect and render without panicking.
@@ -54,12 +68,33 @@ func FuzzLoad(f *testing.F) {
 			_ = art.RuleText()
 			_ = art.Info()
 			_ = art.TrainingAnomalyRate()
-			values := make([]float64, art.Info().Omega*4+8)
-			for i := range values {
-				values[i] = float64(i % 7)
-			}
-			if _, err := art.DetectExplained(NewSeries("fuzz", values)); err != nil {
-				t.Fatalf("accepted artifact cannot detect: %v", err)
+			n := art.Info().Omega*4 + 8
+			if pm, ok := art.(*PyramidModel); ok && pm.Config.Dim > 0 {
+				// A dimension-scoring pyramid detects on multivariate
+				// feeds only; probe one just wide enough, capped so an
+				// accepted-but-large dim cannot drive huge allocations
+				// in the harness itself.
+				if width := pm.Config.Dim + 1; width*n <= 1<<22 {
+					dims := make([]*Series, width)
+					for d := range dims {
+						values := make([]float64, n)
+						for i := range values {
+							values[i] = float64((i + d) % 7)
+						}
+						dims[d] = NewSeries("fuzz", values)
+					}
+					if _, err := pm.DetectPyramidMulti(&MultiSeries{Name: "fuzz", Dims: dims}); err != nil {
+						t.Fatalf("accepted pyramid cannot detect multivariate: %v", err)
+					}
+				}
+			} else {
+				values := make([]float64, n)
+				for i := range values {
+					values[i] = float64(i % 7)
+				}
+				if _, err := art.DetectExplained(NewSeries("fuzz", values)); err != nil {
+					t.Fatalf("accepted artifact cannot detect: %v", err)
+				}
 			}
 		}
 		m, err := Load(strings.NewReader(doc))
@@ -95,6 +130,48 @@ func savedPyramidJSON(f *testing.F) string {
 		Options{Omega: 3, Delta: 2},
 		PyramidConfig{Factors: []int{1, 2}, Aggregator: "max"})
 	if err != nil {
+		return ""
+	}
+	var b strings.Builder
+	if err := pm.Save(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// savedWeightedPyramidJSON trains a tiny dimension-scoring pyramid with
+// learned fusion weights and returns its serialized form, for fuzz
+// seeds. Returns "" when training fails.
+func savedWeightedPyramidJSON(f *testing.F) string {
+	f.Helper()
+	n := 64
+	quiet := make([]float64, n)
+	noisy := make([]float64, n)
+	anoms := make([]bool, n)
+	for i := range noisy {
+		quiet[i] = 2
+		noisy[i] = float64(1 + i%3)
+	}
+	for _, at := range []int{11, 30, 31, 32, 33, 50} {
+		noisy[at] = 9
+		anoms[at] = true
+	}
+	feed := &MultiSeries{
+		Name:      "seed",
+		Dims:      []*Series{NewSeries("quiet", quiet), NewSeries("noisy", noisy)},
+		Anomalies: anoms,
+	}
+	pm, err := FitPyramidMulti([]*MultiSeries{feed}, Options{Omega: 3, Delta: 2},
+		PyramidConfig{
+			Factors:    []int{1, 2},
+			Aggregator: "max",
+			Fusion:     Fusion{Policy: FuseWeighted, Threshold: 1},
+			Dim:        1,
+		})
+	if err != nil {
+		return ""
+	}
+	if err := pm.TrainFusionMulti([]*MultiSeries{feed}); err != nil {
 		return ""
 	}
 	var b strings.Builder

@@ -115,6 +115,84 @@ func ReadCSV(r io.Reader, name string) (*timeseries.Series, error) {
 	return timeseries.NewLabeled(name, values, anomalies), nil
 }
 
+// ReadMultiCSV parses a multivariate CSV: a required header naming one
+// column per dimension (optionally ending in "is_anomaly" for a shared
+// label column), then one row of float values per time point. It
+// returns the aligned per-dimension series — named after their header
+// columns — and the shared anomaly labels (nil when the file is
+// unlabeled). Unlike ReadCSV, the header is not optional: without
+// names, column identity across train and detect runs would be
+// guesswork.
+func ReadMultiCSV(r io.Reader, name string) ([]*timeseries.Series, []bool, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var cols []string
+	hasAnomaly := false
+	var values [][]float64
+	var anomalies []bool
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if cols == nil {
+			if !strings.ContainsAny(text, "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ") {
+				return nil, nil, fmt.Errorf("datasets: %s line %d: multivariate CSV requires a header naming each column", name, line)
+			}
+			for _, c := range parts {
+				cols = append(cols, strings.TrimSpace(c))
+			}
+			if cols[len(cols)-1] == "is_anomaly" {
+				hasAnomaly = true
+				cols = cols[:len(cols)-1]
+			}
+			if len(cols) == 0 {
+				return nil, nil, fmt.Errorf("datasets: %s: no value columns in header", name)
+			}
+			values = make([][]float64, len(cols))
+			continue
+		}
+		want := len(cols)
+		if hasAnomaly {
+			want++
+		}
+		if len(parts) != want {
+			return nil, nil, fmt.Errorf("datasets: %s line %d: %d fields, want %d", name, line, len(parts), want)
+		}
+		for i := range cols {
+			v, err := strconv.ParseFloat(strings.TrimSpace(parts[i]), 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("datasets: %s line %d: %w", name, line, err)
+			}
+			values[i] = append(values[i], v)
+		}
+		if hasAnomaly {
+			a, err := strconv.Atoi(strings.TrimSpace(parts[len(parts)-1]))
+			if err != nil {
+				return nil, nil, fmt.Errorf("datasets: %s line %d: %w", name, line, err)
+			}
+			anomalies = append(anomalies, a != 0)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if cols == nil || len(values[0]) == 0 {
+		return nil, nil, fmt.Errorf("datasets: %s: no data rows", name)
+	}
+	dims := make([]*timeseries.Series, len(cols))
+	for i, c := range cols {
+		dims[i] = timeseries.New(c, values[i])
+	}
+	if !hasAnomaly {
+		return dims, nil, nil
+	}
+	return dims, anomalies, nil
+}
+
 // Downsample returns a copy of the dataset with every series downsampled
 // by the given factor (the hour→day resampling of §4.2).
 func (d *Dataset) Downsample(factor int, agg timeseries.Aggregator) (*Dataset, error) {

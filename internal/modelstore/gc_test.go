@@ -73,6 +73,67 @@ func TestPublishAndLoadPyramidArtifact(t *testing.T) {
 	}
 }
 
+// TestPublishSurfacesFusion: a trainable-fusion pyramid's learned
+// parameters land in its manifest version, so `cdt store list/diff` can
+// show what a candidate's fusion actually is without loading the blob.
+func TestPublishSurfacesFusion(t *testing.T) {
+	train := spiky("train", 500, []int{90, 200, 330, 430}, 7)
+	pm, err := cdt.FitPyramid(
+		[]*cdt.Series{train},
+		cdt.Options{Omega: 5, Delta: 2},
+		cdt.PyramidConfig{
+			Factors:    []int{1, 4},
+			Aggregator: "max",
+			Fusion:     cdt.Fusion{Policy: cdt.FuseWeighted, Threshold: 1},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.TrainFusion([]*cdt.Series{train}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := st.Publish("weighted", buf.Bytes(), "publish", "learned fusion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Fusion == "" || !reflect.DeepEqual(v.FusionWeights, pm.Config.Fusion.Weights) {
+		t.Fatalf("version fusion = %q weights = %v, want %q %v",
+			v.Fusion, v.FusionWeights, pm.Config.Fusion.String(), pm.Config.Fusion.Weights)
+	}
+	// The fields survive a manifest reload.
+	st2, err := Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions, _, err := st2.Versions("weighted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := versions[len(versions)-1]; got.Fusion != v.Fusion || !reflect.DeepEqual(got.FusionWeights, v.FusionWeights) {
+		t.Fatalf("reloaded fusion = %q %v, want %q %v", got.Fusion, got.FusionWeights, v.Fusion, v.FusionWeights)
+	}
+	// Plain-model versions stay fusion-free in the serialized manifest.
+	if _, err := st2.Publish("plain", modelDoc(t, 3), "publish", ""); err != nil {
+		t.Fatal(err)
+	}
+	manifest, err := os.ReadFile(st2.manifestPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(manifest, []byte(`"fusion"`)); n != 1 {
+		t.Fatalf("manifest mentions \"fusion\" %d times, want exactly 1 (the pyramid only):\n%s", n, manifest)
+	}
+}
+
 func TestGCRemovesUnreferencedBlobs(t *testing.T) {
 	st, err := Open(t.TempDir())
 	if err != nil {

@@ -77,6 +77,12 @@ type Version struct {
 	Kind string `json:"kind,omitempty"`
 	// Scales holds a pyramid's downsample factors; nil for plain models.
 	Scales []int `json:"scales,omitempty"`
+	// Fusion renders a pyramid's fusion policy ("any", "2-of-n",
+	// "weighted(>=0.8)"); empty for plain models.
+	Fusion string `json:"fusion,omitempty"`
+	// FusionWeights lists a weighted pyramid's learned per-scale weights,
+	// aligned with Scales; nil otherwise.
+	FusionWeights []float64 `json:"fusion_weights,omitempty"`
 }
 
 // modelEntry is one model name's manifest record.
@@ -222,6 +228,8 @@ func (s *Store) Publish(name string, doc []byte, source, note string) (Version, 
 	}
 	if info.Kind != cdt.KindModel {
 		v.Kind = info.Kind
+		v.Fusion = info.Fusion
+		v.FusionWeights = info.FusionWeights
 	}
 	entry.Versions = append(entry.Versions, v)
 	if err := s.saveManifestLocked(); err != nil {

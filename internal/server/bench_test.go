@@ -192,6 +192,56 @@ func BenchmarkServerBatchDetectShadow(b *testing.B) {
 	b.ReportMetric(float64(b.N*seriesPerRequest)/b.Elapsed().Seconds(), "series/sec")
 }
 
+// BenchmarkServerBatchDetectPyramidShadow is
+// BenchmarkServerBatchDetectPyramid with a retrained pyramid candidate
+// shadow-scoring every request — the same-kind comparison over fused
+// point ranges plus the per-scale fire-rate observations, all on
+// background workers. The delta against BenchmarkServerBatchDetectPyramid
+// is the pyramid shadow overhead the <5% median gate (REPORT.md) bounds.
+func BenchmarkServerBatchDetectPyramidShadow(b *testing.B) {
+	s, ts, _ := newPyramidStoreServer(b)
+	if code := doJSON(b, "POST", ts+"/models/multi/shadow", versionRequest{Version: 2}, nil); code != 201 {
+		b.Fatalf("shadow start: status %d", code)
+	}
+
+	const seriesPerRequest = 8
+	req := batchRequest{}
+	for i := 0; i < seriesPerRequest; i++ {
+		req.Series = append(req.Series, seriesPayload{
+			Name:   "s",
+			Values: plateauSpiky("s", 300, []int{120, 240}, 60, 24, int64(i)).Values,
+		})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	url := ts + "/models/multi/detect"
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out batchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 || len(out.Results) != seriesPerRequest {
+			b.Fatalf("status %d, %d results", resp.StatusCode, len(out.Results))
+		}
+	}
+	b.StopTimer()
+	s.shadows.drain() // candidate scoring runs off-path; settle before reporting
+	if sh := s.shadows.Get("multi"); sh == nil || sh.windows.Load() == 0 {
+		b.Fatal("shadow scored nothing; the benchmark is not exercising the shadow path")
+	}
+	b.ReportMetric(float64(b.N*seriesPerRequest)/b.Elapsed().Seconds(), "series/sec")
+}
+
 // BenchmarkServerSessionPush measures streaming-session throughput
 // (points scored per second) through the real HTTP handler: one live
 // session whose stream rides the model's shared compiled engine, fed

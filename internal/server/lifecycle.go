@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"net/http"
 
-	cdt "cdt"
 	"cdt/internal/modelstore"
 )
 
@@ -47,7 +46,8 @@ func (s *Server) handleShadowStart(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	if _, ok := s.registry.Get(name); !ok {
+	incumbent, ok := s.registry.Get(name)
+	if !ok {
 		writeError(w, http.StatusNotFound, "unknown model %q", name)
 		return
 	}
@@ -62,16 +62,18 @@ func (s *Server) handleShadowStart(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	// Shadow scoring replays incumbent traffic through the candidate's
-	// window detector; that comparison is defined for plain models only.
-	cm, ok := candidate.(*cdt.Model)
-	if !ok {
+	// Shadow scoring replays incumbent traffic through the candidate and
+	// compares detection point ranges; that comparison is defined within
+	// one artifact kind (two plain models compare window ranges, two
+	// pyramids fused point ranges) but not across kinds — a fused run and
+	// a single window describe different things even when they overlap.
+	if ck, ik := candidate.Info().Kind, incumbent.Info().Kind; ck != ik {
 		writeError(w, http.StatusBadRequest,
-			"shadow evaluation requires a plain model candidate; version %d of %q is a %q artifact",
-			req.Version, name, candidate.Info().Kind)
+			"shadow evaluation requires a candidate of the serving kind %q; version %d of %q is a %q artifact",
+			ik, req.Version, name, ck)
 		return
 	}
-	sh := s.shadows.Start(name, req.Version, cm)
+	sh := s.shadows.Start(name, req.Version, candidate)
 	_ = st.Note(modelstore.EventShadow, name, req.Version,
 		fmt.Sprintf("shadow started against serving version %d", serving))
 	writeJSON(w, http.StatusCreated, sh.summary())

@@ -89,10 +89,10 @@ func TestServePyramidEndToEnd(t *testing.T) {
 	for _, mi := range list.Models {
 		byName[mi.Name] = mi
 	}
-	if mi := byName["multi"]; mi.Kind != "pyramid" || len(mi.Scales) != 2 {
+	if mi := byName["multi"]; mi.Kind != "pyramid" || len(mi.Scales) != 2 || mi.Fusion != "any" {
 		t.Fatalf("pyramid listing = %+v", mi)
 	}
-	if mi := byName["spikes"]; mi.Kind != "" || mi.Scales != nil {
+	if mi := byName["spikes"]; mi.Kind != "" || mi.Scales != nil || mi.Fusion != "" || mi.FusionWeights != nil {
 		t.Fatalf("plain listing grew pyramid fields: %+v", mi)
 	}
 
@@ -168,6 +168,152 @@ func TestServePyramidEndToEnd(t *testing.T) {
 		if d.Scale < 1 || d.Type == "" {
 			t.Fatalf("stream detection %+v missing scale or type", d)
 		}
+	}
+}
+
+// trainPyramidVariant retrains the pyramid from a different cut of data
+// — the stand-in for a retrained pyramid candidate.
+func trainPyramidVariant(tb testing.TB, seed int64) *cdt.PyramidModel {
+	tb.Helper()
+	pm, err := cdt.FitPyramid(
+		[]*cdt.Series{plateauSpiky("train", 600, []int{70, 260, 400}, 320, 40, seed)},
+		cdt.Options{Omega: 5, Delta: 2},
+		cdt.PyramidConfig{Factors: []int{1, 4}, Aggregator: "max"},
+	)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return pm
+}
+
+// newPyramidStoreServer builds a store with pyramid "multi" v1 promoted
+// and a retrained pyramid v2 published unpromoted, plus a server.
+func newPyramidStoreServer(tb testing.TB) (*Server, string, *modelstore.Store) {
+	tb.Helper()
+	st, err := modelstore.Open(tb.TempDir())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	if err := trainPyramid(tb).Save(&v1); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := st.Publish("multi", v1.Bytes(), "cli", "v1"); err != nil {
+		tb.Fatal(err)
+	}
+	if err := st.Promote("multi", 1); err != nil {
+		tb.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := trainPyramidVariant(tb, 23).Save(&v2); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := st.Publish("multi", v2.Bytes(), "cli", "v2 candidate"); err != nil {
+		tb.Fatal(err)
+	}
+	s, err := New(Config{Store: st})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { s.Close() })
+	return s, newHTTPServer(tb, s), st
+}
+
+// TestPyramidShadowEndToEnd: a pyramid candidate shadows a pyramid
+// incumbent — the same-kind comparison over fused point ranges — across
+// both traffic paths, and the per-scale fire-rate gauges land on
+// /metrics.
+func TestPyramidShadowEndToEnd(t *testing.T) {
+	s, ts, st := newPyramidStoreServer(t)
+
+	// The same-kind gate cuts both ways: a plain candidate cannot shadow
+	// a pyramid incumbent either.
+	var plain bytes.Buffer
+	if err := trainModel(t).Save(&plain); err != nil {
+		t.Fatal(err)
+	}
+	v3, err := st.Publish("multi", plain.Bytes(), "cli", "plain candidate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	if code := doJSON(t, "POST", ts+"/models/multi/shadow", versionRequest{Version: v3.Version}, &errResp); code != 400 {
+		t.Fatalf("plain candidate against pyramid incumbent = %d, want 400", code)
+	}
+	if !strings.Contains(errResp.Error, `serving kind "pyramid"`) {
+		t.Fatalf("error %q does not name the serving kind", errResp.Error)
+	}
+
+	var sum ShadowSummary
+	if code := doJSON(t, "POST", ts+"/models/multi/shadow", versionRequest{Version: 2}, &sum); code != 201 {
+		t.Fatalf("pyramid shadow start = %d, want 201", code)
+	}
+	if sum.CandidateVersion != 2 {
+		t.Fatalf("fresh summary = %+v", sum)
+	}
+
+	// Batch traffic feeds the candidate through the scoring queue.
+	eval := plateauSpiky("eval", 600, []int{150}, 380, 48, 11)
+	body := map[string]any{"series": []map[string]any{{"name": "eval", "values": eval.Values}}}
+	for i := 0; i < 3; i++ {
+		if code := doJSON(t, "POST", ts+"/models/multi/detect", body, nil); code != 200 {
+			t.Fatalf("batch detect = %d", code)
+		}
+	}
+	// Stream traffic mirrors point-for-point into a candidate pyramid
+	// stream.
+	var sess createStreamResponse
+	if code := doJSON(t, "POST", ts+"/streams", map[string]any{"model": "multi", "min": 0, "max": 500}, &sess); code != 201 {
+		t.Fatalf("stream create = %d", code)
+	}
+	if code := doJSON(t, "POST", ts+"/streams/"+sess.ID+"/points", map[string]any{"points": eval.Values}, nil); code != 200 {
+		t.Fatalf("stream push = %d", code)
+	}
+	s.shadows.drain()
+
+	if code := doJSON(t, "GET", ts+"/models/multi/shadow", nil, &sum); code != 200 {
+		t.Fatalf("shadow summary = %d", code)
+	}
+	if sum.Windows == 0 {
+		t.Fatal("pyramid shadow saw no windows")
+	}
+	if sum.IncumbentFired == 0 || sum.CandidateFired == 0 {
+		t.Fatalf("a side never fired: %+v", sum)
+	}
+	if sum.Agreement < 0 || sum.Agreement > 1 {
+		t.Fatalf("agreement %v out of range", sum.Agreement)
+	}
+
+	// Per-scale candidate fire rates are on /metrics, one family child
+	// per pyramid scale.
+	var metrics string
+	{
+		resp, err := http.Get(ts + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		metrics = string(b)
+	}
+	for _, want := range []string{
+		`cdtserve_shadow_scale_fire_rate_bucket{model="multi",scale="x1",`,
+		`cdtserve_shadow_scale_fire_rate_bucket{model="multi",scale="x4",`,
+		`cdtserve_shadow_windows_total{model="multi",outcome="agree"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+
+	// Promoting the candidate retires the shadow, as for plain models.
+	if code := doJSON(t, "POST", ts+"/models/multi/promote", versionRequest{Version: 2}, nil); code != 200 {
+		t.Fatal("promote failed")
+	}
+	if code := doJSON(t, "GET", ts+"/models/multi/shadow", nil, nil); code != 404 {
+		t.Fatal("shadow survived promotion of its candidate")
 	}
 }
 

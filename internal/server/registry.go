@@ -50,6 +50,12 @@ type ModelInfo struct {
 	Kind string `json:"kind,omitempty"`
 	// Scales lists a pyramid's downsample factors (nil for plain models).
 	Scales []int `json:"scales,omitempty"`
+	// Fusion renders a pyramid's fusion policy with its parameters
+	// ("any", "2-of-n", "weighted(>=0.8)"); empty for plain models.
+	Fusion string `json:"fusion,omitempty"`
+	// FusionWeights lists a weighted pyramid's learned per-scale weights,
+	// aligned with Scales; nil otherwise.
+	FusionWeights []float64 `json:"fusion_weights,omitempty"`
 }
 
 // NewRegistry loads every model in dir. The directory must exist and
@@ -203,6 +209,8 @@ func (r *Registry) List() []ModelInfo {
 		if info.Kind != cdt.KindModel {
 			mi.Kind = info.Kind
 			mi.Scales = info.Scales
+			mi.Fusion = info.Fusion
+			mi.FusionWeights = info.FusionWeights
 		}
 		out = append(out, mi)
 	}

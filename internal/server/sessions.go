@@ -47,9 +47,11 @@ type Session struct {
 	// session-creation time, every pushed point also feeds a candidate
 	// stream and per-push detections are compared. Sessions created
 	// before a shadow starts do not mirror (the candidate would join
-	// mid-stream with a cold cursor and disagree spuriously).
+	// mid-stream with a cold cursor and disagree spuriously). The handle
+	// is kind-generic: a pyramid candidate mirrors through its
+	// PyramidStream just as a plain one does through its Stream.
 	shadow       *Shadow
-	shadowStream *cdt.Stream
+	shadowStream cdt.StreamHandle
 }
 
 // NewSessions starts a session manager; ttl <= 0 disables eviction. The
@@ -124,9 +126,9 @@ func (s *Sessions) Create(name string, model cdt.Artifact, scale cdt.Scale, shad
 	if err != nil {
 		return nil, err
 	}
-	var shadowStream *cdt.Stream
+	var shadowStream cdt.StreamHandle
 	if shadow != nil {
-		shadowStream, err = shadow.candidate.NewStream(scale)
+		shadowStream, err = shadow.candidate.OpenStream(scale)
 		if err != nil {
 			// The candidate cannot stream at this scale; serve without
 			// mirroring rather than failing the session.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,11 +29,16 @@ import (
 //     the session lock (the incremental cursor is O(1) per point, cheap
 //     enough to keep synchronous and ordered).
 //
-// Agreement is window-range-exact: a detection agrees when both sides
-// report the same [start, end] point range. For candidates sharing the
-// incumbent's ω (the common case — retrained versions of the same
-// model) this is exact; a candidate with a different ω reports shifted
-// ranges and will show as disagreement, which is the truthful signal.
+// Agreement is point-range-exact: a detection agrees when both sides
+// report the same [start, end] point range. Candidate and incumbent
+// must be the same artifact kind (lifecycle.go enforces it): two plain
+// models compare window ranges, two pyramids compare fused point
+// ranges — both well-defined, while cross-kind ranges are not (a fused
+// pyramid run and a single window describe different things even when
+// they overlap). For candidates sharing the incumbent's ω (the common
+// case — retrained versions of the same model) agreement is exact; a
+// candidate with a different ω or scale set reports shifted ranges and
+// shows as disagreement, which is the truthful signal.
 //
 // Shadow tracks one candidate version scoring next to its incumbent.
 // All counters are atomics: batch workers, stream sessions, and the
@@ -41,7 +47,8 @@ type Shadow struct {
 	Name    string // incumbent registry name
 	Version int    // candidate store version
 
-	candidate *cdt.Model
+	candidate cdt.Artifact
+	omega     int // candidate's window size (fire-rate denominators)
 
 	windows   atomic.Uint64 // windows swept past the comparison
 	agree     atomic.Uint64 // ranges both sides reported
@@ -54,6 +61,7 @@ type Shadow struct {
 	// Pre-resolved telemetry children (per-model labels).
 	cAgree, cIncOnly, cCandOnly *telemetry.Counter
 	hIncRate, hCandRate         *telemetry.Histogram
+	hScaleRate                  []*telemetry.Histogram // per factor, pyramid candidates only
 }
 
 // record folds one compared sample into the counters.
@@ -151,17 +159,29 @@ func (s *Shadows) Close() {
 	s.wg.Wait()
 }
 
-// Start activates (or replaces) the shadow for name.
-func (s *Shadows) Start(name string, version int, candidate *cdt.Model) *Shadow {
+// Start activates (or replaces) the shadow for name. Any artifact kind
+// shadows: a pyramid candidate additionally gets per-scale fire-rate
+// histograms, resolved here (one lifecycle request) rather than per
+// scored sample.
+func (s *Shadows) Start(name string, version int, candidate cdt.Artifact) *Shadow {
+	info := candidate.Info()
 	sh := &Shadow{
 		Name:      name,
 		Version:   version,
 		candidate: candidate,
+		omega:     info.Omega,
 		cAgree:    s.tel.shadowWindows.With(name, "agree"),
 		cIncOnly:  s.tel.shadowWindows.With(name, "incumbent_only"),
 		cCandOnly: s.tel.shadowWindows.With(name, "candidate_only"),
 		hIncRate:  s.tel.shadowFireRate.With(name, "incumbent"),
 		hCandRate: s.tel.shadowFireRate.With(name, "candidate"),
+	}
+	if info.Kind == cdt.KindPyramid {
+		sh.hScaleRate = make([]*telemetry.Histogram, len(info.Scales))
+		for i, f := range info.Scales {
+			//cdtlint:ignore metriclabel resolved once per shadow start (a rare operator lifecycle request), bounded by maxPyramidScales; scoring workers only Observe
+			sh.hScaleRate[i] = s.tel.shadowScaleRate.With(name, fmt.Sprintf("x%d", f))
+		}
 	}
 	s.mu.Lock()
 	s.m[name] = sh
@@ -229,10 +249,18 @@ func (s *Shadows) worker() {
 }
 
 // score runs the candidate over one batch sample and folds the
-// comparison into the shadow's counters.
+// comparison into the shadow's counters. ScoreRanges is the shared
+// kind-generic surface: a plain model reports one [w+1, w+ω] range per
+// fired window (exactly what a plain incumbent's batch path enqueued),
+// a pyramid reports fused point ranges (likewise what a pyramid
+// incumbent enqueued), so same-kind comparison stays range-exact
+// without a per-kind scoring branch — and the candidate skips the rule
+// rendering and explanation assembly the comparison never reads, which
+// is most of what keeps this path inside the overhead gate on hosts
+// where the workers share cores with serving (REPORT.md).
 func (s *Shadows) score(job shadowJob) {
 	sh := job.sh
-	flags, err := sh.candidate.DetectWindows(cdt.NewSeries("shadow", job.values))
+	st, err := sh.candidate.ScoreRanges(cdt.NewSeries("shadow", job.values))
 	if err != nil {
 		// A series the incumbent scored but the candidate cannot (e.g.
 		// shorter than the candidate's ω) is a hard disagreement on
@@ -241,17 +269,27 @@ func (s *Shadows) score(job shadowJob) {
 		observeRates(sh, job.windows, len(job.incRanges), 0, 0)
 		return
 	}
-	omega := sh.candidate.Opts.Omega
-	candRanges := make([][2]int, 0, 8)
-	for w, fired := range flags {
-		if fired {
-			// Window w covers points [w+1, w+ω] (explain.go contract).
-			candRanges = append(candRanges, [2]int{w + 1, w + omega})
+	agree, incOnly, candOnly := compareRanges(job.incRanges, st.Ranges)
+	sh.record(job.windows, agree, incOnly, candOnly)
+	candWindows := len(job.values) - sh.omega
+	if candWindows < 0 {
+		candWindows = 0
+	}
+	observeRates(sh, job.windows, len(job.incRanges), candWindows, len(st.Ranges))
+	sh.observeScaleRates(st)
+}
+
+// observeScaleRates feeds the per-scale candidate fire-rate histograms
+// (pyramid candidates only): fired windows over windows swept at each
+// scale, pre-fusion — the diagnostic an operator reads to see which
+// resolution a candidate disagrees at, independent of whether the
+// fusion policy let those firings through.
+func (sh *Shadow) observeScaleRates(st cdt.RangeStats) {
+	for i := range sh.hScaleRate {
+		if i < len(st.ScaleFired) && st.ScaleWindows[i] > 0 {
+			sh.hScaleRate[i].Observe(float64(st.ScaleFired[i]) / float64(st.ScaleWindows[i]))
 		}
 	}
-	agree, incOnly, candOnly := compareRanges(job.incRanges, candRanges)
-	sh.record(job.windows, agree, incOnly, candOnly)
-	observeRates(sh, job.windows, len(job.incRanges), len(flags), len(candRanges))
 }
 
 // observeRates feeds the per-role fire-rate histograms (fired windows

@@ -227,11 +227,15 @@ const artifactKindPyramid = "pyramid"
 // pyramidDoc is the on-disk form of a PyramidModel: the discriminating
 // kind, the fusion policy, and one embedded model doc per scale.
 type pyramidDoc struct {
-	Version    int        `json:"version"`
-	Kind       string     `json:"kind"`
-	Aggregator string     `json:"aggregator,omitempty"`
-	Fusion     fusionDoc  `json:"fusion"`
-	Scales     []scaleDoc `json:"scales"`
+	Version    int       `json:"version"`
+	Kind       string    `json:"kind"`
+	Aggregator string    `json:"aggregator,omitempty"`
+	Fusion     fusionDoc `json:"fusion"`
+	// Dim is the scored dimension of a multivariate feed; omitted for
+	// the univariate default, so pre-composition documents are
+	// byte-stable.
+	Dim    int        `json:"dim,omitempty"`
+	Scales []scaleDoc `json:"scales"`
 }
 
 // scaleDoc is one serialized pyramid scale.
@@ -260,6 +264,7 @@ func (pm *PyramidModel) Save(w io.Writer) error {
 			Weights:   pm.Config.Fusion.Weights,
 			Threshold: pm.Config.Fusion.Threshold,
 		},
+		Dim: pm.Config.Dim,
 	}
 	for i, mem := range pm.ens.Members {
 		doc.Scales = append(doc.Scales, scaleDoc{
@@ -304,6 +309,7 @@ func pyramidFromDoc(doc pyramidDoc) (*PyramidModel, error) {
 			Weights:   doc.Fusion.Weights,
 			Threshold: doc.Fusion.Threshold,
 		},
+		Dim: doc.Dim,
 	}
 	for _, sd := range doc.Scales {
 		cfg.Factors = append(cfg.Factors, sd.Factor)
@@ -329,7 +335,7 @@ func pyramidFromDoc(doc pyramidDoc) (*PyramidModel, error) {
 		pm.ens.Members = append(pm.ens.Members, Member{
 			Name:      fmt.Sprintf("x%d", cfg.Factors[i]),
 			Model:     m,
-			Transform: ResampleTransform{Factor: cfg.Factors[i], Aggregator: cfg.Aggregator},
+			Transform: cfg.memberTransform(cfg.Factors[i]),
 		})
 	}
 	return pm, nil

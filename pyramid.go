@@ -82,6 +82,12 @@ type PyramidConfig struct {
 	// Fusion combines per-scale point coverage into the fused verdict.
 	// The zero value is FuseAny: any scale firing flags the point.
 	Fusion Fusion
+	// Dim is the input dimension the pyramid scores when the feed is
+	// multivariate: every member's transform selects it before
+	// resampling (a ChainTransform). Zero keeps the univariate shape —
+	// members resample the first dimension directly, and existing
+	// artifacts stay byte-stable.
+	Dim int
 }
 
 // maxPyramidScales bounds the pyramid height; more scales than this is
@@ -107,7 +113,30 @@ func (cfg PyramidConfig) Validate() error {
 	if _, err := aggregatorOf(cfg.Aggregator); err != nil {
 		return err
 	}
-	return cfg.Fusion.Validate(len(cfg.Factors))
+	if cfg.Dim < 0 {
+		return fmt.Errorf("cdt: pyramid dim %d, want >= 0", cfg.Dim)
+	}
+	// Like the omega/delta bounds at model load: a corrupted or
+	// adversarial document must not smuggle in a dimension index that
+	// drives huge feed allocations downstream.
+	const maxDim = 1 << 20
+	if cfg.Dim > maxDim {
+		return fmt.Errorf("cdt: implausible pyramid dim %d (max %d)", cfg.Dim, maxDim)
+	}
+	return cfg.Fusion.Validate(fmt.Sprintf("pyramid scales %v", cfg.Factors), len(cfg.Factors))
+}
+
+// memberTransform builds scale f's input transform: a resampler,
+// prefixed by a dimension selection when the pyramid scores one
+// dimension of a multivariate feed. Dim 0 keeps the bare resampler
+// (which reads the first dimension anyway), so univariate pyramids —
+// and their persisted documents — are untouched by the composition.
+func (cfg PyramidConfig) memberTransform(f int) Transform {
+	rt := ResampleTransform{Factor: f, Aggregator: cfg.Aggregator}
+	if cfg.Dim > 0 {
+		return ChainTransform{DimTransform{Dim: cfg.Dim}, rt}
+	}
+	return rt
 }
 
 // PyramidModel is one trained CDT per resolution scale plus the fusion
@@ -162,10 +191,34 @@ func (c *Corpus) FitPyramid(opts Options, cfg PyramidConfig) (*PyramidModel, err
 		pm.ens.Members = append(pm.ens.Members, Member{
 			Name:      fmt.Sprintf("x%d", f),
 			Model:     model,
-			Transform: ResampleTransform{Factor: f, Aggregator: cfg.Aggregator},
+			Transform: cfg.memberTransform(f),
 		})
 	}
 	return pm, nil
+}
+
+// FitPyramidMulti trains a resolution pyramid over one dimension of
+// aligned multivariate feeds: dimension cfg.Dim of every feed, carrying
+// the feed's shared anomaly annotation, rides the same per-scale Corpus
+// pipeline as univariate pyramids, and every member's transform selects
+// the dimension before resampling, so the trained pyramid detects
+// directly on multivariate input (DetectPyramidMulti).
+func FitPyramidMulti(train []*MultiSeries, opts Options, cfg PyramidConfig) (*PyramidModel, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("cdt: no training feeds")
+	}
+	perDim := make([]*Series, len(train))
+	for i, ms := range train {
+		if err := ms.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Dim < 0 || cfg.Dim >= len(ms.Dims) {
+			return nil, fmt.Errorf("cdt: pyramid dim %d outside feed %q's %d dimensions", cfg.Dim, ms.Name, len(ms.Dims))
+		}
+		d := ms.Dims[cfg.Dim]
+		perDim[i] = NewLabeledSeries(d.Name, d.Values, ms.Anomalies)
+	}
+	return FitPyramid(perDim, opts, cfg)
 }
 
 // NumScales returns the number of resolution scales.
@@ -260,18 +313,26 @@ func (pm *PyramidModel) classifyScales(scales []ScaleDetection) AnomalyType {
 	return TypeContextual
 }
 
-// detect is the shared batch back end: per-scale sweeps projected onto
-// original-resolution points, fused per point, merged into ranges.
+// detect is the univariate batch back end: the series becomes the sole
+// input dimension of detectDims.
 func (pm *PyramidModel) detect(s *Series) ([]WindowDetection, []bool, error) {
 	ns, err := ensureNormalized(s)
 	if err != nil {
 		return nil, nil, err
 	}
-	n := ns.Len()
+	return pm.detectDims([]*Series{ns})
+}
+
+// scaleCoverage sweeps every scale over the (already normalized) input
+// dimensions and projects fired windows onto original-resolution
+// points: per-scale coverage flags plus the per-scale detections.
+// Shared by fused detection and fusion-weight training, which needs the
+// raw per-scale indicators before any policy is applied.
+func (pm *PyramidModel) scaleCoverage(dims []*Series) ([][]bool, [][]ScaleDetection, int, error) {
+	n := dims[0].Len()
 	numScales := len(pm.ens.Members)
 	coverage := make([][]bool, numScales)
 	perScale := make([][]ScaleDetection, numScales)
-	dims := []*Series{ns}
 	for i, mem := range pm.ens.Members {
 		f := pm.Config.Factors[i]
 		// Downsample after normalizing (mean/max keep [0,1], so the
@@ -279,11 +340,11 @@ func (pm *PyramidModel) detect(s *Series) ([]WindowDetection, []bool, error) {
 		// applies through AtResolution.
 		ds, err := mem.Transform.Apply(dims)
 		if err != nil {
-			return nil, nil, fmt.Errorf("cdt: pyramid scale x%d: %w", f, err)
+			return nil, nil, 0, fmt.Errorf("cdt: pyramid scale x%d: %w", f, err)
 		}
 		marks, err := mem.Model.detectMarks(ds)
 		if err != nil {
-			return nil, nil, fmt.Errorf("cdt: pyramid scale x%d: %w", f, err)
+			return nil, nil, 0, fmt.Errorf("cdt: pyramid scale x%d: %w", f, err)
 		}
 		cov := make([]bool, n)
 		var idxs []int
@@ -310,6 +371,13 @@ func (pm *PyramidModel) detect(s *Series) ([]WindowDetection, []bool, error) {
 		}
 		coverage[i] = cov
 	}
+	return coverage, perScale, n, nil
+}
+
+// fusePoints applies the fusion policy per original-resolution point
+// over the per-scale coverage flags.
+func (pm *PyramidModel) fusePoints(coverage [][]bool, n int) []bool {
+	numScales := len(pm.ens.Members)
 	flags := make([]bool, n)
 	for p := 0; p < n; p++ {
 		count, weight := 0, 0.0
@@ -321,6 +389,18 @@ func (pm *PyramidModel) detect(s *Series) ([]WindowDetection, []bool, error) {
 		}
 		flags[p] = pm.ens.Fuse.decide(count, weight, numScales)
 	}
+	return flags
+}
+
+// detectDims is the shared batch back end over normalized input
+// dimensions: per-scale sweeps projected onto original-resolution
+// points, fused per point, merged into ranges.
+func (pm *PyramidModel) detectDims(dims []*Series) ([]WindowDetection, []bool, error) {
+	coverage, perScale, n, err := pm.scaleCoverage(dims)
+	if err != nil {
+		return nil, nil, err
+	}
+	flags := pm.fusePoints(coverage, n)
 	var out []WindowDetection
 	for p := 0; p < n; {
 		if !flags[p] {
@@ -375,11 +455,218 @@ func (pm *PyramidModel) DetectExplained(s *Series) ([]WindowDetection, error) {
 	return pm.DetectPyramid(s)
 }
 
+// ScoreRanges reports the same fused point ranges DetectExplained would
+// plus per-scale fired/swept window counts, skipping the per-run scale
+// breakdowns, anomaly typing, and rule rendering — the lean surface
+// shadow scoring runs a candidate through.
+func (pm *PyramidModel) ScoreRanges(s *Series) (RangeStats, error) {
+	ns, err := ensureNormalized(s)
+	if err != nil {
+		return RangeStats{}, err
+	}
+	dims := []*Series{ns}
+	n := ns.Len()
+	numScales := len(pm.ens.Members)
+	coverage := make([][]bool, numScales)
+	st := RangeStats{
+		ScaleFired:   make([]int, numScales),
+		ScaleWindows: make([]int, numScales),
+	}
+	for i, mem := range pm.ens.Members {
+		f := pm.Config.Factors[i]
+		ds, err := mem.Transform.Apply(dims)
+		if err != nil {
+			return RangeStats{}, fmt.Errorf("cdt: pyramid scale x%d: %w", f, err)
+		}
+		marks, err := mem.Model.detectMarks(ds)
+		if err != nil {
+			return RangeStats{}, fmt.Errorf("cdt: pyramid scale x%d: %w", f, err)
+		}
+		cov := make([]bool, n)
+		st.ScaleWindows[i] = marks.NumWindows()
+		for w := 0; w < marks.NumWindows(); w++ {
+			if !marks.Fired(w) {
+				continue
+			}
+			st.ScaleFired[i]++
+			start := (w + 1) * f
+			end := (w+pm.Opts.Omega+1)*f - 1
+			if end >= n {
+				end = n - 1
+			}
+			for p := start; p <= end; p++ {
+				cov[p] = true
+			}
+		}
+		coverage[i] = cov
+	}
+	flags := pm.fusePoints(coverage, n)
+	for p := 0; p < n; {
+		if !flags[p] {
+			p++
+			continue
+		}
+		start := p
+		for p < n && flags[p] {
+			p++
+		}
+		st.Ranges = append(st.Ranges, [2]int{start, p - 1})
+	}
+	return st, nil
+}
+
 // PointFlags returns the fused per-point anomaly flags — with a single
 // scale and the FuseAny default, exactly Model.PointFlags.
 func (pm *PyramidModel) PointFlags(s *Series) ([]bool, error) {
 	_, flags, err := pm.detect(s)
 	return flags, err
+}
+
+// normalizedDims validates a multivariate feed against the pyramid's
+// configured dimension and normalizes every dimension independently —
+// the same per-dimension normalization training applies through the
+// Corpus pipeline.
+func (pm *PyramidModel) normalizedDims(ms *MultiSeries) ([]*Series, error) {
+	if err := ms.Validate(); err != nil {
+		return nil, err
+	}
+	if pm.Config.Dim >= len(ms.Dims) {
+		return nil, fmt.Errorf("cdt: pyramid scores dimension %d, feed %q has %d", pm.Config.Dim, ms.Name, len(ms.Dims))
+	}
+	dims := make([]*Series, len(ms.Dims))
+	for d, s := range ms.Dims {
+		ns, err := ensureNormalized(s)
+		if err != nil {
+			return nil, err
+		}
+		dims[d] = ns
+	}
+	return dims, nil
+}
+
+// DetectPyramidMulti runs the fused detection over one multivariate
+// feed: the member transforms select the configured dimension and
+// resample it, so the returned detections have exactly the shape of
+// DetectPyramid over that dimension.
+func (pm *PyramidModel) DetectPyramidMulti(ms *MultiSeries) ([]WindowDetection, error) {
+	dims, err := pm.normalizedDims(ms)
+	if err != nil {
+		return nil, err
+	}
+	out, _, err := pm.detectDims(dims)
+	return out, err
+}
+
+// PointFlagsMulti returns the fused per-point flags over one
+// multivariate feed — PointFlags with the member transforms selecting
+// the configured dimension.
+func (pm *PyramidModel) PointFlagsMulti(ms *MultiSeries) ([]bool, error) {
+	dims, err := pm.normalizedDims(ms)
+	if err != nil {
+		return nil, err
+	}
+	_, flags, err := pm.detectDims(dims)
+	return flags, err
+}
+
+// trainableFusion reports whether TrainFusion has parameters to learn
+// for the configured policy.
+func (pm *PyramidModel) trainableFusion() bool {
+	p := pm.Config.Fusion.Policy
+	return p == FuseWeighted || p == FuseKOfN
+}
+
+// applyFusionFit fits the configured trainable policy over accumulated
+// fire-indicator samples and installs the result.
+func (pm *PyramidModel) applyFusionFit(fired [][]bool, truth []bool) error {
+	var fu Fusion
+	var err error
+	switch pm.Config.Fusion.Policy {
+	case FuseWeighted:
+		fu, err = FitFusionWeights(fired, truth)
+	case FuseKOfN:
+		fu, err = FitFusionK(fired, truth)
+	default:
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	pm.Config.Fusion = fu
+	pm.ens.Fuse = fu
+	return nil
+}
+
+// fusionSamples appends one fire-indicator row and label per point of a
+// normalized input to the accumulators: the per-scale point-coverage
+// indicators detection fuses over, against the point annotations.
+func (pm *PyramidModel) fusionSamples(dims []*Series, anomalies []bool, fired [][]bool, truth []bool) ([][]bool, []bool, error) {
+	coverage, _, n, err := pm.scaleCoverage(dims)
+	if err != nil {
+		return nil, nil, err
+	}
+	for p := 0; p < n; p++ {
+		row := make([]bool, len(coverage))
+		for i := range coverage {
+			row[i] = coverage[i][p]
+		}
+		fired = append(fired, row)
+		truth = append(truth, anomalies[p])
+	}
+	return fired, truth, nil
+}
+
+// TrainFusion learns the pyramid's fusion parameters from labeled
+// series — the step that turns `weighted` and `k-of-n` from hand-set
+// policies into trained ones. Per-scale point-coverage indicators (the
+// same projection detection fuses over) form the fire matrix, the point
+// annotations the labels: FuseWeighted runs the deterministic logistic
+// fit (FitFusionWeights), FuseKOfN sweeps the quorum for the best
+// point-level F1 (FitFusionK), overwriting any hand-set parameters.
+// Policies without trainable parameters return unchanged.
+func (pm *PyramidModel) TrainFusion(train []*Series) error {
+	if !pm.trainableFusion() {
+		return nil
+	}
+	var fired [][]bool
+	var truth []bool
+	for _, s := range train {
+		if s.Anomalies == nil {
+			return fmt.Errorf("cdt: series %q is unlabeled", s.Name)
+		}
+		ns, err := ensureNormalized(s)
+		if err != nil {
+			return err
+		}
+		if fired, truth, err = pm.fusionSamples([]*Series{ns}, s.Anomalies, fired, truth); err != nil {
+			return err
+		}
+	}
+	return pm.applyFusionFit(fired, truth)
+}
+
+// TrainFusionMulti is TrainFusion over labeled multivariate feeds: the
+// member transforms select the configured dimension, the feeds' shared
+// annotations are the labels.
+func (pm *PyramidModel) TrainFusionMulti(train []*MultiSeries) error {
+	if !pm.trainableFusion() {
+		return nil
+	}
+	var fired [][]bool
+	var truth []bool
+	for _, ms := range train {
+		if ms.Anomalies == nil {
+			return fmt.Errorf("cdt: feed %q is unlabeled", ms.Name)
+		}
+		dims, err := pm.normalizedDims(ms)
+		if err != nil {
+			return err
+		}
+		if fired, truth, err = pm.fusionSamples(dims, ms.Anomalies, fired, truth); err != nil {
+			return err
+		}
+	}
+	return pm.applyFusionFit(fired, truth)
 }
 
 // Evaluate scores the fused detection on labeled series. Unlike
@@ -403,6 +690,33 @@ func (pm *PyramidModel) Evaluate(eval []*Series) (Report, error) {
 		}
 		for p := range flags {
 			conf.Add(flags[p], s.Anomalies[p])
+		}
+	}
+	return Report{
+		Confusion: conf,
+		F1:        conf.F1(),
+		NumRules:  pm.NumRules(),
+	}, nil
+}
+
+// EvaluateMulti is Evaluate over labeled multivariate feeds: fused
+// point flags on the configured dimension against each feed's shared
+// annotations.
+func (pm *PyramidModel) EvaluateMulti(eval []*MultiSeries) (Report, error) {
+	if len(eval) == 0 {
+		return Report{}, fmt.Errorf("cdt: no evaluation feeds")
+	}
+	var conf evalmetrics.Confusion
+	for _, ms := range eval {
+		if ms.Anomalies == nil {
+			return Report{}, fmt.Errorf("cdt: feed %q is unlabeled", ms.Name)
+		}
+		flags, err := pm.PointFlagsMulti(ms)
+		if err != nil {
+			return Report{}, err
+		}
+		for p := range flags {
+			conf.Add(flags[p], ms.Anomalies[p])
 		}
 	}
 	return Report{
@@ -452,6 +766,10 @@ type PyramidStream struct {
 
 // NewStream starts an online pyramid detector. The scale semantics are
 // those of Model.NewStream; every resolution shares the value range.
+// For a pyramid trained over one dimension of a multivariate feed
+// (Config.Dim), push that dimension's readings: streaming is scalar by
+// construction, and the member transforms' dimension selection happens
+// at the feed boundary, not per push.
 // Normalize-then-aggregate (batch) and aggregate-then-normalize
 // (streaming) agree for mean and max under an affine scale; out-of-range
 // values clamp after aggregation here, per-point in batch.

@@ -81,6 +81,33 @@ func plainStringSwitch(s string) {
 	}
 }
 
+// kindOf mirrors the serving gate's tag shape: the switched value is a
+// call result, not a plain variable.
+func kindOf(a Artifact) string { return a.Kind() }
+
+// shadowSameKindGate is the shadow-start shape — dispatch a candidate's
+// kind before pairing it with the incumbent. Anchoring must work off
+// the case constants even though the tag is a call expression.
+func shadowSameKindGate(candidate, incumbent Artifact) bool {
+	switch kindOf(candidate) { // want `switch on artifact kind does not handle registered kind "pyramid" and has no default`
+	case KindModel:
+		return kindOf(incumbent) == KindModel
+	}
+	return false
+}
+
+// shadowSameKindGateExhaustive handles every registered kind; the
+// per-kind pairing compiles down to same-kind comparisons.
+func shadowSameKindGateExhaustive(candidate, incumbent Artifact) bool {
+	switch kindOf(candidate) {
+	case KindModel:
+		return kindOf(incumbent) == KindModel
+	case KindPyramid:
+		return kindOf(incumbent) == KindPyramid
+	}
+	return false
+}
+
 func missingImpl(a Artifact) {
 	switch a.(type) { // want `type switch on Artifact does not handle implementation kinddispatch\.Pyramid and has no default`
 	case *Model:

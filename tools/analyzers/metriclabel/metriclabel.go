@@ -7,21 +7,38 @@
 // *SomethingVec type (structurally matched, so the real telemetry
 // package and test fodder both qualify):
 //
-//  1. With inside a loop. Each call re-locks the registry and re-hashes
-//     the label tuple; detection loops run per observation. The child
-//     must be resolved before the loop, or counts accumulated and
-//     applied after it. The apply half of that idiom — ranging over the
+//  1. With inside a loop — in a function that may run at request
+//     frequency. Each call re-locks the registry and re-hashes the
+//     label tuple; detection loops run per observation. The child must
+//     be resolved before the loop, or counts accumulated and applied
+//     once after it. The apply half of that idiom — ranging over the
 //     accumulation map and calling With once per distinct label — is
 //     recognized and exempt: a range over a map is bounded by distinct
 //     keys, not by observations. (A map range nested inside an
 //     observation loop stays flagged: it inherits the outer loop's
 //     per-iteration cost.)
+//
+//     Whether the enclosing function runs at request frequency is read
+//     off the program call graph rather than assumed: a function is
+//     hot when its value escapes (stored in a variable or passed as a
+//     value — an HTTP handler, a callback), or when any call site
+//     invokes it inside a loop, and hotness floods to everything a hot
+//     function statically calls. A function reached only by plain
+//     static calls — a registration helper invoked a fixed number of
+//     times at setup — iterates at registration frequency, and its
+//     With-in-loop is exempt. A function never called in the load
+//     stays flagged: the analyzer cannot bound its frequency. Only
+//     library call sites count; a test driving a constructor in a
+//     table loop runs at test frequency and says nothing about
+//     production.
+//
 //  2. Unbounded label values. A label minted from fmt/strconv
 //     formatting, an error message, or a numeric conversion gives the
 //     metric unbounded cardinality — every new value is a new child
 //     that is never dropped. Conversions from named string types
 //     (string(d.Type) on an AnomalyType) are the sanctioned idiom: the
-//     value set is a small enum by construction.
+//     value set is a small enum by construction. This rule does not
+//     depend on call frequency and always applies.
 package metriclabel
 
 import (
@@ -40,46 +57,162 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
+	exempt := loopExemptions(pass)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			walk(pass, fd.Body, false)
+			walk(pass, fd.Body, false, !exempt[fd])
 		}
 	}
 	return nil
 }
 
+// loopExemptions decides per declared function whether the loop rule is
+// waived: the function's frequency is bounded by its static call sites
+// (it has at least one, none in a loop, and its value never escapes —
+// directly or via a hot caller), so a With inside its loops runs at
+// registration frequency. Returns nil (no exemptions) when the pass has
+// no whole-program view.
+func loopExemptions(pass *analysis.Pass) map[*ast.FuncDecl]bool {
+	if pass.Prog == nil {
+		return nil
+	}
+	cg := pass.Prog.CallGraph()
+	indegree := make(map[string]int)
+	hot := make(map[string]bool)
+	var queue []string
+	raise := func(id string) {
+		if !hot[id] {
+			hot[id] = true
+			queue = append(queue, id)
+		}
+	}
+	// Only library call sites speak to production frequency: a test
+	// driving a constructor in a table loop runs at test frequency and
+	// must not make every registrar behind it hot.
+	for _, node := range cg.Nodes {
+		if node.Unit.Kind != analysis.Lib {
+			continue
+		}
+		for _, cs := range node.Calls {
+			indegree[cs.Callee]++
+			if cs.InLoop {
+				raise(cs.Callee)
+			}
+		}
+	}
+	for id := range escapingFuncs(pass.Prog) {
+		raise(id)
+	}
+	// Flood: everything a hot function calls runs at its frequency.
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		node := cg.Nodes[id]
+		if node == nil {
+			continue
+		}
+		for _, cs := range node.Calls {
+			raise(cs.Callee)
+		}
+	}
+	exempt := make(map[*ast.FuncDecl]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			id := analysis.FuncID(obj)
+			if !hot[id] && indegree[id] > 0 {
+				exempt[fd] = true
+			}
+		}
+	}
+	return exempt
+}
+
+// escapingFuncs collects every declared function whose value is used
+// outside a call position anywhere in the load — stored, passed, or
+// converted (an HTTP handler registration, a callback). An escaped
+// function's invocation frequency is unknowable statically, so it
+// seeds the hot set.
+func escapingFuncs(prog *analysis.Program) map[string]bool {
+	esc := make(map[string]bool)
+	for _, u := range prog.Units {
+		if u.Kind != analysis.Lib {
+			continue
+		}
+		for _, f := range u.Files {
+			// First pass: the identifiers that are call targets.
+			called := make(map[*ast.Ident]bool)
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					called[fun] = true
+				case *ast.SelectorExpr:
+					called[fun.Sel] = true
+				}
+				return true
+			})
+			// Second pass: any other identifier resolving to a function
+			// is a value use.
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || called[id] {
+					return true
+				}
+				if fn, ok := u.Info.Uses[id].(*types.Func); ok {
+					esc[analysis.FuncID(fn)] = true
+				}
+				return true
+			})
+		}
+	}
+	return esc
+}
+
 // walk visits n tracking loop depth, mirroring the call-graph walker: a
 // With reached inside a for/range body (even via a func literal defined
-// there) runs per iteration.
-func walk(pass *analysis.Pass, n ast.Node, inLoop bool) {
+// there) runs per iteration. loopRule gates rule 1 — false for
+// functions whose call sites bound their frequency; the cardinality
+// rule applies either way.
+func walk(pass *analysis.Pass, n ast.Node, inLoop, loopRule bool) {
 	ast.Inspect(n, func(m ast.Node) bool {
 		switch m := m.(type) {
 		case *ast.ForStmt:
 			if m.Init != nil {
-				walk(pass, m.Init, inLoop)
+				walk(pass, m.Init, inLoop, loopRule)
 			}
 			if m.Cond != nil {
-				walk(pass, m.Cond, true)
+				walk(pass, m.Cond, true, loopRule)
 			}
 			if m.Post != nil {
-				walk(pass, m.Post, true)
+				walk(pass, m.Post, true, loopRule)
 			}
-			walk(pass, m.Body, true)
+			walk(pass, m.Body, true, loopRule)
 			return false
 		case *ast.RangeStmt:
-			walk(pass, m.X, inLoop)
+			walk(pass, m.X, inLoop, loopRule)
 			// Ranging over a map is the accumulate-then-apply idiom's
 			// second half: iterations are bounded by distinct keys. It
 			// does not introduce per-observation cost, but it does not
 			// clear hotness inherited from an enclosing loop either.
-			walk(pass, m.Body, inLoop || !rangesOverMap(pass, m))
+			walk(pass, m.Body, inLoop || !rangesOverMap(pass, m), loopRule)
 			return false
 		case *ast.CallExpr:
-			checkWith(pass, m, inLoop)
+			checkWith(pass, m, inLoop && loopRule)
 			return true
 		}
 		return true

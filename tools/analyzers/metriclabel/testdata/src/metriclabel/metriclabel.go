@@ -123,6 +123,61 @@ func bothAtOnce(vec *CounterVec, errs []error) {
 	}
 }
 
+// calledRegistrar loops over With, but its only call sites are plain
+// static calls (never in a loop, value never taken): it iterates at
+// registration frequency, so the loop rule is waived.
+func calledRegistrar(vec *CounterVec, routes []string) {
+	for range routes {
+		vec.With("route").Inc()
+	}
+}
+
+func setup(vec *CounterVec) {
+	calledRegistrar(vec, []string{"list", "detect", "stream"})
+}
+
+// loopCalledRegistrar has a static caller too — but that caller invokes
+// it inside an observation loop, so its With runs per iteration squared.
+func loopCalledRegistrar(vec *CounterVec, routes []string) {
+	for range routes {
+		vec.With("route").Inc() // want `CounterVec\.With inside a loop re-resolves the child per iteration`
+	}
+}
+
+func pump(vec *CounterVec, batches [][]string) {
+	for _, b := range batches {
+		loopCalledRegistrar(vec, b)
+	}
+}
+
+// escapingHandler's value is taken (an HTTP-handler-style registration):
+// its invocation frequency is unknowable, so it stays flagged even
+// though a static call site exists.
+func escapingHandler(vec *CounterVec, dets []det) {
+	for range dets {
+		vec.With("req").Inc() // want `CounterVec\.With inside a loop re-resolves the child per iteration`
+	}
+}
+
+func registerEscaping(vec *CounterVec) {
+	handler := escapingHandler
+	handler(vec, nil)
+}
+
+// hotCalleeHelper is only ever called by an escaping function: hotness
+// floods through the call graph, so its loop is request-frequency too.
+func hotCalleeHelper(vec *CounterVec, dets []det) {
+	for range dets {
+		vec.With("req").Inc() // want `CounterVec\.With inside a loop re-resolves the child per iteration`
+	}
+}
+
+func escapingDispatcher(vec *CounterVec, dets []det) {
+	hotCalleeHelper(vec, dets)
+}
+
+var dispatcherRef = escapingDispatcher
+
 // notAVec has a With method too, but the type name does not end in Vec:
 // out of scope.
 type registry struct{}
