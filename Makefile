@@ -14,7 +14,7 @@ FUZZ_TARGETS := \
 	./internal/engine:FuzzEngineMatch
 FUZZTIME ?= 10s
 
-.PHONY: all lint lint-sarif test test-hammer bench fuzz-smoke fmt-check tidy-check vuln
+.PHONY: all lint lint-sarif test test-hammer bench bench-trace fuzz-smoke fmt-check tidy-check vuln
 
 all: lint test
 
@@ -51,6 +51,15 @@ test-hammer:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# bench-trace: the traced/untraced serving pair behind the tracing
+# overhead gate (<3% median with sampling off; REPORT.md). One
+# iteration in CI proves both paths run; pass BENCHTIME=2s and -count
+# locally when measuring.
+BENCHTIME ?= 1x
+bench-trace:
+	$(GO) test -run '^$$' -bench 'BenchmarkServerBatchDetect(Traced)?$$' \
+		-benchtime=$(BENCHTIME) ./internal/server
 
 fuzz-smoke:
 	@set -e; for t in $(FUZZ_TARGETS); do \

@@ -8,6 +8,7 @@ package cdt
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -32,6 +33,11 @@ type ArtifactInfo struct {
 	// Scales holds the pyramid's downsample factors; nil for plain
 	// models.
 	Scales []int
+	// ScaleRules counts the rule predicates per scale, aligned with
+	// Scales; nil for plain models. The serving layer's per-rule
+	// attribution uses it to assign each (scale, rule-index) pair a
+	// stable flat metric label without rendering rule text.
+	ScaleRules []int
 	// Fusion renders a pyramid's fusion policy with its parameters
 	// ("any", "2-of-n", "weighted(>=0.8)"); empty for plain models.
 	Fusion string
@@ -86,12 +92,15 @@ type Artifact interface {
 	Save(w io.Writer) error
 	// DetectExplained scores one series, returning fired windows with
 	// their explanations (and, for pyramids, type tags and per-scale
-	// breakdowns).
-	DetectExplained(s *Series) ([]WindowDetection, error)
+	// breakdowns). ctx carries request-scoped instrumentation — trace
+	// spans (internal/trace) and the per-scale sweep observer — through
+	// the scoring hot path; context.Background() disables both.
+	DetectExplained(ctx context.Context, s *Series) ([]WindowDetection, error)
 	// ScoreRanges scores one series for range-level comparison: the
 	// same detection ranges DetectExplained reports, without the
-	// explanation rendering. Shadow evaluation's scoring path.
-	ScoreRanges(s *Series) (RangeStats, error)
+	// explanation rendering. Shadow evaluation's scoring path. ctx as
+	// in DetectExplained.
+	ScoreRanges(ctx context.Context, s *Series) (RangeStats, error)
 	// OpenStream starts an online detector under the given value scale.
 	OpenStream(scale Scale) (StreamHandle, error)
 }
@@ -119,12 +128,17 @@ func (pm *PyramidModel) Info() ArtifactInfo {
 		weights = make([]float64, len(pm.ens.Fuse.Weights))
 		copy(weights, pm.ens.Fuse.Weights)
 	}
+	scaleRules := make([]int, len(pm.ens.Members))
+	for i, mem := range pm.ens.Members {
+		scaleRules[i] = mem.Model.NumRules()
+	}
 	return ArtifactInfo{
 		Kind:          KindPyramid,
 		Omega:         pm.Opts.Omega,
 		Delta:         pm.Opts.Delta,
 		NumRules:      pm.NumRules(),
 		Scales:        pm.Scales(),
+		ScaleRules:    scaleRules,
 		Fusion:        pm.ens.Fuse.String(),
 		FusionWeights: weights,
 	}

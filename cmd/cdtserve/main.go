@@ -8,7 +8,7 @@
 //
 //	cdtserve -models dir [-addr :8080] [-workers 8] [-session-ttl 15m] [-timeout 30s]
 //	         [-log-format text|json] [-log-level info] [-debug-addr 127.0.0.1:6060]
-//	         [-slow-request 250ms]
+//	         [-slow-request 250ms] [-trace-sample 0.01] [-trace-export spans.jsonl]
 //	cdtserve -store dir  [-drift-window 512] [-drift-bound 0.05] [-retrain-data dir]
 //
 // With -models, the directory holds one <name>.json per model (written
@@ -52,10 +52,18 @@
 //	GET    /debug/vars                 expvar counters (map "cdtserve"); with
 //	                                   -slow-request, the last 32 over-threshold
 //	                                   requests under "cdtserve_slow_requests"
+//	GET    /debug/traces               recent sampled spans, newest first
+//	                                   (?trace=<id> filters to one request)
+//
+// With -trace-sample > 0, that fraction of requests (plus any request
+// arriving with a sampled W3C traceparent header) records a span tree —
+// request, batch pool, per-series detect, per-scale sweeps, fusion —
+// into a bounded in-memory ring served at /debug/traces; -trace-export
+// additionally appends each finished span as a JSON line to a file.
 //
 // With -debug-addr set, a second listener (keep it private — bind
 // loopback or a management network) additionally serves /debug/pprof/
-// profiles alongside /metrics and /debug/vars.
+// profiles alongside /metrics, /debug/vars, and /debug/traces.
 package main
 
 import (
@@ -72,6 +80,7 @@ import (
 
 	"cdt/internal/modelstore"
 	"cdt/internal/server"
+	"cdt/internal/trace"
 )
 
 func main() {
@@ -116,8 +125,13 @@ func run(args []string) error {
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/pprof, /metrics, and /debug/vars on this extra address (empty = disabled; keep it private)")
 	slowRequest := fs.Duration("slow-request", 0, "record requests slower than this into the /debug/vars exemplar ring (0 = disabled)")
+	traceSample := fs.Float64("trace-sample", 0, "fraction of requests to trace into /debug/traces (0 = disabled; inbound sampled traceparent headers always trace)")
+	traceExport := fs.String("trace-export", "", "append finished spans as JSON lines to this file (requires -trace-sample > 0)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceExport != "" && *traceSample <= 0 {
+		return fmt.Errorf("-trace-export requires -trace-sample > 0")
 	}
 	if (*models == "") == (*storeDir == "") {
 		return fmt.Errorf("exactly one of -models and -store is required")
@@ -138,6 +152,18 @@ func run(args []string) error {
 		Workers:              *workers,
 		AccessLog:            logger,
 		SlowRequestThreshold: *slowRequest,
+	}
+	if *traceSample > 0 {
+		tcfg := trace.Config{SampleRate: *traceSample}
+		if *traceExport != "" {
+			f, err := os.OpenFile(*traceExport, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("-trace-export: %w", err)
+			}
+			defer f.Close()
+			tcfg.Export = f
+		}
+		cfg.Tracer = trace.New(tcfg)
 	}
 	if *storeDir != "" {
 		st, err := modelstore.Open(*storeDir)

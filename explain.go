@@ -7,11 +7,14 @@ package cdt
 // (internal/server) returns these alongside every detection.
 
 import (
+	"context"
+	"strconv"
 	"strings"
 
 	"cdt/internal/engine"
 	"cdt/internal/pattern"
 	"cdt/internal/rules"
+	"cdt/internal/trace"
 )
 
 // FiredPredicate identifies one rule predicate that matched a window,
@@ -118,10 +121,13 @@ func (m *Model) firedFromIndices(idxs []int) []FiredPredicate {
 // DetectExplained runs the rule over a series and returns one entry per
 // fired window, each carrying the rule predicates that fired — the
 // batch-scoring analogue of DetectWindows for callers who need the
-// explanation, not just the flag.
-func (m *Model) DetectExplained(s *Series) ([]WindowDetection, error) {
-	marks, err := m.detectMarks(s)
+// explanation, not just the flag. A sampled ctx (internal/trace) gets a
+// "detect" span over the scoring plus an "engine_sweep" child.
+func (m *Model) DetectExplained(ctx context.Context, s *Series) ([]WindowDetection, error) {
+	ctx, span := trace.StartSpan(ctx, "detect")
+	marks, err := m.detectMarks(ctx, s)
 	if err != nil {
+		span.End()
 		return nil, err
 	}
 	var out []WindowDetection
@@ -138,15 +144,19 @@ func (m *Model) DetectExplained(s *Series) ([]WindowDetection, error) {
 			Fired:  m.firedFromIndices(idxs),
 		})
 	}
+	span.SetAttr("fired", strconv.Itoa(len(out)))
+	span.End()
 	return out, nil
 }
 
 // ScoreRanges reports the same per-window point ranges DetectExplained
 // would, skipping the fired-predicate rendering — the lean surface
 // shadow scoring runs a candidate through.
-func (m *Model) ScoreRanges(s *Series) (RangeStats, error) {
-	marks, err := m.detectMarks(s)
+func (m *Model) ScoreRanges(ctx context.Context, s *Series) (RangeStats, error) {
+	ctx, span := trace.StartSpan(ctx, "score_ranges")
+	marks, err := m.detectMarks(ctx, s)
 	if err != nil {
+		span.End()
 		return RangeStats{}, err
 	}
 	var st RangeStats
@@ -155,5 +165,7 @@ func (m *Model) ScoreRanges(s *Series) (RangeStats, error) {
 			st.Ranges = append(st.Ranges, [2]int{w + 1, w + m.Opts.Omega})
 		}
 	}
+	span.SetAttr("fired", strconv.Itoa(len(st.Ranges)))
+	span.End()
 	return st, nil
 }

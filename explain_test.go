@@ -1,6 +1,7 @@
 package cdt
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ func TestDetectExplainedMatchesDetectWindows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	explained, err := model.DetectExplained(train)
+	explained, err := model.DetectExplained(context.Background(), train)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestDetectExplainedMatchesDetectWindows(t *testing.T) {
 
 func TestFiredPredicatesRenderRuleText(t *testing.T) {
 	model, train := trainedModel(t, Options{Omega: 5, Delta: 2})
-	explained, err := model.DetectExplained(train)
+	explained, err := model.DetectExplained(context.Background(), train)
 	if err != nil {
 		t.Fatal(err)
 	}

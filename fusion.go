@@ -18,6 +18,7 @@ package cdt
 // The fusion policies are shared verbatim by both.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -509,7 +510,7 @@ func (e *Ensemble) DetectAligned(dims []*Series) ([]bool, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cdt: member %d: %w", i, err)
 		}
-		marks, err := mem.Model.detectMarks(s)
+		marks, err := mem.Model.detectMarks(context.Background(), s)
 		if err != nil {
 			return nil, fmt.Errorf("cdt: member %d: %w", i, err)
 		}

@@ -2,6 +2,7 @@ package cdt
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -427,11 +428,11 @@ func rangesOf(dets []WindowDetection) [][2]int {
 func TestScoreRangesMatchesDetectExplained(t *testing.T) {
 	assertSame := func(name string, art Artifact, probe *Series) RangeStats {
 		t.Helper()
-		st, err := art.ScoreRanges(probe)
+		st, err := art.ScoreRanges(context.Background(), probe)
 		if err != nil {
 			t.Fatalf("%s: ScoreRanges: %v", name, err)
 		}
-		dets, err := art.DetectExplained(probe)
+		dets, err := art.DetectExplained(context.Background(), probe)
 		if err != nil {
 			t.Fatalf("%s: DetectExplained: %v", name, err)
 		}
@@ -503,7 +504,7 @@ func TestScoreRangesMatchesDetectExplained(t *testing.T) {
 	// lean path must fail exactly where the explained path does, so a
 	// shadowed candidate records the same hard disagreements either way.
 	mpm, _ := trainedMultiPyramid(t)
-	if _, err := mpm.ScoreRanges(probe); err == nil {
+	if _, err := mpm.ScoreRanges(context.Background(), probe); err == nil {
 		t.Fatal("ScoreRanges accepted a univariate probe for a dim-scoring pyramid")
 	}
 }

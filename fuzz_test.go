@@ -1,6 +1,7 @@
 package cdt
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -92,7 +93,7 @@ func FuzzLoad(f *testing.F) {
 				for i := range values {
 					values[i] = float64(i % 7)
 				}
-				if _, err := art.DetectExplained(NewSeries("fuzz", values)); err != nil {
+				if _, err := art.DetectExplained(context.Background(), NewSeries("fuzz", values)); err != nil {
 					t.Fatalf("accepted artifact cannot detect: %v", err)
 				}
 			}

@@ -1,0 +1,270 @@
+package server
+
+// Per-rule attribution: which rule fired, per model, as bounded-
+// cardinality metrics. The paper's detections are human-interpretable
+// rules, so serving observability should say *which* rule is firing
+// (and, for pyramids, which scale is slow), not just that detections
+// happened.
+//
+// The metriclabel contract shapes everything here: rule labels are
+// stable indices ("r3", or "x4.r2" for scale-qualified pyramid rules),
+// never rendered rule text — text is unbounded, re-renders on retrain,
+// and would mint a fresh child per wording. Children are resolved once
+// per (model name, artifact) pair at artifact-change frequency (load,
+// reload, promote) and cached; the scoring hot path indexes a slice and
+// does lock-free atomic adds. A cap on the label space (maxRuleLabels)
+// keeps cardinality bounded even for absurdly large rule sets — flat
+// indices past the cap fold into one "other" child.
+
+import (
+	"strconv"
+	"sync"
+
+	cdt "cdt"
+	"cdt/internal/telemetry"
+)
+
+// maxRuleLabels caps the per-model rule-label space. Real CDT rule sets
+// hold a handful of predicates per scale; the cap is a cardinality
+// backstop, not a working limit.
+const maxRuleLabels = 128
+
+// modelAttr carries one artifact's pre-resolved attribution
+// instruments. All fields are immutable after build; the scoring fan-out
+// reads them concurrently. A nil *modelAttr disables attribution (bare
+// unit-test sessions) — every method tolerates it.
+type modelAttr struct {
+	// labels are the flat rule labels in stable order: "r<i>" for plain
+	// models, "x<factor>.r<i>" for pyramid scales, both 1-based to match
+	// RuleText numbering. Pre-rendered here so no hot path formats them.
+	labels []string
+	// ruleFired are the cdtserve_rule_fired_total children, aligned with
+	// labels; the extra overflow child counts flat indices past the cap.
+	ruleFired []*telemetry.Counter
+	overflow  *telemetry.Counter
+
+	// scaleOff maps a pyramid scale index to its flat label offset;
+	// factorIdx maps a downsample factor to its scale index. Both nil
+	// for plain models (flat index == rule index − 1).
+	scaleOff  []int
+	factorIdx map[int]int
+
+	// scaleSweep are the cdtserve_scale_sweep_seconds children, one per
+	// pyramid scale; nil for plain models.
+	scaleSweep []*telemetry.Histogram
+}
+
+// attribution caches one modelAttr per registry name, rebuilt when the
+// artifact serving under the name changes (reload, promote, rollback —
+// interface pointer identity is the change signal).
+type attribution struct {
+	tel *serverMetrics
+
+	mu sync.RWMutex
+	m  map[string]*attrEntry
+}
+
+type attrEntry struct {
+	art  cdt.Artifact
+	attr *modelAttr
+}
+
+func newAttribution(tel *serverMetrics) *attribution {
+	return &attribution{tel: tel, m: make(map[string]*attrEntry)}
+}
+
+// forModel returns name's attribution instruments, building them on the
+// first request after the serving artifact changed. The fast path is a
+// read-locked map hit; the build path resolves telemetry children at
+// artifact-change frequency.
+func (a *attribution) forModel(name string, art cdt.Artifact) *modelAttr {
+	a.mu.RLock()
+	e := a.m[name]
+	a.mu.RUnlock()
+	if e != nil && e.art == art {
+		return e.attr
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if e := a.m[name]; e != nil && e.art == art {
+		return e.attr
+	}
+	attr := buildModelAttr(a.tel, name, art)
+	a.m[name] = &attrEntry{art: art, attr: attr}
+	return attr
+}
+
+// buildModelAttr pre-renders the bounded rule-label table and resolves
+// every telemetry child for one artifact. Runs under the attribution
+// mutex at artifact-change frequency (one build per load/reload/promote
+// per model), never per observation.
+func buildModelAttr(tel *serverMetrics, name string, art cdt.Artifact) *modelAttr {
+	info := art.Info()
+	attr := &modelAttr{
+		overflow: tel.ruleFired.With(name, "other"),
+	}
+	if len(info.Scales) > 0 {
+		attr.scaleOff = make([]int, len(info.Scales))
+		attr.factorIdx = make(map[int]int, len(info.Scales))
+		attr.scaleSweep = make([]*telemetry.Histogram, len(info.Scales))
+		off := 0
+		for i, f := range info.Scales {
+			attr.scaleOff[i] = off
+			attr.factorIdx[f] = i
+			if i < len(info.ScaleRules) {
+				off += info.ScaleRules[i]
+			}
+			scale := "x" + strconv.Itoa(f)
+			//cdtlint:ignore metriclabel resolved once per (model, artifact) under the attribution cache mutex, bounded by maxPyramidScales; scoring only Observes the cached child
+			attr.scaleSweep[i] = tel.scaleSweep.With(name, scale)
+			for r := 0; r < ruleCount(info.ScaleRules, i) && len(attr.labels) < maxRuleLabels; r++ {
+				label := scale + ".r" + strconv.Itoa(r+1)
+				attr.labels = append(attr.labels, label)
+				//cdtlint:ignore metriclabel resolved once per (model, artifact) at artifact-change frequency; labels are stable bounded indices capped at maxRuleLabels, and the scoring path only Adds to the cached children
+				attr.ruleFired = append(attr.ruleFired, tel.ruleFired.With(name, label))
+			}
+		}
+		return attr
+	}
+	for r := 0; r < info.NumRules && r < maxRuleLabels; r++ {
+		label := "r" + strconv.Itoa(r+1)
+		attr.labels = append(attr.labels, label)
+		//cdtlint:ignore metriclabel resolved once per (model, artifact) at artifact-change frequency; labels are stable bounded indices capped at maxRuleLabels, and the scoring path only Adds to the cached children
+		attr.ruleFired = append(attr.ruleFired, tel.ruleFired.With(name, label))
+	}
+	return attr
+}
+
+// ruleCount reads scaleRules[i] defensively (older artifacts without
+// per-scale counts attribute nothing rather than mislabeling).
+func ruleCount(scaleRules []int, i int) int {
+	if i < len(scaleRules) {
+		return scaleRules[i]
+	}
+	return 0
+}
+
+// slots is the accumulation-array length: one per labeled rule plus the
+// trailing overflow slot.
+func (a *modelAttr) slots() int {
+	if a == nil || len(a.labels) == 0 {
+		return 0
+	}
+	return len(a.labels) + 1
+}
+
+// newCounts allocates a per-series accumulation array (nil when the
+// model has no labeled rules).
+func (a *modelAttr) newCounts() []uint64 {
+	if n := a.slots(); n > 0 {
+		return make([]uint64, n)
+	}
+	return nil
+}
+
+// bump accumulates one firing of flat rule index idx.
+func (a *modelAttr) bump(counts []uint64, idx int) {
+	if counts == nil {
+		return
+	}
+	if idx < 0 || idx >= len(a.labels) {
+		idx = len(a.labels) // overflow slot
+	}
+	counts[idx]++
+}
+
+// tallyWindow folds one batch detection's fired rules into counts. For
+// pyramids the per-scale breakdown is the source of truth (the headline
+// Fired set duplicates the fastest scale's predicates).
+func (a *modelAttr) tallyWindow(counts []uint64, d cdt.WindowDetection) {
+	if counts == nil {
+		return
+	}
+	if a.factorIdx == nil {
+		for _, f := range d.Fired {
+			a.bump(counts, f.Index-1)
+		}
+		return
+	}
+	for _, sd := range d.Scales {
+		base, ok := a.flatBase(sd.Factor)
+		for _, f := range sd.Fired {
+			if !ok {
+				a.bump(counts, -1)
+				continue
+			}
+			a.bump(counts, base+f.Index-1)
+		}
+	}
+}
+
+// tallyStream folds one stream detection's fired rules into counts
+// (Detection.Scale carries the firing factor for pyramid streams, 0 for
+// plain ones).
+func (a *modelAttr) tallyStream(counts []uint64, d cdt.Detection) {
+	if counts == nil {
+		return
+	}
+	base := 0
+	if a.factorIdx != nil {
+		var ok bool
+		if base, ok = a.flatBase(d.Scale); !ok {
+			for range d.Fired {
+				a.bump(counts, -1)
+			}
+			return
+		}
+	}
+	for _, f := range d.Fired {
+		a.bump(counts, base+f.Index-1)
+	}
+}
+
+// flatBase resolves a downsample factor to its flat label offset.
+func (a *modelAttr) flatBase(factor int) (int, bool) {
+	i, ok := a.factorIdx[factor]
+	if !ok {
+		return 0, false
+	}
+	return a.scaleOff[i], true
+}
+
+// apply publishes an accumulation array to the pre-resolved counters:
+// at most one atomic add per distinct rule, no child resolution.
+func (a *modelAttr) apply(counts []uint64) {
+	if counts == nil {
+		return
+	}
+	for i, n := range counts[:len(counts)-1] {
+		if n > 0 {
+			a.ruleFired[i].Add(n)
+		}
+	}
+	if n := counts[len(counts)-1]; n > 0 {
+		a.overflow.Add(n)
+	}
+}
+
+// hasScaleSweep reports whether the artifact gets per-scale sweep
+// latency histograms (pyramids only).
+func (a *modelAttr) hasScaleSweep() bool {
+	return a != nil && len(a.scaleSweep) > 0
+}
+
+// observeSweep is the cdt.ScaleSweepObserver the batch path installs:
+// one histogram observation per scale sweep, on a pre-resolved child.
+func (a *modelAttr) observeSweep(scaleIndex, factor int, seconds float64) {
+	if a == nil || scaleIndex < 0 || scaleIndex >= len(a.scaleSweep) {
+		return
+	}
+	a.scaleSweep[scaleIndex].Observe(seconds)
+}
+
+// ruleLabel renders the flat index back to its label ("other" past the
+// cap) — the drift tracker uses it to name the drifting rule.
+func (a *modelAttr) ruleLabel(idx int) string {
+	if a == nil || idx < 0 || idx >= len(a.labels) {
+		return "other"
+	}
+	return a.labels[idx]
+}

@@ -10,9 +10,11 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 
 	cdt "cdt"
+	"cdt/internal/trace"
 )
 
 type batchRequest struct {
@@ -115,7 +117,22 @@ func (s *Server) handleBatchDetect(w http.ResponseWriter, r *http.Request) {
 // gate.
 func (s *Server) scoreBatch(ctx context.Context, name string, model cdt.Artifact, series []seriesPayload) []seriesResult {
 	shadow := s.shadows.Get(name)
+	attr := s.attr.forModel(name, model)
 	omega := model.Info().Omega
+	rid := RequestID(ctx)
+	link := trace.LinkFromContext(ctx)
+	poolCtx, poolSpan := trace.StartSpan(ctx, "batch_pool")
+	if poolSpan != nil {
+		poolSpan.SetAttr("model", name)
+		poolSpan.SetAttr("series", strconv.Itoa(len(series)))
+		defer poolSpan.End()
+		// Per-scale sweep latency histograms ride the trace plumbing: the
+		// observer installed here fires once per pyramid scale sweep on
+		// pre-resolved children, sampled or not.
+	}
+	if attr.hasScaleSweep() {
+		poolCtx = cdt.WithScaleSweepObserver(poolCtx, attr.observeSweep)
+	}
 	results := make([]seriesResult, len(series))
 	// Per-slot anomaly-type tallies, merged into one Vec.With per
 	// distinct type after the fan-out (metriclabel: no child resolution
@@ -139,11 +156,18 @@ func (s *Server) scoreBatch(ctx context.Context, name string, model cdt.Artifact
 				results[i].Error = "request canceled before scoring"
 				return
 			}
-			dets, err := model.DetectExplained(cdt.NewSeries(sp.Name, sp.Values))
+			sctx, sspan := trace.StartSpan(poolCtx, "series")
+			if sspan != nil {
+				sspan.SetAttr("series", sp.Name)
+				sspan.SetAttr("points", strconv.Itoa(len(sp.Values)))
+				defer sspan.End()
+			}
+			dets, err := model.DetectExplained(sctx, cdt.NewSeries(sp.Name, sp.Values))
 			if err != nil {
 				results[i].Error = err.Error()
 				return
 			}
+			ruleCounts := attr.newCounts()
 			results[i].Detections = make([]batchDetection, len(dets))
 			for j, d := range dets {
 				results[i].Detections[j] = batchDetection{
@@ -154,6 +178,7 @@ func (s *Server) scoreBatch(ctx context.Context, name string, model cdt.Artifact
 					Type:   string(d.Type),
 					Scales: scaleDetails(d.Scales),
 				}
+				attr.tallyWindow(ruleCounts, d)
 				if d.Type != "" {
 					if typeCounts[i] == nil {
 						typeCounts[i] = map[string]uint64{}
@@ -161,6 +186,7 @@ func (s *Server) scoreBatch(ctx context.Context, name string, model cdt.Artifact
 					typeCounts[i][string(d.Type)]++
 				}
 			}
+			attr.apply(ruleCounts)
 			stats.Add("batch_series", 1)
 			stats.Add("detections", int64(len(dets)))
 			s.tel.batchSeries.Inc()
@@ -169,7 +195,7 @@ func (s *Server) scoreBatch(ctx context.Context, name string, model cdt.Artifact
 			if windows < 0 {
 				windows = 0
 			}
-			s.drift.observe(name, model, windows, len(dets))
+			s.drift.observe(ctx, name, model, attr, windows, len(dets), ruleCounts)
 			if shadow != nil {
 				incRanges := make([][2]int, len(dets))
 				for j, d := range dets {
@@ -180,6 +206,8 @@ func (s *Server) scoreBatch(ctx context.Context, name string, model cdt.Artifact
 					values:    sp.Values,
 					incRanges: incRanges,
 					windows:   windows,
+					rid:       rid,
+					link:      link,
 				})
 			}
 		}(i)

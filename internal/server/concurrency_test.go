@@ -7,6 +7,7 @@ package server
 // request was dropped mid-reload.
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -118,7 +119,7 @@ func TestConcurrentBatchDetectReloadAndStreams(t *testing.T) {
 func TestConcurrentPushesToOneSession(t *testing.T) {
 	s, _, _ := newTestServer(t, Config{})
 	model, _ := s.registry.Get("spikes")
-	sess, err := s.sessions.Create("spikes", model, cdt.Scale{Min: 60, Max: 420}, nil, nil)
+	sess, err := s.sessions.Create("spikes", model, cdt.Scale{Min: 60, Max: 420}, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,12 +130,12 @@ func TestConcurrentPushesToOneSession(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for _, v := range feed.Values {
-				sess.Push([]float64{v})
+				sess.Push(context.Background(), []float64{v})
 			}
 		}()
 	}
 	wg.Wait()
-	if _, consumed, _ := sess.Push(nil); consumed != 8*len(feed.Values) {
+	if _, consumed, _ := sess.Push(context.Background(), nil); consumed != 8*len(feed.Values) {
 		t.Fatalf("consumed %d points, want %d", consumed, 8*len(feed.Values))
 	}
 }

@@ -11,7 +11,9 @@ package server
 // reviewed candidate, never a silent model swap.
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 
@@ -31,9 +33,13 @@ type Retrainer interface {
 const driftBuckets = 16
 
 // driftBucket accumulates one ring slot's worth of scored windows.
+// rules holds per-rule firing counts aligned with the model's
+// attribution label table (nil when attribution is off), so a stale
+// transition can name the rule driving the drift, not just the model.
 type driftBucket struct {
 	windows uint64
 	fired   uint64
+	rules   []uint64
 }
 
 // driftTracker follows one model's live fire rate.
@@ -41,7 +47,8 @@ type driftTracker struct {
 	baseline float64 // training-time anomaly rate
 	ring     [driftBuckets]driftBucket
 	cur      int
-	stale    bool // sticky until the tracker is reset
+	stale    bool   // sticky until the tracker is reset
+	rule     string // top firing rule label at the stale transition
 }
 
 func (t *driftTracker) totals() (windows, fired uint64) {
@@ -52,6 +59,28 @@ func (t *driftTracker) totals() (windows, fired uint64) {
 	return windows, fired
 }
 
+// topRule sums the per-rule counts across the ring and returns the flat
+// index with the most firings over the tracked window (-1 when no rule
+// counts were recorded).
+func (t *driftTracker) topRule() int {
+	var sums []uint64
+	for _, b := range t.ring {
+		for i, n := range b.rules {
+			if i >= len(sums) {
+				sums = append(sums, make([]uint64, i+1-len(sums))...)
+			}
+			sums[i] += n
+		}
+	}
+	best, bestN := -1, uint64(0)
+	for i, n := range sums {
+		if n > bestN {
+			best, bestN = i, n
+		}
+	}
+	return best
+}
+
 // drift owns the per-model trackers and the single-flight retrain state.
 type drift struct {
 	window    int     // minimum windows tracked before evaluating
@@ -59,13 +88,14 @@ type drift struct {
 	store     *modelstore.Store
 	retrainer Retrainer
 	tel       *serverMetrics
+	logger    *slog.Logger // nil-safe: retrain outcomes log only when set
 
 	mu         sync.Mutex
 	trackers   map[string]*driftTracker
 	retraining map[string]bool // models with a retrain in flight
 }
 
-func newDrift(window int, bound float64, store *modelstore.Store, retrainer Retrainer, tel *serverMetrics) *drift {
+func newDrift(window int, bound float64, store *modelstore.Store, retrainer Retrainer, tel *serverMetrics, logger *slog.Logger) *drift {
 	if window <= 0 {
 		window = 512
 	}
@@ -75,6 +105,7 @@ func newDrift(window int, bound float64, store *modelstore.Store, retrainer Retr
 		store:      store,
 		retrainer:  retrainer,
 		tel:        tel,
+		logger:     logger,
 		trackers:   make(map[string]*driftTracker),
 		retraining: make(map[string]bool),
 	}
@@ -87,7 +118,15 @@ func newDrift(window int, bound float64, store *modelstore.Store, retrainer Retr
 // baseline is the base scale's training rate) but never retrained
 // automatically — the retrainer only knows how to re-fit plain models,
 // so a drifted pyramid gets a stale mark and an audit note instead.
-func (d *drift) observe(name string, model cdt.Artifact, windows, fired int) {
+//
+// ruleCounts is the sample's per-rule firing breakdown (the attribution
+// accumulation array; nil when attribution is off). It feeds a per-rule
+// window alongside the aggregate one, so a stale transition names the
+// rule driving the drift — the paper's rules are the interpretable unit,
+// and "model spikes is stale because x4.r2 tripled its fire rate" is
+// actionable where "model spikes is stale" is not. ctx carries the
+// request ID into retrain log lines.
+func (d *drift) observe(ctx context.Context, name string, model cdt.Artifact, attr *modelAttr, windows, fired int, ruleCounts []uint64) {
 	if d.bound <= 0 || windows <= 0 {
 		return
 	}
@@ -97,9 +136,19 @@ func (d *drift) observe(name string, model cdt.Artifact, windows, fired int) {
 		t = &driftTracker{baseline: model.TrainingAnomalyRate()}
 		d.trackers[name] = t
 	}
-	t.ring[t.cur].windows += uint64(windows)
-	t.ring[t.cur].fired += uint64(fired)
-	if t.ring[t.cur].windows >= uint64(d.window/driftBuckets+1) {
+	b := &t.ring[t.cur]
+	b.windows += uint64(windows)
+	b.fired += uint64(fired)
+	for i, n := range ruleCounts {
+		if n == 0 {
+			continue
+		}
+		if i >= len(b.rules) {
+			b.rules = append(b.rules, make([]uint64, i+1-len(b.rules))...)
+		}
+		b.rules[i] += n
+	}
+	if b.windows >= uint64(d.window/driftBuckets+1) {
 		t.cur = (t.cur + 1) % driftBuckets
 		t.ring[t.cur] = driftBucket{}
 	}
@@ -109,17 +158,26 @@ func (d *drift) observe(name string, model cdt.Artifact, windows, fired int) {
 		live := float64(totalFired) / float64(total)
 		if delta := live - t.baseline; delta > d.bound || delta < -d.bound {
 			t.stale = true
+			if idx := t.topRule(); idx >= 0 {
+				t.rule = attr.ruleLabel(idx)
+			}
 			trigger = true
 		}
 	}
+	rule := t.rule
 	launch := trigger && d.store != nil && d.retrainer != nil && !d.retraining[name]
 	if launch {
 		d.retraining[name] = true
 	}
 	d.mu.Unlock()
 
+	rid := RequestID(ctx)
 	if trigger {
 		d.tel.staleModels.With(name).Set(1)
+		if d.logger != nil {
+			d.logger.Warn("model drift detected",
+				"model", name, "top_rule", rule, "request_id", rid)
+		}
 	}
 	if launch {
 		incumbent, ok := model.(*cdt.Model)
@@ -132,14 +190,17 @@ func (d *drift) observe(name string, model cdt.Artifact, windows, fired int) {
 				fmt.Sprintf("skipped: incumbent is a %q artifact; automatic retraining supports plain models only", model.Info().Kind))
 			return
 		}
-		go d.retrain(name, incumbent)
+		go d.retrain(name, incumbent, rid)
 	}
 }
 
 // retrain asks the Retrainer for a fresh document and publishes it to
 // the store as an unpromoted candidate. Runs off the request path; the
 // single-flight flag set in observe is cleared on exit (under d.mu).
-func (d *drift) retrain(name string, incumbent *cdt.Model) {
+// rid is the ID of the request whose observation tripped the bound —
+// the retrain outlives that request, so its log lines carry the ID as a
+// plain value.
+func (d *drift) retrain(name string, incumbent *cdt.Model, rid string) {
 	defer func() {
 		d.mu.Lock()
 		delete(d.retraining, name)
@@ -149,16 +210,26 @@ func (d *drift) retrain(name string, incumbent *cdt.Model) {
 	if err != nil {
 		d.tel.retrains.With("error").Inc()
 		_ = d.store.Note(modelstore.EventRetrain, name, 0, fmt.Sprintf("failed: %v", err))
+		if d.logger != nil {
+			d.logger.Warn("drift retrain failed", "model", name, "request_id", rid, "err", err)
+		}
 		return
 	}
 	v, err := d.store.Publish(name, doc, "retrain", note)
 	if err != nil {
 		d.tel.retrains.With("error").Inc()
 		_ = d.store.Note(modelstore.EventRetrain, name, 0, fmt.Sprintf("publish failed: %v", err))
+		if d.logger != nil {
+			d.logger.Warn("drift retrain publish failed", "model", name, "request_id", rid, "err", err)
+		}
 		return
 	}
 	d.tel.retrains.With("ok").Inc()
 	_ = d.store.Note(modelstore.EventRetrain, name, v.Version, "candidate published, awaiting promotion")
+	if d.logger != nil {
+		d.logger.Info("drift retrain published candidate",
+			"model", name, "version", v.Version, "request_id", rid)
+	}
 }
 
 // reset clears name's tracker and stale flag — called when a promote,
@@ -197,5 +268,20 @@ func (d *drift) staleModels() []string {
 		}
 	}
 	sort.Strings(out)
+	return out
+}
+
+// staleRules maps each stale model to the rule label that fired most
+// over the drift window at the stale transition ("" when attribution
+// was off). Surfaced as "stale_rules" on /healthz. Takes d.mu.
+func (d *drift) staleRules() map[string]string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]string)
+	for name, t := range d.trackers {
+		if t.stale && t.rule != "" {
+			out[name] = t.rule
+		}
+	}
 	return out
 }

@@ -24,10 +24,12 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	cdt "cdt"
 	"cdt/internal/modelstore"
+	"cdt/internal/trace"
 )
 
 // stats publishes the serving counters under the "cdtserve" expvar map
@@ -69,8 +71,16 @@ type Config struct {
 	SlowRequestThreshold time.Duration
 	// AccessLog, when non-nil, receives one structured line per request
 	// (endpoint, status, latency, request ID). Nil disables access
-	// logging; metrics are collected either way.
+	// logging; metrics are collected either way. Background work (shadow
+	// scoring, drift retraining) logs through the same logger, carrying
+	// the originating request ID.
 	AccessLog *slog.Logger
+	// Tracer, when non-nil, enables request-scoped tracing: the
+	// middleware makes the root sampling decision (honoring inbound W3C
+	// traceparent headers), spans thread through the scoring hot paths,
+	// and finished spans land in the tracer's ring on GET /debug/traces.
+	// Nil disables tracing entirely (the endpoint serves an empty list).
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -95,10 +105,12 @@ type Server struct {
 	sessions *Sessions
 	shadows  *Shadows
 	drift    *drift
+	attr     *attribution  // per-model rule-attribution cache
 	sem      chan struct{} // batch worker-pool slots
 	mux      *http.ServeMux
 	tel      *serverMetrics
-	logger   *slog.Logger // access logger; nil disables access logs
+	tracer   *trace.Tracer // nil disables tracing
+	logger   *slog.Logger  // access logger; nil disables access logs
 }
 
 // New loads the model backend (directory or store) and assembles the
@@ -126,11 +138,13 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		registry: reg,
 		sessions: NewSessions(cfg.SessionTTL, tel),
-		shadows:  NewShadows(tel, cfg.Workers),
-		drift:    newDrift(cfg.DriftWindow, cfg.DriftBound, cfg.Store, cfg.Retrainer, tel),
+		shadows:  NewShadows(tel, cfg.Workers, cfg.AccessLog, cfg.Tracer),
+		drift:    newDrift(cfg.DriftWindow, cfg.DriftBound, cfg.Store, cfg.Retrainer, tel, cfg.AccessLog),
+		attr:     newAttribution(tel),
 		sem:      make(chan struct{}, cfg.Workers),
 		mux:      http.NewServeMux(),
 		tel:      tel,
+		tracer:   cfg.Tracer,
 		logger:   cfg.AccessLog,
 	}
 	tel.reg.GaugeFunc("cdtserve_models_loaded",
@@ -160,13 +174,16 @@ func (s *Server) routes() {
 	s.handle("DELETE /streams/{id}", "stream_delete", s.handleDeleteStream)
 	s.handle("GET /metrics", "metrics", s.handleMetrics)
 	s.handle("GET /debug/vars", "debug_vars", expvar.Handler().ServeHTTP)
+	s.handle("GET /debug/traces", "debug_traces", s.handleTraces)
 }
 
 // Handler returns the HTTP surface. The middleware applies, to every
 // route: the legacy expvar request counter, body limiting, request-ID
 // assignment (honoring an inbound X-Request-ID) with context propagation
-// and the X-Request-ID response header, the in-flight gauge, and — when
-// Config.AccessLog is set — one structured access-log line.
+// and the X-Request-ID response header, the root trace span (honoring an
+// inbound W3C traceparent, emitting the outbound header when sampled),
+// the in-flight gauge, and — when Config.AccessLog is set — one
+// structured access-log line.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		stats.Add("requests", 1)
@@ -176,14 +193,32 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.Header().Set("X-Request-ID", id)
 		rec := &statusRecorder{ResponseWriter: w, endpoint: "other"}
-		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, id))
+		ctx := context.WithValue(r.Context(), ridKey{}, id)
+		var span *trace.Span
+		if s.tracer != nil {
+			// nil span (unsampled) leaves ctx untouched; every downstream
+			// instrumentation point no-ops on the missing span.
+			ctx, span = s.tracer.StartRequest(ctx, "request", r.Header.Get("traceparent"))
+			if span != nil {
+				span.SetAttr("method", r.Method)
+				span.SetAttr("path", r.URL.Path)
+				span.SetAttr("request_id", id)
+				w.Header().Set("traceparent", span.Traceparent())
+			}
+		}
+		r = r.WithContext(ctx)
 		r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
 		s.tel.inFlight.Add(1)
 		start := time.Now()
 		s.mux.ServeHTTP(rec, r)
 		s.tel.inFlight.Add(-1)
 		elapsed := time.Since(start)
-		s.recordSlowRequest(r, rec, id, elapsed)
+		if span != nil {
+			span.SetAttr("endpoint", rec.endpoint)
+			span.SetAttr("status", strconv.Itoa(rec.status()))
+			span.End()
+		}
+		s.recordSlowRequest(r, rec, id, span.TraceID(), elapsed)
 		if s.logger != nil {
 			s.accessLog(r, rec, id, elapsed)
 		}
@@ -279,6 +314,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if stale := s.drift.staleModels(); len(stale) > 0 {
 		body["status"] = "degraded"
 		body["stale_models"] = stale
+		if rules := s.drift.staleRules(); len(rules) > 0 {
+			// Name the rule driving each drift — the actionable half of
+			// the stale signal for a rule-based detector.
+			body["stale_rules"] = rules
+		}
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -324,7 +364,8 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess, err := s.sessions.Create(req.Model, model,
-		cdt.Scale{Min: req.Min, Max: req.Max}, s.shadows.Get(req.Model), s.drift)
+		cdt.Scale{Min: req.Min, Max: req.Max}, s.shadows.Get(req.Model), s.drift,
+		s.attr.forModel(req.Model, model))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -375,7 +416,7 @@ func (s *Server) handlePushPoints(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "points must be non-empty")
 		return
 	}
-	dets, consumed, ready := sess.Push(req.Points)
+	dets, consumed, ready := sess.Push(r.Context(), req.Points)
 	resp := pushPointsResponse{
 		Detections:     make([]streamDetection, len(dets)),
 		PointsConsumed: consumed,

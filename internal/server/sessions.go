@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	cdt "cdt"
+	"cdt/internal/trace"
 )
 
 // Sessions manages live streaming-detection sessions. Stream handles
@@ -38,6 +40,7 @@ type Session struct {
 
 	model cdt.Artifact // pinned incumbent (drift baseline source); may be nil in bare tests
 	drift *drift       // nil disables drift tracking (bare tests)
+	attr  *modelAttr   // nil disables per-rule attribution (bare tests)
 
 	mu       sync.Mutex
 	stream   cdt.StreamHandle
@@ -119,9 +122,9 @@ func newSessionID() string {
 // Create opens a stream on model (named name in the registry) and
 // registers it. The session pins the model it was created with, so a
 // registry reload — or a store promote, which is a reload — does not
-// disturb live streams. shadow and drift may be nil (bare unit tests,
-// or no candidate shadowing at creation time).
-func (s *Sessions) Create(name string, model cdt.Artifact, scale cdt.Scale, shadow *Shadow, drift *drift) (*Session, error) {
+// disturb live streams. shadow, drift, and attr may be nil (bare unit
+// tests, or no candidate shadowing at creation time).
+func (s *Sessions) Create(name string, model cdt.Artifact, scale cdt.Scale, shadow *Shadow, drift *drift, attr *modelAttr) (*Session, error) {
 	stream, err := model.OpenStream(scale)
 	if err != nil {
 		return nil, err
@@ -142,6 +145,7 @@ func (s *Sessions) Create(name string, model cdt.Artifact, scale cdt.Scale, shad
 		tel:          s.tel,
 		model:        model,
 		drift:        drift,
+		attr:         attr,
 		stream:       stream,
 		shadow:       shadow,
 		shadowStream: shadowStream,
@@ -187,9 +191,17 @@ func (s *Sessions) Len() int {
 // mirroring the session, the same points feed its stream synchronously
 // (the incremental cursor is O(1) per point) and the per-push detection
 // ranges are compared into the shadow counters; the drift tracker sees
-// every completed window either way.
-func (sess *Session) Push(values []float64) ([]cdt.Detection, int, bool) {
+// every completed window either way. ctx carries the request's trace
+// decision (a sampled request gets a session_push span, including any
+// wait on the session mutex) and its request ID for drift log lines.
+func (sess *Session) Push(ctx context.Context, values []float64) ([]cdt.Detection, int, bool) {
 	start := time.Now()
+	_, span := trace.StartSpan(ctx, "session_push")
+	if span != nil {
+		span.SetAttr("session", sess.ID)
+		span.SetAttr("points", fmt.Sprintf("%d", len(values)))
+		defer span.End()
+	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	pointsBefore := sess.stream.Points()
@@ -207,8 +219,16 @@ func (sess *Session) Push(values []float64) ([]cdt.Detection, int, bool) {
 		agree, incOnly, candOnly := compareRanges(detectionRanges(out), detectionRanges(candDets))
 		sess.shadow.record(windows, agree, incOnly, candOnly)
 	}
+	var ruleCounts []uint64
+	if sess.attr != nil && len(out) > 0 {
+		ruleCounts = sess.attr.newCounts()
+		for _, d := range out {
+			sess.attr.tallyStream(ruleCounts, d)
+		}
+		sess.attr.apply(ruleCounts)
+	}
 	if sess.drift != nil {
-		sess.drift.observe(sess.Model, sess.model, windows, len(out))
+		sess.drift.observe(ctx, sess.Model, sess.model, sess.attr, windows, len(out), ruleCounts)
 	}
 	sess.lastUsed = time.Now()
 	if sess.tel != nil {

@@ -1,13 +1,16 @@
 package server
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	cdt "cdt"
 	"cdt/internal/telemetry"
+	"cdt/internal/trace"
 )
 
 // Shadow evaluation: a candidate model version scores the same live
@@ -112,18 +115,25 @@ func (sh *Shadow) summary() ShadowSummary {
 	return s
 }
 
-// shadowJob is one batch sample awaiting candidate scoring.
+// shadowJob is one batch sample awaiting candidate scoring. It carries
+// the originating request's ID and span link as plain values — the
+// request context is gone by the time a worker scores the sample, so
+// identity rides the job, not a context.
 type shadowJob struct {
 	sh        *Shadow
 	values    []float64
-	incRanges [][2]int // incumbent detection ranges, ascending
-	windows   int      // windows the incumbent swept
+	incRanges [][2]int          // incumbent detection ranges, ascending
+	windows   int               // windows the incumbent swept
+	rid       string            // originating X-Request-ID, for worker log lines
+	link      trace.SpanContext // originating request span, for shadow_score spans
 }
 
 // Shadows manages the active shadow per model name and the background
 // worker pool that scores batch samples.
 type Shadows struct {
-	tel *serverMetrics
+	tel    *serverMetrics
+	logger *slog.Logger  // nil-safe: workers log only when set
+	tracer *trace.Tracer // nil-safe: shadow_score spans only when sampled
 
 	mu sync.RWMutex
 	m  map[string]*Shadow
@@ -136,15 +146,19 @@ type Shadows struct {
 }
 
 // NewShadows starts the shadow scorer with the given worker count.
-func NewShadows(tel *serverMetrics, workers int) *Shadows {
+// logger and tracer may be nil; workers then score silently and
+// untraced.
+func NewShadows(tel *serverMetrics, workers int, logger *slog.Logger, tracer *trace.Tracer) *Shadows {
 	if workers < 1 {
 		workers = 1
 	}
 	s := &Shadows{
-		tel:   tel,
-		m:     make(map[string]*Shadow),
-		queue: make(chan shadowJob, 256),
-		stop:  make(chan struct{}),
+		tel:    tel,
+		logger: logger,
+		tracer: tracer,
+		m:      make(map[string]*Shadow),
+		queue:  make(chan shadowJob, 256),
+		stop:   make(chan struct{}),
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -260,13 +274,30 @@ func (s *Shadows) worker() {
 // where the workers share cores with serving (REPORT.md).
 func (s *Shadows) score(job shadowJob) {
 	sh := job.sh
-	st, err := sh.candidate.ScoreRanges(cdt.NewSeries("shadow", job.values))
+	// The shadow_score span links back to the originating request's span
+	// via the job's carried SpanContext, so a sampled request's trace
+	// shows its asynchronous shadow work under the same trace ID.
+	ctx, span := s.tracer.StartLinked(context.Background(), job.link, "shadow_score")
+	if span != nil {
+		span.SetAttr("model", sh.Name)
+		span.SetAttr("request_id", job.rid)
+	}
+	st, err := sh.candidate.ScoreRanges(ctx, cdt.NewSeries("shadow", job.values))
 	if err != nil {
 		// A series the incumbent scored but the candidate cannot (e.g.
 		// shorter than the candidate's ω) is a hard disagreement on
 		// every incumbent detection.
 		sh.record(job.windows, 0, len(job.incRanges), 0)
 		observeRates(sh, job.windows, len(job.incRanges), 0, 0)
+		if span != nil {
+			span.SetAttr("error", err.Error())
+			span.End()
+		}
+		if s.logger != nil {
+			s.logger.Warn("shadow scoring error",
+				"model", sh.Name, "version", sh.Version,
+				"request_id", job.rid, "err", err)
+		}
 		return
 	}
 	agree, incOnly, candOnly := compareRanges(job.incRanges, st.Ranges)
@@ -277,6 +308,13 @@ func (s *Shadows) score(job shadowJob) {
 	}
 	observeRates(sh, job.windows, len(job.incRanges), candWindows, len(st.Ranges))
 	sh.observeScaleRates(st)
+	span.End()
+	if s.logger != nil {
+		s.logger.Debug("shadow sample scored",
+			"model", sh.Name, "version", sh.Version,
+			"request_id", job.rid,
+			"agree", agree, "incumbent_only", incOnly, "candidate_only", candOnly)
+	}
 }
 
 // observeScaleRates feeds the per-scale candidate fire-rate histograms

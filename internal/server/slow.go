@@ -32,6 +32,10 @@ type slowRequest struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// Time is the request completion time (unix seconds).
 	Time int64 `json:"time"`
+	// TraceID links the exemplar into /debug/traces?trace=<id> when the
+	// request was sampled; empty otherwise. The ring is how an operator
+	// goes from "something was slow" to that one request's span tree.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // slowRing keeps the last slowRingSize exemplars. A plain mutex is fine:
@@ -76,8 +80,9 @@ func init() {
 }
 
 // recordSlowRequest folds one completed request into the ring when it
-// exceeded the server's threshold (<= 0 disables recording).
-func (s *Server) recordSlowRequest(r *http.Request, rec *statusRecorder, id string, elapsed time.Duration) {
+// exceeded the server's threshold (<= 0 disables recording). traceID is
+// empty when the request was not sampled.
+func (s *Server) recordSlowRequest(r *http.Request, rec *statusRecorder, id, traceID string, elapsed time.Duration) {
 	if s.cfg.SlowRequestThreshold <= 0 || elapsed < s.cfg.SlowRequestThreshold {
 		return
 	}
@@ -89,5 +94,6 @@ func (s *Server) recordSlowRequest(r *http.Request, rec *statusRecorder, id stri
 		Status:    rec.status(),
 		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
 		Time:      time.Now().Unix(),
+		TraceID:   traceID,
 	})
 }

@@ -46,6 +46,11 @@ type serverMetrics struct {
 	sessionsEvicted  *telemetry.Counter    // cdtserve_stream_sessions_evicted_total
 	reloads          *telemetry.Counter    // cdtserve_model_reloads_total
 
+	// Per-rule attribution (attribution.go): children are resolved into
+	// the per-model modelAttr cache, never on the scoring path.
+	ruleFired  *telemetry.CounterVec   // cdtserve_rule_fired_total{model,rule}
+	scaleSweep *telemetry.HistogramVec // cdtserve_scale_sweep_seconds{model,scale}
+
 	// Model-lifecycle instruments (model store, shadows, drift).
 	shadowWindows   *telemetry.CounterVec   // cdtserve_shadow_windows_total{model,outcome}
 	shadowFireRate  *telemetry.HistogramVec // cdtserve_shadow_fire_rate{model,role}
@@ -61,6 +66,14 @@ type serverMetrics struct {
 // in [0, 1] and interesting mass sits near zero, so the default
 // latency-shaped buckets would flatten everything into one bin.
 var fireRateBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 0.75, 1}
+
+// sweepBuckets shape the per-scale sweep latency histograms: a single
+// scale sweep over a batch series runs tens of microseconds to low
+// milliseconds, well under the request-latency DefBuckets floor.
+var sweepBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+}
 
 func newServerMetrics() *serverMetrics {
 	reg := telemetry.NewRegistry()
@@ -87,6 +100,13 @@ func newServerMetrics() *serverMetrics {
 			"Streaming sessions evicted after exceeding the idle TTL."),
 		reloads: reg.Counter("cdtserve_model_reloads_total",
 			"Successful model-registry reloads (SIGHUP or POST /models/reload)."),
+		ruleFired: reg.CounterVec("cdtserve_rule_fired_total",
+			"Rule-predicate firings observed while scoring, by model and stable "+
+				"rule index (r<i>, or x<factor>.r<i> per pyramid scale; \"other\" "+
+				"past the label cap).", "model", "rule"),
+		scaleSweep: reg.HistogramVec("cdtserve_scale_sweep_seconds",
+			"Per-scale pyramid sweep latency in seconds (transform + label + "+
+				"engine sweep), by model and scale.", sweepBuckets, "model", "scale"),
 		shadowWindows: reg.CounterVec("cdtserve_shadow_windows_total",
 			"Shadow-compared detection outcomes, by model and outcome "+
 				"(agree, incumbent_only, candidate_only).", "model", "outcome"),
@@ -260,9 +280,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // DebugHandler returns the operator debug surface — /debug/pprof/*,
-// /debug/vars, and /metrics — as a handler separate from Handler().
-// cdtserve serves it on the opt-in -debug-addr listener, keeping
-// profilers and allocation dumps off the public port.
+// /debug/vars, /debug/traces, and /metrics — as a handler separate from
+// Handler(). cdtserve serves it on the opt-in -debug-addr listener,
+// keeping profilers and allocation dumps off the public port.
 func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -271,6 +291,7 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }

@@ -1,0 +1,36 @@
+package server
+
+// GET /debug/traces: the in-memory span ring, newest-first — the
+// request-scoped view the aggregate /metrics histograms cannot give.
+// A slow-request exemplar on /debug/vars carries its trace ID; pasting
+// it into ?trace= narrows this endpoint to that one request's spans.
+
+import (
+	"net/http"
+
+	"cdt/internal/trace"
+)
+
+// tracesResponse is the GET /debug/traces payload.
+type tracesResponse struct {
+	// Spans holds finished spans, newest first (bounded by the tracer's
+	// ring size). Empty when tracing is disabled or nothing sampled yet.
+	Spans []trace.SpanData `json:"spans"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	spans := s.tracer.Snapshot() // nil-safe: no tracer → no spans
+	if id := r.URL.Query().Get("trace"); id != "" {
+		filtered := spans[:0]
+		for _, sd := range spans {
+			if sd.TraceID == id {
+				filtered = append(filtered, sd)
+			}
+		}
+		spans = filtered
+	}
+	if spans == nil {
+		spans = []trace.SpanData{}
+	}
+	writeJSON(w, http.StatusOK, tracesResponse{Spans: spans})
+}

@@ -1,7 +1,9 @@
 package cdt
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"cdt/internal/core"
@@ -10,6 +12,7 @@ import (
 	"cdt/internal/pattern"
 	"cdt/internal/quality"
 	"cdt/internal/rules"
+	"cdt/internal/trace"
 )
 
 // Model is a trained CDT: the tree, the simplified rule set extracted
@@ -115,19 +118,25 @@ func (m *Model) TrainingAnomalyRate() float64 {
 
 // detectMarks labels a series and sweeps the compiled engine over it in
 // one pass, returning per-window match marks — the shared back end of
-// every batch detection surface.
-func (m *Model) detectMarks(s *Series) (*engine.Marks, error) {
+// every batch detection surface. A sampled ctx (internal/trace) gets an
+// "engine_sweep" span; the unsampled path pays one context lookup.
+func (m *Model) detectMarks(ctx context.Context, s *Series) (*engine.Marks, error) {
+	_, span := trace.StartSpan(ctx, "engine_sweep")
 	labels, _, err := labeledSeries(s, m.pcfg, m.Opts.Omega)
 	if err != nil {
+		span.End()
 		return nil, err
 	}
-	return m.eng.Sweep(labels), nil
+	marks := m.eng.Sweep(labels)
+	span.SetAttr("windows", strconv.Itoa(marks.NumWindows()))
+	span.End()
+	return marks, nil
 }
 
 // DetectWindows runs the rule over a series and returns one flag per
 // sliding window (window i covers points [i+1, i+ω] of the series).
 func (m *Model) DetectWindows(s *Series) ([]bool, error) {
-	marks, err := m.detectMarks(s)
+	marks, err := m.detectMarks(context.Background(), s)
 	if err != nil {
 		return nil, err
 	}

@@ -32,10 +32,14 @@ package cdt
 // TestPyramidSingleScaleGolden).
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"cdt/internal/evalmetrics"
+	"cdt/internal/telemetry"
+	"cdt/internal/trace"
 )
 
 // AnomalyType tags a pyramid detection with the anomaly class its
@@ -315,35 +319,48 @@ func (pm *PyramidModel) classifyScales(scales []ScaleDetection) AnomalyType {
 
 // detect is the univariate batch back end: the series becomes the sole
 // input dimension of detectDims.
-func (pm *PyramidModel) detect(s *Series) ([]WindowDetection, []bool, error) {
+func (pm *PyramidModel) detect(ctx context.Context, s *Series) ([]WindowDetection, []bool, error) {
 	ns, err := ensureNormalized(s)
 	if err != nil {
 		return nil, nil, err
 	}
-	return pm.detectDims([]*Series{ns})
+	return pm.detectDims(ctx, []*Series{ns})
 }
 
 // scaleCoverage sweeps every scale over the (already normalized) input
 // dimensions and projects fired windows onto original-resolution
 // points: per-scale coverage flags plus the per-scale detections.
 // Shared by fused detection and fusion-weight training, which needs the
-// raw per-scale indicators before any policy is applied.
-func (pm *PyramidModel) scaleCoverage(dims []*Series) ([][]bool, [][]ScaleDetection, int, error) {
+// raw per-scale indicators before any policy is applied. Each scale's
+// sweep gets a "scale_sweep" span on a sampled ctx and is timed for the
+// context's ScaleSweepObserver (the serving layer's per-scale latency
+// histograms); timing goes through telemetry.Stopwatch, the sanctioned
+// wall-clock boundary for this detfloat-guarded package.
+func (pm *PyramidModel) scaleCoverage(ctx context.Context, dims []*Series) ([][]bool, [][]ScaleDetection, int, error) {
+	obs := scaleSweepObserver(ctx)
 	n := dims[0].Len()
 	numScales := len(pm.ens.Members)
 	coverage := make([][]bool, numScales)
 	perScale := make([][]ScaleDetection, numScales)
 	for i, mem := range pm.ens.Members {
 		f := pm.Config.Factors[i]
+		var sw telemetry.Stopwatch
+		if obs != nil {
+			sw = telemetry.NewStopwatch()
+		}
+		sctx, span := trace.StartSpan(ctx, "scale_sweep")
+		span.SetAttr("factor", strconv.Itoa(f))
 		// Downsample after normalizing (mean/max keep [0,1], so the
 		// derived series is not re-stretched) — the same order training
 		// applies through AtResolution.
 		ds, err := mem.Transform.Apply(dims)
 		if err != nil {
+			span.End()
 			return nil, nil, 0, fmt.Errorf("cdt: pyramid scale x%d: %w", f, err)
 		}
-		marks, err := mem.Model.detectMarks(ds)
+		marks, err := mem.Model.detectMarks(sctx, ds)
 		if err != nil {
+			span.End()
 			return nil, nil, 0, fmt.Errorf("cdt: pyramid scale x%d: %w", f, err)
 		}
 		cov := make([]bool, n)
@@ -370,6 +387,10 @@ func (pm *PyramidModel) scaleCoverage(dims []*Series) ([][]bool, [][]ScaleDetect
 			}
 		}
 		coverage[i] = cov
+		span.End()
+		if obs != nil {
+			obs(i, f, sw.Elapsed().Seconds())
+		}
 	}
 	return coverage, perScale, n, nil
 }
@@ -394,13 +415,20 @@ func (pm *PyramidModel) fusePoints(coverage [][]bool, n int) []bool {
 
 // detectDims is the shared batch back end over normalized input
 // dimensions: per-scale sweeps projected onto original-resolution
-// points, fused per point, merged into ranges.
-func (pm *PyramidModel) detectDims(dims []*Series) ([]WindowDetection, []bool, error) {
-	coverage, perScale, n, err := pm.scaleCoverage(dims)
+// points, fused per point, merged into ranges. On a sampled ctx the
+// whole scoring runs under a "detect" span with a "scale_sweep" child
+// per scale and a "fusion_decide" child over the point-level fusion.
+func (pm *PyramidModel) detectDims(ctx context.Context, dims []*Series) ([]WindowDetection, []bool, error) {
+	ctx, span := trace.StartSpan(ctx, "detect")
+	coverage, perScale, n, err := pm.scaleCoverage(ctx, dims)
 	if err != nil {
+		span.End()
 		return nil, nil, err
 	}
+	_, fspan := trace.StartSpan(ctx, "fusion_decide")
+	fspan.SetAttr("policy", pm.ens.Fuse.String())
 	flags := pm.fusePoints(coverage, n)
+	fspan.End()
 	var out []WindowDetection
 	for p := 0; p < n; {
 		if !flags[p] {
@@ -435,6 +463,8 @@ func (pm *PyramidModel) detectDims(dims []*Series) ([]WindowDetection, []bool, e
 			Scales: scales,
 		})
 	}
+	span.SetAttr("fired", strconv.Itoa(len(out)))
+	span.End()
 	return out, flags, nil
 }
 
@@ -445,21 +475,25 @@ func (pm *PyramidModel) detectDims(dims []*Series) ([]WindowDetection, []bool, e
 // breakdown in Scales, and the fastest firing scale's predicates as the
 // headline Fired set.
 func (pm *PyramidModel) DetectPyramid(s *Series) ([]WindowDetection, error) {
-	out, _, err := pm.detect(s)
+	out, _, err := pm.detect(context.Background(), s)
 	return out, err
 }
 
 // DetectExplained is DetectPyramid under the shared Artifact surface, so
-// batch serving scores pyramids and plain models through one call.
-func (pm *PyramidModel) DetectExplained(s *Series) ([]WindowDetection, error) {
-	return pm.DetectPyramid(s)
+// batch serving scores pyramids and plain models through one call. ctx
+// carries request-scoped instrumentation (spans, sweep observer).
+func (pm *PyramidModel) DetectExplained(ctx context.Context, s *Series) ([]WindowDetection, error) {
+	out, _, err := pm.detect(ctx, s)
+	return out, err
 }
 
 // ScoreRanges reports the same fused point ranges DetectExplained would
 // plus per-scale fired/swept window counts, skipping the per-run scale
 // breakdowns, anomaly typing, and rule rendering — the lean surface
 // shadow scoring runs a candidate through.
-func (pm *PyramidModel) ScoreRanges(s *Series) (RangeStats, error) {
+func (pm *PyramidModel) ScoreRanges(ctx context.Context, s *Series) (RangeStats, error) {
+	ctx, span := trace.StartSpan(ctx, "score_ranges")
+	defer span.End()
 	ns, err := ensureNormalized(s)
 	if err != nil {
 		return RangeStats{}, err
@@ -474,12 +508,16 @@ func (pm *PyramidModel) ScoreRanges(s *Series) (RangeStats, error) {
 	}
 	for i, mem := range pm.ens.Members {
 		f := pm.Config.Factors[i]
+		sctx, sspan := trace.StartSpan(ctx, "scale_sweep")
+		sspan.SetAttr("factor", strconv.Itoa(f))
 		ds, err := mem.Transform.Apply(dims)
 		if err != nil {
+			sspan.End()
 			return RangeStats{}, fmt.Errorf("cdt: pyramid scale x%d: %w", f, err)
 		}
-		marks, err := mem.Model.detectMarks(ds)
+		marks, err := mem.Model.detectMarks(sctx, ds)
 		if err != nil {
+			sspan.End()
 			return RangeStats{}, fmt.Errorf("cdt: pyramid scale x%d: %w", f, err)
 		}
 		cov := make([]bool, n)
@@ -499,8 +537,11 @@ func (pm *PyramidModel) ScoreRanges(s *Series) (RangeStats, error) {
 			}
 		}
 		coverage[i] = cov
+		sspan.End()
 	}
+	_, fspan := trace.StartSpan(ctx, "fusion_decide")
 	flags := pm.fusePoints(coverage, n)
+	fspan.End()
 	for p := 0; p < n; {
 		if !flags[p] {
 			p++
@@ -518,7 +559,7 @@ func (pm *PyramidModel) ScoreRanges(s *Series) (RangeStats, error) {
 // PointFlags returns the fused per-point anomaly flags — with a single
 // scale and the FuseAny default, exactly Model.PointFlags.
 func (pm *PyramidModel) PointFlags(s *Series) ([]bool, error) {
-	_, flags, err := pm.detect(s)
+	_, flags, err := pm.detect(context.Background(), s)
 	return flags, err
 }
 
@@ -553,7 +594,7 @@ func (pm *PyramidModel) DetectPyramidMulti(ms *MultiSeries) ([]WindowDetection, 
 	if err != nil {
 		return nil, err
 	}
-	out, _, err := pm.detectDims(dims)
+	out, _, err := pm.detectDims(context.Background(), dims)
 	return out, err
 }
 
@@ -565,7 +606,7 @@ func (pm *PyramidModel) PointFlagsMulti(ms *MultiSeries) ([]bool, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, flags, err := pm.detectDims(dims)
+	_, flags, err := pm.detectDims(context.Background(), dims)
 	return flags, err
 }
 
@@ -601,7 +642,7 @@ func (pm *PyramidModel) applyFusionFit(fired [][]bool, truth []bool) error {
 // normalized input to the accumulators: the per-scale point-coverage
 // indicators detection fuses over, against the point annotations.
 func (pm *PyramidModel) fusionSamples(dims []*Series, anomalies []bool, fired [][]bool, truth []bool) ([][]bool, []bool, error) {
-	coverage, _, n, err := pm.scaleCoverage(dims)
+	coverage, _, n, err := pm.scaleCoverage(context.Background(), dims)
 	if err != nil {
 		return nil, nil, err
 	}

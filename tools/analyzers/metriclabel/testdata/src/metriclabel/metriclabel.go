@@ -178,6 +178,59 @@ func escapingDispatcher(vec *CounterVec, dets []det) {
 
 var dispatcherRef = escapingDispatcher
 
+// --- per-rule attribution shapes ---------------------------------------
+// Serving attribution labels detections by rule. The contract: labels
+// are stable bounded indices resolved at artifact-change frequency;
+// rendered rule text is unbounded (and re-renders on retrain), so it
+// never becomes a label.
+
+// ruleLabels is the sanctioned shape: a bounded table of stable index
+// labels ("r<i>", "x<factor>.r<i>"), pre-rendered outside any Vec call.
+var ruleLabels = [...]string{"r1", "r2", "r3", "x4.r1", "x4.r2"}
+
+// buildRuleChildren resolves one child per table entry. Its only call
+// site is a plain static call, so it runs at registration frequency and
+// the loop rule is waived — the attribution-cache build in
+// internal/server mirrors this shape.
+func buildRuleChildren(vec *CounterVec) []*Counter {
+	out := make([]*Counter, 0, len(ruleLabels))
+	for _, label := range ruleLabels {
+		out = append(out, vec.With("rule", label))
+	}
+	return out
+}
+
+func attributionSetup(vec *CounterVec) []*Counter {
+	return buildRuleChildren(vec)
+}
+
+// applyRuleCounts is the hot half of the attribution split: slice-
+// indexed adds on pre-resolved children, no With in sight.
+func applyRuleCounts(children []*Counter, counts []float64) {
+	for i, n := range counts {
+		if n > 0 {
+			children[i].Add(n)
+		}
+	}
+}
+
+// renderedRuleLabels is the anti-pattern the index contract blocks:
+// labeling firings by rendered predicate text mints a child per
+// wording, per retrain, inside the observation loop.
+func renderedRuleLabels(vec *CounterVec, ruleTexts []string) {
+	for _, text := range ruleTexts {
+		vec.With("rule", text).Inc() // want `CounterVec\.With inside a loop re-resolves the child per iteration`
+	}
+}
+
+// renderedRuleFmt re-renders the rule text at observation time — both
+// unbounded and per-iteration.
+func renderedRuleFmt(vec *CounterVec, idx []int) {
+	for _, i := range idx {
+		vec.With("rule", fmt.Sprintf("avg(w) <= %d", i)).Inc() // want `CounterVec\.With inside a loop re-resolves the child per iteration` `unbounded label value \(fmt-formatted value\) passed to CounterVec\.With`
+	}
+}
+
 // notAVec has a With method too, but the type name does not end in Vec:
 // out of scope.
 type registry struct{}
